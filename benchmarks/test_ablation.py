@@ -1,0 +1,33 @@
+"""Benchmark: path-selection design-choice ablations (DESIGN.md §5)."""
+
+from _util import emit
+
+from repro.exp import ablation
+from repro.exp.common import format_table
+
+
+def test_ablation(benchmark):
+    result = benchmark.pedantic(ablation.run, rounds=1, iterations=1)
+    text = format_table(
+        ["variant", "normalised throughput"],
+        [
+            [name, f"{value:.2f}"]
+            for name, value in sorted(
+                result.throughput.items(), key=lambda kv: -kv[1]
+            )
+        ],
+    )
+    emit("ablation", text)
+
+    paper = result.throughput["pooled-randomised (paper)"]
+    pinned = result.throughput["pinned-plane"]
+    # Pooling across planes is the load-bearing choice: pinning caps a
+    # flow at one plane's uplink.
+    assert paper >= 0.95 * result.n_planes
+    assert pinned <= 1.05
+    # Randomised tie-breaking beats deterministic ties at small K.
+    rand = next(v for k, v in result.throughput.items()
+                if k.startswith("randomised-ties"))
+    lex = next(v for k, v in result.throughput.items()
+               if k.startswith("lexicographic-ties"))
+    assert rand > lex

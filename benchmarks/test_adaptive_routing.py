@@ -1,0 +1,23 @@
+"""Benchmark: DARD-style adaptive end-host routing extension (§3.4)."""
+
+from _util import emit
+
+from repro.exp import adaptive_routing
+from repro.exp.common import format_table
+
+
+def test_adaptive_routing(benchmark):
+    result = benchmark.pedantic(adaptive_routing.run, rounds=1, iterations=1)
+    emit(
+        "adaptive_routing",
+        format_table(
+            ["variant", "mean FCT (ms)", "speedup vs static"],
+            [
+                [v, f"{fct * 1e3:.2f}", f"{result.speedup(v):.2f}x"]
+                for v, fct in result.mean_fct.items()
+            ],
+        ),
+    )
+    # Adaptation never hurts, and MPTCP+KSP remains the best transport.
+    assert result.mean_fct["ecmp+adaptive"] <= result.mean_fct["static-ecmp"] * 1.02
+    assert result.mean_fct["mptcp-ksp"] <= result.mean_fct["ecmp+adaptive"]

@@ -1,0 +1,48 @@
+"""Benchmark: regenerate Appendix A (Figures 16-20, trace FCT grid)."""
+
+from _util import emit
+
+from repro.exp import appendix
+from repro.exp.common import (
+    PARALLEL_HOMOGENEOUS,
+    SERIAL_LOW,
+    format_table,
+)
+from repro.units import Gbps
+
+
+def test_appendix(benchmark):
+    result = benchmark.pedantic(appendix.run, rounds=1, iterations=1)
+    rows = [
+        [
+            family,
+            f"{rate / Gbps:.0f}G",
+            trace,
+            label,
+            f"{s.median * 1e6:.1f}",
+            f"{s.p99 * 1e6:.1f}",
+        ]
+        for (family, rate, trace, label) in sorted(result.stats)
+        for s in [result.stats[(family, rate, trace, label)]]
+    ]
+    emit(
+        "appendix",
+        format_table(
+            ["family", "rate", "trace", "network", "median us", "p99 us"],
+            rows,
+        ),
+    )
+
+    # Broad check: at every grid point the P-Net's median FCT is no worse
+    # than ~serial-low's (the appendix's overall conclusion).
+    grid = {
+        (family, rate, trace)
+        for (family, rate, trace, __) in result.stats
+    }
+    wins = 0
+    for family, rate, trace in grid:
+        homo = result.stats[(family, rate, trace, PARALLEL_HOMOGENEOUS)]
+        serial = result.stats[(family, rate, trace, SERIAL_LOW)]
+        if homo.median <= serial.median * 1.10:
+            wins += 1
+    assert wins >= 0.8 * len(grid)

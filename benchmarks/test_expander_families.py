@@ -1,0 +1,32 @@
+"""Benchmark: expander-family generality of the heterogeneity claims."""
+
+from _util import emit
+
+from repro.exp import expander_families
+from repro.exp.common import format_table
+
+
+def test_expander_families(benchmark):
+    result = benchmark.pedantic(
+        expander_families.run, rounds=1, iterations=1
+    )
+    emit(
+        "expander_families",
+        format_table(
+            ["family", "avg best-path hops", "hop inflation @30%",
+             "ideal tput vs serial-high"],
+            [
+                [
+                    name,
+                    f"{result.hop_count[name]:.3f}",
+                    f"+{result.hop_inflation[name]:.1%}",
+                    f"{result.throughput_ratio[name]:.2f}x",
+                ]
+                for name in sorted(result.hop_count)
+            ],
+        ),
+    )
+    # The heterogeneity benefits hold for BOTH expander families:
+    for name in ("jellyfish", "xpander"):
+        assert result.throughput_ratio[name] > 1.0  # beats serial-high
+        assert result.hop_inflation[name] < 0.30  # resilient

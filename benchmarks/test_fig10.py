@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Figure 10 + Table 2 (1500B RPC latency)."""
+
+from _util import emit
+
+from repro.exp import fig10
+from repro.exp.common import (
+    PARALLEL_HETEROGENEOUS,
+    PARALLEL_HOMOGENEOUS,
+    SERIAL_HIGH,
+    format_table,
+)
+
+
+def test_fig10_table2(benchmark):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    table2 = result.table2()
+    text = format_table(
+        ["network", "median", "average", "99%-tile"],
+        [
+            [label, f"{v['median']:.1%}", f"{v['average']:.1%}",
+             f"{v['p99']:.1%}"]
+            for label, v in table2.items()
+        ],
+    )
+    emit("fig10_table2", text)
+
+    # The Figure-10 curves themselves: downsampled completion-time CDFs.
+    from repro.analysis.stats import cdf_points
+
+    blocks = []
+    for label, times in result.completion_times.items():
+        points = cdf_points(times)
+        step = max(1, len(points) // 20)
+        sampled = points[::step] + [points[-1]]
+        blocks.append(
+            f"{label}:\n" + "\n".join(
+                f"  {t * 1e6:9.2f} us  p={p:.3f}" for t, p in sampled
+            )
+        )
+    emit("fig10_cdf", "\n\n".join(blocks))
+
+    # Paper Table 2: hetero ~80% median; homo ~100%; serial-high ~98%.
+    assert table2[PARALLEL_HETEROGENEOUS]["median"] < 0.95
+    assert abs(table2[PARALLEL_HOMOGENEOUS]["median"] - 1.0) < 0.05
+    assert 0.90 < table2[SERIAL_HIGH]["median"] <= 1.0

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 11 (concurrent 100kB RPCs)."""
+
+from _util import emit
+
+from repro.exp import fig11
+from repro.exp.common import (
+    PARALLEL_HOMOGENEOUS,
+    SERIAL_LOW,
+    format_table,
+)
+
+
+def test_fig11(benchmark):
+    result = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    rows = [
+        [
+            label, conc,
+            f"{s.median * 1e6:.1f}", f"{s.p90 * 1e6:.1f}",
+            f"{s.p99 * 1e6:.1f}",
+            result.retransmits[(label, conc)],
+        ]
+        for (label, conc), s in sorted(result.stats.items())
+    ]
+    text = format_table(
+        ["network", "concurrency", "median us", "p90 us", "p99 us",
+         "retransmits"],
+        rows,
+    )
+    emit("fig11", text)
+
+    top = max(c for __, c in result.stats)
+    # Serial-low's tail collapses first; P-Nets keep fewer retransmits.
+    assert (
+        result.stats[(SERIAL_LOW, top)].p99
+        > result.stats[(PARALLEL_HOMOGENEOUS, top)].p99
+    )
+    assert (
+        result.retransmits[(PARALLEL_HOMOGENEOUS, top)]
+        <= result.retransmits[(SERIAL_LOW, top)]
+    )

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 12 (shuffle per-worker completion times)."""
+
+from _util import emit
+
+from repro.analysis.stats import summarize
+from repro.exp import fig12
+from repro.exp.common import (
+    PARALLEL_HOMOGENEOUS,
+    SERIAL_HIGH,
+    SERIAL_LOW,
+    format_table,
+)
+
+
+def test_fig12(benchmark):
+    result = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    blocks = []
+    for stage in fig12.STAGES:
+        rows = []
+        for label, stages in result.worker_times.items():
+            s = summarize(stages[stage])
+            rows.append(
+                [label, f"{s.median:.3f}", f"{s.mean:.3f}", f"{s.maximum:.3f}"]
+            )
+        blocks.append(
+            f"stage: {stage}\n"
+            + format_table(["network", "median s", "mean s", "max s"], rows)
+        )
+    emit("fig12", "\n\n".join(blocks))
+
+    for stage in fig12.STAGES:
+        serial = max(result.worker_times[SERIAL_LOW][stage])
+        homo = max(result.worker_times[PARALLEL_HOMOGENEOUS][stage])
+        high = max(result.worker_times[SERIAL_HIGH][stage])
+        assert homo < serial  # P-Net beats serial low-bandwidth
+        assert high <= homo + 1e-9  # ideal network fastest

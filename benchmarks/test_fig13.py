@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Figure 13 (trace flow sizes + FCT replay)."""
+
+from _util import emit
+
+from repro.analysis.stats import percentile, summarize
+from repro.exp import fig13
+from repro.exp.common import (
+    PARALLEL_HETEROGENEOUS,
+    SERIAL_LOW,
+    format_table,
+)
+from repro.traffic.traces import TRACES
+
+
+def test_fig13a_flow_size_cdfs(benchmark):
+    cdfs = benchmark.pedantic(fig13.flow_size_cdfs, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            f"{TRACES[name].quantile(0.5):,}",
+            f"{TRACES[name].quantile(0.99):,}",
+            f"{TRACES[name].mean(samples=2001):,.0f}",
+        ]
+        for name in sorted(cdfs)
+    ]
+    emit(
+        "fig13a",
+        format_table(["trace", "median B", "p99 B", "mean B"], rows),
+    )
+    assert set(cdfs) == set(TRACES)
+
+
+def test_fig13bc_trace_fcts(benchmark):
+    result = benchmark.pedantic(fig13.run, rounds=1, iterations=1)
+    blocks = []
+    for trace, nets in result.fcts.items():
+        rows = []
+        for label, values in nets.items():
+            s = summarize(values)
+            rows.append(
+                [label, s.count, f"{s.median * 1e6:.1f}",
+                 f"{s.p90 * 1e6:.1f}", f"{s.p99 * 1e6:.1f}"]
+            )
+        blocks.append(
+            f"trace: {trace}\n"
+            + format_table(
+                ["network", "flows", "median us", "p90 us", "p99 us"], rows
+            )
+        )
+    emit("fig13bc", "\n\n".join(blocks))
+
+    for trace, nets in result.fcts.items():
+        hetero = percentile(nets[PARALLEL_HETEROGENEOUS], 50)
+        serial = percentile(nets[SERIAL_LOW], 50)
+        assert hetero <= serial * 1.05

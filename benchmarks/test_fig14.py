@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 14 (hop count under link failures)."""
+
+from _util import emit
+
+from repro.exp import fig14
+from repro.exp.common import (
+    PARALLEL_HETEROGENEOUS,
+    PARALLEL_HOMOGENEOUS,
+    SERIAL_LOW,
+    format_table,
+)
+
+
+def test_fig14(benchmark):
+    result = benchmark.pedantic(fig14.run, rounds=1, iterations=1)
+    fractions = sorted(next(iter(result.hop_counts.values())))
+    text = format_table(
+        ["network"] + [f"{f:.0%}" for f in fractions] + ["inflation"],
+        [
+            [label]
+            + [f"{series[f]:.3f}" for f in fractions]
+            + [f"+{result.relative_increase(label):.1%}"]
+            for label, series in result.hop_counts.items()
+        ],
+    )
+    emit("fig14", text)
+
+    # Paper: serial +22%, homogeneous +3% at 40% failures.
+    assert result.relative_increase(SERIAL_LOW) > 0.10
+    assert result.relative_increase(PARALLEL_HOMOGENEOUS) < 0.10
+    for fraction in fractions:
+        assert (
+            result.hop_counts[PARALLEL_HETEROGENEOUS][fraction]
+            <= result.hop_counts[SERIAL_LOW][fraction]
+        )

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 6 (fat tree ECMP + multipath scaling)."""
+
+from _util import emit
+
+from repro.exp import fig6
+from repro.exp.common import format_table
+
+
+def test_fig6(benchmark):
+    result = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+
+    planes = sorted(result.ecmp_all_to_all)
+    panel_ab = format_table(
+        ["planes", "6a all-to-all ECMP", "6b permutation ECMP"],
+        [
+            [n, f"{result.ecmp_all_to_all[n]:.2f}",
+             f"{result.ecmp_permutation[n]:.2f}"]
+            for n in planes
+        ],
+    )
+    ks = sorted(next(iter(result.multipath.values())))
+    panel_c = format_table(
+        ["planes \\ K"] + [str(k) for k in ks] + ["saturating K"],
+        [
+            [n] + [f"{result.multipath[n][k]:.2f}" for k in ks]
+            + [result.saturation_k[n]]
+            for n in sorted(result.multipath)
+        ],
+    )
+    emit("fig6", panel_ab + "\n\n" + panel_c)
+
+    top = planes[-1]
+    # 6a: dense traffic saturates; 6b: sparse ECMP wastes the planes.
+    assert result.ecmp_all_to_all[top] >= 0.75 * top
+    assert result.ecmp_permutation[top] < 0.5 * top
+    # 6c: saturating K grows with plane count.
+    sat = [result.saturation_k[n] for n in sorted(result.saturation_k)]
+    assert sat == sorted(sat) and sat[-1] > sat[0]

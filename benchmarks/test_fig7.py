@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 7 (ideal Jellyfish rack-level throughput)."""
+
+from _util import emit
+
+from repro.exp import fig7
+from repro.exp.common import format_table
+
+
+def test_fig7(benchmark):
+    result = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    text = format_table(
+        ["planes", "hetero (normalised)", "serial-high", "ratio"],
+        [
+            [
+                n,
+                f"{result.heterogeneous[n]:.2f}",
+                f"{result.serial_high[n]:.2f}",
+                f"{result.heterogeneous[n] / result.serial_high[n]:.2f}",
+            ]
+            for n in sorted(result.heterogeneous)
+        ],
+    )
+    emit("fig7", text)
+    for n in result.heterogeneous:
+        if n > 1:
+            ratio = result.heterogeneous[n] / result.serial_high[n]
+            assert 1.0 < ratio < 2.0  # paper: "up to 60% higher"
+    assert result.homogeneous_check is not None

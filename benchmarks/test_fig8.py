@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 8 (Jellyfish KSP + multipath scaling)."""
+
+from _util import emit
+
+from repro.exp import fig8
+from repro.exp.common import format_table
+
+
+def test_fig8(benchmark):
+    result = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+
+    panel_ab = format_table(
+        ["variant", "planes", "8a all-to-all 8KSP", "8b permutation 8KSP"],
+        [
+            [v, n, f"{result.ksp8_all_to_all[(v, n)]:.2f}",
+             f"{result.ksp8_permutation[(v, n)]:.2f}"]
+            for v, n in sorted(result.ksp8_all_to_all)
+        ],
+    )
+    ks = sorted(next(iter(result.multipath.values())))
+    panel_c = format_table(
+        ["variant", "planes"] + [f"K={k}" for k in ks] + ["saturating K"],
+        [
+            [v, n] + [f"{result.multipath[(v, n)][k]:.2f}" for k in ks]
+            + [result.saturation_k[(v, n)]]
+            for v, n in sorted(result.multipath)
+        ],
+    )
+    emit("fig8", panel_ab + "\n\n" + panel_c)
+
+    top = max(n for __, n in result.ksp8_all_to_all)
+    for variant in ("homogeneous", "heterogeneous"):
+        # 8a: all-to-all saturates under the default 8-way KSP.
+        assert result.ksp8_all_to_all[(variant, top)] >= 0.8 * top
+        # 8c: more planes need more subflows.
+        sats = [
+            result.saturation_k[(variant, n)]
+            for __, n in sorted(k for k in result.saturation_k if k[0] == variant)
+        ]
+        assert sats == sorted(sats)

@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Figure 9 (small-flow FCT vs flow size)."""
+
+from _util import emit
+
+from repro.exp import fig9
+from repro.exp.common import (
+    PARALLEL_HOMOGENEOUS,
+    SERIAL_HIGH,
+    SERIAL_LOW,
+    format_table,
+)
+from repro.units import GB, KB, MB
+
+
+def test_fig9(benchmark):
+    result = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    sizes = sorted(next(iter(result.mean_fct.values())))
+    headers = ["network"] + [
+        (f"{s // GB}GB" if s >= GB else
+         f"{s // MB}MB" if s >= MB else f"{s // KB}kB")
+        for s in sizes
+    ]
+    text = format_table(
+        headers,
+        [
+            [label] + [f"{series[s] * 1e3:.3f}ms" for s in sizes]
+            for label, series in result.mean_fct.items()
+        ],
+    )
+    emit("fig9", text)
+
+    # Cross-validate the headline small-flow ordering on the
+    # packet-level simulator (real TCP/MPTCP slow start).
+    pkt = fig9.packet_sim_validation()
+    emit(
+        "fig9_packet_validation",
+        format_table(
+            ["network", "packet-sim mean FCT (us) @100kB"],
+            [[label, f"{v * 1e6:.1f}"] for label, v in pkt.items()],
+        ),
+    )
+    assert pkt[PARALLEL_HOMOGENEOUS] < pkt[SERIAL_HIGH]
+
+    base = result.mean_fct[SERIAL_LOW]
+    homo = result.mean_fct[PARALLEL_HOMOGENEOUS]
+    high = result.mean_fct[SERIAL_HIGH]
+    small, bulk = sizes[0], sizes[-1]
+    # Small flows: P-Net beats even serial high-bandwidth (slow start).
+    assert homo[small] < high[small]
+    # Bulk flows: P-Net well ahead of serial-low, near serial-high.
+    assert homo[bulk] < 0.5 * base[bulk]
+    assert homo[bulk] < 2.0 * high[bulk]

@@ -1,0 +1,40 @@
+"""Benchmark: incast extension (paper section 6.5 hypothesis)."""
+
+from _util import emit
+
+from repro.exp import incast
+from repro.exp.common import (
+    PARALLEL_HOMOGENEOUS,
+    SERIAL_LOW,
+    format_table,
+)
+
+
+def test_incast(benchmark):
+    result = benchmark.pedantic(incast.run, rounds=1, iterations=1)
+    rows = [
+        [
+            label, fan_in,
+            f"{s.median * 1e6:.1f}", f"{s.maximum * 1e6:.1f}",
+            result.losses[(label, fan_in)][0],
+            result.losses[(label, fan_in)][1],
+        ]
+        for (label, fan_in), s in sorted(result.stats.items())
+    ]
+    emit(
+        "incast",
+        format_table(
+            ["network", "fan-in", "median us", "max us", "drops", "retx"],
+            rows,
+        ),
+    )
+
+    top = max(f for __, f in result.stats)
+    serial_drops, __ = result.losses[(SERIAL_LOW, top)]
+    homo_drops, __ = result.losses[(PARALLEL_HOMOGENEOUS, top)]
+    # Spreading the burst over planes cuts drops (the paper's hypothesis).
+    assert homo_drops <= serial_drops
+    assert (
+        result.stats[(PARALLEL_HOMOGENEOUS, top)].maximum
+        <= result.stats[(SERIAL_LOW, top)].maximum
+    )

@@ -1,0 +1,40 @@
+"""Benchmark: switch-buffer-depth sensitivity ablation."""
+
+from _util import emit
+
+from repro.exp import queue_sensitivity
+from repro.exp.common import (
+    PARALLEL_HOMOGENEOUS,
+    SERIAL_LOW,
+    format_table,
+)
+
+
+def test_queue_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        queue_sensitivity.run, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            label, depth,
+            f"{s.median * 1e6:.1f}", f"{s.p99 * 1e6:.1f}",
+            result.losses[(label, depth)][0],
+            result.losses[(label, depth)][1],
+        ]
+        for (label, depth), s in sorted(result.stats.items())
+    ]
+    emit(
+        "queue_sensitivity",
+        format_table(
+            ["network", "buffer pkts", "median us", "p99 us", "drops",
+             "retx"],
+            rows,
+        ),
+    )
+    # The paper's qualitative result is buffer-depth robust: serial-low
+    # is the worst median at every depth.
+    for depth in sorted({d for __, d in result.stats}):
+        assert (
+            result.stats[(SERIAL_LOW, depth)].median
+            > result.stats[(PARALLEL_HOMOGENEOUS, depth)].median
+        )

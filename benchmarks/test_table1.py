@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 1 (component counts)."""
+
+from _util import emit
+
+from repro.exp import table1
+from repro.exp.common import format_table
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    text = format_table(
+        ["Architecture", "Tiers", "Hops", "Chips", "Boxes", "Links"],
+        [list(r.as_row()) for r in rows],
+    )
+    emit("table1", text)
+    assert all(table1.verify_against_paper().values())

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Example: failure drill -- how a P-Net degrades when links die.
+
+Reproduces the operational story of paper section 5.4 at example scale:
+
+1. kill an entire dataplane's worth of a host's connectivity and watch
+   the host detect it via link status and route around it;
+2. fail a growing share of random switch-to-switch links across the
+   fabric and compare how average path length inflates on a serial
+   network vs a 4-plane P-Net.
+
+Run:  python examples/failure_drill.py
+"""
+
+import random
+
+from repro.analysis.hops import average_min_hop_count
+from repro.core import EndHost, FailureAwareSelector, PNet
+from repro.core.path_selection import EcmpPolicy
+from repro.topology import ParallelTopology, build_jellyfish
+
+
+def build(seed: int):
+    return build_jellyfish(14, 5, 2, seed=seed)
+
+
+def drill_uplink_failure() -> None:
+    print("== drill 1: a host loses its plane-0 uplink ==")
+    pnet = PNet(ParallelTopology.heterogeneous(build, 4))
+    host = EndHost(pnet, "h0")
+    print(f"usable planes before: {host.usable_planes()}")
+
+    plane0 = pnet.plane(0)
+    tor = plane0.tor_of("h0")
+    plane0.fail_link("h0", tor)
+    pnet.invalidate_routing()
+    print(f"usable planes after killing h0--{tor}: {host.usable_planes()}")
+
+    selector = FailureAwareSelector(EcmpPolicy(pnet))
+    planes_used = {
+        selector.select("h0", "h20", flow_id)[0][0] for flow_id in range(32)
+    }
+    print(f"flows from h0 now ride planes {sorted(planes_used)} "
+          f"(plane 0 avoided)\n")
+
+
+def drill_random_failures() -> None:
+    print("== drill 2: random switch-link failures across the fabric ==")
+    print(f"{'failed':>8}  {'serial avg hops':>16}  {'4-plane P-Net':>14}")
+    for fraction in (0.0, 0.1, 0.2, 0.3, 0.4):
+        rng_a, rng_b = random.Random(1), random.Random(1)
+        serial = PNet.serial(build(0))
+        serial.plane(0).fail_random_links(fraction, rng_a)
+        serial.invalidate_routing()
+
+        pnet = PNet(ParallelTopology.heterogeneous(build, 4))
+        for plane in pnet.planes:
+            plane.fail_random_links(fraction, rng_b)
+        pnet.invalidate_routing()
+
+        print(
+            f"{fraction:>7.0%}  {average_min_hop_count(serial):>16.3f}"
+            f"  {average_min_hop_count(pnet):>14.3f}"
+        )
+    print(
+        "\nThe serial network loses its short paths quickly; the P-Net "
+        "barely notices\n(paper Figure 14: +22% vs +3% at 40% failures)."
+    )
+
+
+def main() -> None:
+    drill_uplink_failure()
+    drill_random_failures()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Example: a distributed sort (Hadoop-style) on a P-Net.
+
+The data-intensive workload of paper section 5.2.2: mappers read input
+blocks from remote hosts, shuffle buckets all-to-all to reducers, and
+reducers write replicas -- with at most 4 blocks in flight per worker.
+We run the job's three network stages on a serial 100G Jellyfish and on
+the 4-plane homogeneous P-Net built from the same equipment, and report
+each stage's straggler (slowest worker).
+
+Run:  python examples/shuffle_sort.py
+"""
+
+from repro.core import PNet
+from repro.core.path_selection import EcmpPolicy
+from repro.exp.fig12 import _run_stage
+from repro.topology import ParallelTopology, build_jellyfish
+from repro.traffic.shuffle import ShuffleJob
+from repro.units import GB
+
+N_PLANES = 4
+
+
+def run_job(pnet: PNet, label: str) -> None:
+    job = ShuffleJob(
+        pnet.hosts,
+        total_bytes=8 * GB,
+        n_mappers=6,
+        n_reducers=6,
+        seed=3,
+    )
+    policy = EcmpPolicy(pnet)
+    print(f"\n{label}")
+    total = 0.0
+    for stage, flows in job.stages().items():
+        finish = _run_stage(pnet, policy, flows, job.concurrency)
+        straggler = max(finish.values())
+        moved = sum(f.size for f in flows)
+        total += straggler
+        print(
+            f"  {stage:<13} {len(flows):>3} flows, "
+            f"{moved / GB:5.1f} GB moved, straggler {straggler:6.3f} s"
+        )
+    print(f"  network time (sum of stage stragglers): {total:.3f} s")
+
+
+def main() -> None:
+    build = lambda: build_jellyfish(12, 5, 3, seed=0)
+    serial = PNet.serial(build())
+    parallel = PNet(ParallelTopology.homogeneous(build, N_PLANES))
+
+    run_job(serial, "serial 100G Jellyfish (36 hosts)")
+    run_job(parallel, f"parallel {N_PLANES}x100G P-Net (same equipment)")
+    print(
+        "\nThe P-Net drains each stage faster by spreading every worker's "
+        "4 concurrent\nblocks across its 4 uplinks -- no faster switch "
+        "chips required."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Metadata lives in pyproject.toml; this file exists so that environments
+# without the `wheel` package can still do a legacy editable install
+# (`pip install -e . --no-use-pep517`).
+setup()

@@ -1,0 +1,18 @@
+"""Result analysis: statistics helpers and hop-count/failure studies."""
+
+from repro.analysis.stats import cdf_points, normalize, percentile, summarize
+from repro.analysis.hops import (
+    average_min_hop_count,
+    hop_count_distribution,
+    failure_sweep,
+)
+
+__all__ = [
+    "cdf_points",
+    "normalize",
+    "percentile",
+    "summarize",
+    "average_min_hop_count",
+    "hop_count_distribution",
+    "failure_sweep",
+]

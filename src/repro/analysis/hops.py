@@ -1,0 +1,95 @@
+"""Hop-count analysis and the fault-tolerance study (Figures 10 & 14).
+
+The paper's latency results are driven by *switch hop counts*: fewer chips
+per path mean less propagation (1 us per ~200 m hop) and less queueing.
+For parallel networks the host picks its plane, so the effective hop count
+of a pair is the minimum over planes.
+
+:func:`failure_sweep` reproduces Figure 14: fail a growing fraction of
+switch-to-switch links uniformly at random and track the average hop count
+of all-pairs best paths for serial, parallel homogeneous, and parallel
+heterogeneous networks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.pnet import PNet
+from repro.routing.shortest import bfs_distances
+from repro.topology.graph import TOR, Topology
+
+
+def _tor_distance_matrix(plane: Topology) -> Dict[str, Dict[str, int]]:
+    """All-pairs link distances among ToR switches of one plane."""
+    tors = plane.nodes_of_kind(TOR)
+    return {tor: bfs_distances(plane, tor) for tor in tors}
+
+
+def hop_count_distribution(pnet: PNet) -> List[int]:
+    """Best (min over planes) switch hop count for every host pair.
+
+    Computed at rack granularity: two hosts under ToR ``a`` and ToR ``b``
+    cross ``dist(a, b) + 1`` switches (their path enters a, traverses to
+    b, with every intermediate node a switch).  Intra-rack pairs cross
+    exactly one switch.  Disconnected pairs are skipped.
+    """
+    plane0 = pnet.plane(0)
+    hosts = pnet.hosts
+    tor_of = {h: plane0.tor_of(h) for h in hosts}
+    dists = [_tor_distance_matrix(plane) for plane in pnet.planes]
+
+    counts: List[int] = []
+    for i, src in enumerate(hosts):
+        for dst in hosts[i + 1:]:
+            ts, td = tor_of[src], tor_of[dst]
+            if ts == td:
+                counts.append(1)
+                continue
+            best: Optional[int] = None
+            for plane_dist in dists:
+                d = plane_dist[ts].get(td)
+                if d is not None and (best is None or d < best):
+                    best = d
+            if best is not None:
+                counts.append(best + 1)
+    return counts
+
+
+def average_min_hop_count(pnet: PNet) -> float:
+    """Mean of :func:`hop_count_distribution` (Figure 14's y-axis)."""
+    counts = hop_count_distribution(pnet)
+    if not counts:
+        raise ValueError("no connected host pairs")
+    return sum(counts) / len(counts)
+
+
+def failure_sweep(
+    make_pnet: Callable[[], PNet],
+    fractions: Sequence[float],
+    seeds: Sequence[int] = (0, 1, 2),
+) -> Dict[float, List[float]]:
+    """Average best-path hop count under growing random link failures.
+
+    For each failure fraction and seed, a *fresh* network is built (so
+    each repetition also re-instantiates random topologies, as the paper
+    does), the fraction of switch-to-switch links is failed uniformly at
+    random across all planes, and the all-pairs average hop count is
+    measured.
+
+    Returns:
+        fraction -> list of per-seed averages.
+    """
+    results: Dict[float, List[float]] = {f: [] for f in fractions}
+    for fraction in fractions:
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError(f"failure fraction must be in [0,1), got {fraction}")
+        for seed in seeds:
+            pnet = make_pnet()
+            rng = random.Random(f"failures-{seed}-{fraction}")
+            for plane in pnet.planes:
+                plane.fail_random_links(fraction, rng, switch_only=True)
+            pnet.invalidate_routing()
+            results[fraction].append(average_min_hop_count(pnet))
+    return results

@@ -1,0 +1,97 @@
+"""Unloaded latency accounting (paper sections 2, 3.3 and 5.2.1).
+
+The paper's latency arithmetic, reproduced exactly:
+
+* each switch hop adds store-and-forward **serialisation** delay
+  (``bytes * 8 / rate`` -- 120 ns for an MTU at 100G, 30 ns at 400G) plus
+  **propagation** (~1 us per ~200 m hop in the core);
+* a serial high-bandwidth network only shaves serialisation (90 ns/hop at
+  400G vs 100G) -- "11x" less than the 1 us propagation term -- whereas
+  fewer hops save both, which is why the parallel architecture's 3 chip
+  hops beat the chassis design's 7 even at lower link speed.
+
+:func:`architecture_latency` turns a Table-1 :class:`ComponentCount` into
+an end-to-end unloaded latency; :func:`serialization_advantage` is the
+paper's 11x computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.cost import ComponentCount
+from repro.units import (
+    DEFAULT_HOP_PROPAGATION,
+    DEFAULT_LINK_RATE,
+    MTU,
+    transmit_time,
+)
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Unloaded one-way latency of a worst-case path."""
+
+    hops: int
+    serialization: float
+    propagation: float
+
+    @property
+    def total(self) -> float:
+        return self.serialization + self.propagation
+
+
+def path_latency(
+    hops: int,
+    link_rate: float = DEFAULT_LINK_RATE,
+    payload: int = MTU,
+    propagation_per_hop: float = DEFAULT_HOP_PROPAGATION,
+) -> LatencyBreakdown:
+    """Latency of a packet crossing ``hops`` store-and-forward switches.
+
+    The packet is serialised once onto the first link and once per switch
+    (hops + 1 serialisations), and propagates over hops + 1 links.
+    """
+    if hops < 0:
+        raise ValueError(f"hops must be >= 0, got {hops}")
+    links = hops + 1
+    return LatencyBreakdown(
+        hops=hops,
+        serialization=links * transmit_time(payload, link_rate),
+        propagation=links * propagation_per_hop,
+    )
+
+
+def architecture_latency(
+    counts: ComponentCount,
+    link_rate: float = DEFAULT_LINK_RATE,
+    payload: int = MTU,
+    propagation_per_hop: float = DEFAULT_HOP_PROPAGATION,
+) -> LatencyBreakdown:
+    """Worst-case unloaded latency for a Table-1 architecture row."""
+    return path_latency(
+        counts.hops,
+        link_rate=link_rate,
+        payload=payload,
+        propagation_per_hop=propagation_per_hop,
+    )
+
+
+def serialization_advantage(
+    slow_rate: float = DEFAULT_LINK_RATE,
+    fast_rate: float = 4 * DEFAULT_LINK_RATE,
+    payload: int = MTU,
+    propagation_per_hop: float = DEFAULT_HOP_PROPAGATION,
+) -> float:
+    """Propagation delay over the per-hop serialisation saving.
+
+    The paper computes 1 us / (120 ns - 30 ns) = ~11x for 100G vs 400G:
+    the higher the ratio, the less a faster serial network can buy, and
+    the more shorter paths (heterogeneous P-Nets) matter.
+    """
+    saving = transmit_time(payload, slow_rate) - transmit_time(
+        payload, fast_rate
+    )
+    if saving <= 0:
+        raise ValueError("fast_rate must exceed slow_rate")
+    return propagation_per_hop / saving

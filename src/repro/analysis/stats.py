@@ -1,0 +1,83 @@
+"""Small statistics helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The p-th percentile (0..100) with linear interpolation.
+
+    Matches numpy's default ("linear") method but works on plain lists
+    without the array round trip.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0,100], got {p}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (p / 100) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi or ordered[lo] == ordered[hi]:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1 - frac) + ordered[hi] * frac)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Median / mean / tail summary of a sample (Table 2's columns)."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    if not values:
+        raise ValueError("need at least one value")
+    return Summary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        median=percentile(values, 50),
+        p90=percentile(values, 90),
+        p99=percentile(values, 99),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, cumulative_fraction) steps."""
+    if not values:
+        raise ValueError("need at least one value")
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def normalize(
+    results: Dict[str, float], baseline_key: str
+) -> Dict[str, float]:
+    """Divide every entry by the baseline's value (paper-style plots).
+
+    The paper normalises throughput against the serial low-bandwidth
+    network and latency statistics against serial low-bandwidth too
+    (Table 2 is expressed in percent of baseline).
+    """
+    try:
+        base = results[baseline_key]
+    except KeyError:
+        raise KeyError(f"baseline {baseline_key!r} not in results") from None
+    if base == 0:
+        raise ZeroDivisionError("baseline value is zero")
+    return {key: value / base for key, value in results.items()}

@@ -1,0 +1,118 @@
+"""Command-line interface: run any experiment, print its tables, dump CSV.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig10 --scale tiny
+    python -m repro all --scale small --csv results/
+    python -m repro fig6 --csv results/
+
+Each experiment prints the same rows/series the paper reports; ``--csv``
+additionally writes the raw result (flattened) for plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+from repro.exp.common import SCALES
+
+#: Experiment registry: name -> module path (each has run() and main()).
+EXPERIMENTS = {
+    "table1": "repro.exp.table1",
+    "fig6": "repro.exp.fig6",
+    "fig7": "repro.exp.fig7",
+    "fig8": "repro.exp.fig8",
+    "fig9": "repro.exp.fig9",
+    "fig10": "repro.exp.fig10",
+    "fig11": "repro.exp.fig11",
+    "fig12": "repro.exp.fig12",
+    "fig13": "repro.exp.fig13",
+    "fig14": "repro.exp.fig14",
+    "appendix": "repro.exp.appendix",
+    "incast": "repro.exp.incast",
+    "ablation": "repro.exp.ablation",
+    "adaptive": "repro.exp.adaptive_routing",
+    "expanders": "repro.exp.expander_families",
+    "queues": "repro.exp.queue_sensitivity",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="P-Net (CoNEXT'22) reproduction experiments",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="experiment to run ('all' for everything, 'list' to enumerate)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default=None,
+        help="override PNET_SCALE (default: env or 'small')",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write flattened results as CSV into DIR",
+    )
+    return parser
+
+
+def run_one(name: str, scale: Optional[str], csv_dir: Optional[str]) -> None:
+    module = importlib.import_module(EXPERIMENTS[name])
+    started = time.time()
+    if csv_dir is None and scale is None:
+        # main() resolves the scale itself and prints the paper tables.
+        module.main()
+    else:
+        import os
+
+        if scale is not None:
+            os.environ["PNET_SCALE"] = scale
+        module.main()
+        if csv_dir is not None:
+            from repro.exp.export import write_csv
+
+            # table1 is scale-independent (its parameters are the paper's
+            # exemplar); every other experiment takes the scale name.
+            result = module.run() if name == "table1" else module.run(scale)
+            if name == "table1":
+                # table1 returns a list of ComponentCount dataclasses.
+                rows = sum(
+                    write_csv(
+                        pathlib.Path(csv_dir) / f"{name}_{r.architecture}.csv",
+                        r,
+                    )
+                    for r in result
+                )
+            else:
+                rows = write_csv(pathlib.Path(csv_dir) / f"{name}.csv", result)
+            print(f"[{name}] wrote {rows} CSV rows to {csv_dir}/")
+    print(f"[{name}] done in {time.time() - started:.1f}s\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, module in sorted(EXPERIMENTS.items()):
+            print(f"{name:<10} {module}")
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_one(name, args.scale, args.csv)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

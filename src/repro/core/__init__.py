@@ -1,0 +1,40 @@
+"""P-Net core: host-side path selection over parallel dataplanes.
+
+This is the paper's primary contribution: given N disjoint dataplanes
+reaching every host, decide -- at the host -- which plane(s) and path(s)
+each flow uses.
+
+* :mod:`repro.core.pnet` -- :class:`~repro.core.pnet.PNet`, the central
+  object binding planes, hosts, and routing views.
+* :mod:`repro.core.path_selection` -- selection policies (ECMP hashing,
+  pooled K-shortest-paths for MPTCP, min-hop plane, round-robin).
+* :mod:`repro.core.host` -- the end-host/OS model: one IP per plane,
+  "low-latency" and "high-throughput" proxy interfaces, traffic classes.
+* :mod:`repro.core.flow_policy` -- the empirical size threshold rule
+  (section 5.1.2): small flows single-path, bulk flows multipath.
+* :mod:`repro.core.failures` -- link-status based plane failure detection
+  and graceful fail-over.
+"""
+
+from repro.core.pnet import PNet
+from repro.core.path_selection import (
+    EcmpPolicy,
+    KspMultipathPolicy,
+    MinHopPlanePolicy,
+    RoundRobinPlanePolicy,
+)
+from repro.core.host import EndHost, TrafficClass
+from repro.core.flow_policy import SizeThresholdPolicy
+from repro.core.failures import FailureAwareSelector
+
+__all__ = [
+    "PNet",
+    "EcmpPolicy",
+    "KspMultipathPolicy",
+    "MinHopPlanePolicy",
+    "RoundRobinPlanePolicy",
+    "EndHost",
+    "TrafficClass",
+    "SizeThresholdPolicy",
+    "FailureAwareSelector",
+]

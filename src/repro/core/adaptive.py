@@ -1,0 +1,116 @@
+"""DARD-style adaptive end-host routing (paper section 3.4).
+
+"End-host routing solutions provide OS direct access to routing
+information and can facilitate better flow placement decisions in P-Net"
+-- the paper names DARD [44], where each host selfishly moves its flows
+to the path with the most available bandwidth, converging without any
+central controller.
+
+:class:`AdaptiveRouter` implements that control loop on the fluid
+simulator: every ``epoch`` it inspects each tracked flow, estimates the
+bottleneck headroom of the flow's candidate paths (the K shortest pooled
+across planes), and migrates the flow when some candidate offers at
+least ``hysteresis`` times the flow's current rate in *headroom* --
+DARD's improvement test, which provably avoids oscillation for
+hysteresis > 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.path_selection import KspMultipathPolicy
+from repro.core.pnet import PlanePath, PNet
+from repro.fluid.flowsim import FluidSimulator
+
+
+class AdaptiveRouter:
+    """Per-host selfish flow re-placement over a P-Net's paths.
+
+    Args:
+        sim: the fluid simulator carrying the flows.
+        pnet: the network (supplies candidate paths).
+        candidates: candidate paths per pair (default: 4 per plane).
+        epoch: control period in seconds (DARD uses O(100 ms); datacenter
+            RTTs here are microseconds so the default is 1 ms).
+        hysteresis: migrate only if a candidate's headroom exceeds the
+            flow's current rate by this factor (> 1 prevents oscillation).
+    """
+
+    def __init__(
+        self,
+        sim: FluidSimulator,
+        pnet: PNet,
+        candidates: Optional[int] = None,
+        epoch: float = 1e-3,
+        hysteresis: float = 1.2,
+    ):
+        if epoch <= 0:
+            raise ValueError("epoch must be positive")
+        if hysteresis <= 1.0:
+            raise ValueError("hysteresis must be > 1 to avoid oscillation")
+        self.sim = sim
+        self.pnet = pnet
+        self.epoch = epoch
+        self.hysteresis = hysteresis
+        k = candidates if candidates is not None else 4 * pnet.n_planes
+        self._policy = KspMultipathPolicy(pnet, k=k, seed=97)
+        #: flow_id -> (src, dst, current path)
+        self._flows: Dict[int, tuple] = {}
+        self.migrations = 0
+        self._running = False
+
+    # --- flow registration ------------------------------------------------
+
+    def track(self, flow_id: int, src: str, dst: str,
+              path: PlanePath) -> None:
+        """Register a (single-path) flow for adaptive re-placement."""
+        self._flows[flow_id] = (src, dst, path)
+
+    def untrack(self, flow_id: int) -> None:
+        self._flows.pop(flow_id, None)
+
+    # --- control loop ----------------------------------------------------------
+
+    def start(self, at: Optional[float] = None) -> None:
+        """Begin the periodic control loop (stops when nothing is active)."""
+        if self._running:
+            return
+        self._running = True
+        first = self.sim.now + self.epoch if at is None else at
+        self.sim.schedule(first, self._tick)
+
+    def _tick(self) -> None:
+        active_ids = {fid for fid, *__ in self.sim.active_flows()}
+        for flow_id in list(self._flows):
+            if flow_id not in active_ids:
+                self.untrack(flow_id)
+        for flow_id, (src, dst, current) in list(self._flows.items()):
+            self._consider(flow_id, src, dst, current)
+        # Keep ticking while there is anything left to manage.
+        if self._flows:
+            self.sim.schedule(self.sim.now + self.epoch, self._tick)
+        else:
+            self._running = False
+
+    def _consider(self, flow_id: int, src: str, dst: str,
+                  current: PlanePath) -> None:
+        rate = self.sim.flow_rate(flow_id)
+        if rate is None:
+            self.untrack(flow_id)
+            return
+        best_path = None
+        best_headroom = rate * self.hysteresis
+        for candidate in self._policy.select(src, dst, flow_id):
+            if candidate == current:
+                continue
+            headroom = self.sim.path_available_bandwidth(
+                candidate, exclude_flow=flow_id
+            )
+            if headroom > best_headroom:
+                best_headroom = headroom
+                best_path = candidate
+        if best_path is not None:
+            if self.sim.migrate_flow(flow_id, [best_path]):
+                self._flows[flow_id] = (src, dst, best_path)
+                self.migrations += 1

@@ -1,0 +1,64 @@
+"""Flow-size-based transport selection (paper section 5.1.2).
+
+The paper's empirical finding: flows up to ~100 MB gain little from MPTCP
+(it is slow to probe subflow bandwidth at small time scales, and can hurt
+really small flows), while flows of ~1 GB and beyond gain a lot.  The
+recommended host policy is therefore:
+
+* size <= ``single_path_threshold`` (100 MB)  ->  single-path routing;
+* size >= ``multipath_threshold``   (1 GB)    ->  K-way MPTCP;
+* sizes in between default to single-path (conservative, per the paper's
+  observation that 100 MB flows "benefit less from multipath").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import GB, MB
+
+
+@dataclass(frozen=True)
+class SizeThresholdPolicy:
+    """Decide single-path vs multipath from the flow size.
+
+    Attributes:
+        single_path_threshold: bytes at or below which a flow uses a
+            single path (paper default: 100 MB).
+        multipath_threshold: bytes at or above which a flow uses MPTCP
+            (paper default: 1 GB).
+        prefer_multipath_between: what to do in the open interval between
+            the thresholds (paper leans single-path).
+    """
+
+    single_path_threshold: float = 100 * MB
+    multipath_threshold: float = 1 * GB
+    prefer_multipath_between: bool = False
+
+    def __post_init__(self):
+        if self.single_path_threshold <= 0:
+            raise ValueError("single_path_threshold must be positive")
+        if self.multipath_threshold < self.single_path_threshold:
+            raise ValueError(
+                "multipath_threshold must be >= single_path_threshold"
+            )
+
+    def use_multipath(self, flow_bytes: float) -> bool:
+        """True if a flow of this size should open multiple subflows."""
+        if flow_bytes < 0:
+            raise ValueError(f"flow size must be >= 0, got {flow_bytes}")
+        if flow_bytes <= self.single_path_threshold:
+            return False
+        if flow_bytes >= self.multipath_threshold:
+            return True
+        return self.prefer_multipath_between
+
+    def subflow_count(self, flow_bytes: float, n_planes: int) -> int:
+        """Recommended subflow count: K = 8 * N for bulk, 1 otherwise.
+
+        Section 5.1.1: "P-Nets with N dataplanes need N times as many
+        subflows" as the 8 that saturate a serial network.
+        """
+        if n_planes < 1:
+            raise ValueError(f"n_planes must be >= 1, got {n_planes}")
+        return 8 * n_planes if self.use_multipath(flow_bytes) else 1

@@ -1,0 +1,161 @@
+"""The :class:`PNet` object: N dataplanes plus host-side routing views.
+
+A PNet wraps the dataplanes of a :class:`~repro.topology.parallel.
+ParallelTopology` (or a single serial topology) and memoises the queries
+every path-selection policy needs: per-plane shortest path lengths,
+shortest-path sets, and K-shortest-path sets.  Caches are invalidated
+explicitly via :meth:`PNet.invalidate_routing` when failures change the
+topology (mirroring routing reconvergence).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.routing.ksp import k_shortest_paths
+from repro.routing.shortest import all_shortest_paths, shortest_path_length
+from repro.topology.graph import Topology
+from repro.topology.parallel import ParallelTopology
+
+#: A path tagged with its dataplane index.
+PlanePath = Tuple[int, List[str]]
+
+#: Cap on equal-cost path enumeration; larger pools only matter above the
+#: parallelism the paper considers (N <= 8, K <= 32).
+DEFAULT_PATH_POOL = 64
+
+
+class PNet:
+    """A parallel dataplane network, as seen by its end hosts."""
+
+    def __init__(
+        self,
+        planes: Union[ParallelTopology, Sequence[Topology]],
+        name: str = "",
+    ):
+        if isinstance(planes, ParallelTopology):
+            self.planes: List[Topology] = list(planes.planes)
+            self.name = name or planes.name
+        else:
+            self.planes = list(planes)
+            self.name = name or f"pnet-x{len(self.planes)}"
+        if not self.planes:
+            raise ValueError("need at least one dataplane")
+        host_set = set(self.planes[0].hosts)
+        for plane in self.planes[1:]:
+            if set(plane.hosts) != host_set:
+                raise ValueError("planes must share the same host set")
+        self._hosts = sorted(host_set, key=_host_key)
+        self._len_cache: Dict[Tuple[int, str, str], Optional[int]] = {}
+        self._sp_cache: Dict[Tuple[int, str, str], List[List[str]]] = {}
+        self._ksp_cache: Dict[
+            Tuple[int, str, str], Tuple[int, List[List[str]]]
+        ] = {}
+
+    @classmethod
+    def serial(cls, topo: Topology, name: str = "") -> "PNet":
+        """A single-plane (serial) network under the same API."""
+        return cls([topo], name=name or f"serial-{topo.name}")
+
+    # --- basic accessors ---------------------------------------------------
+
+    @property
+    def n_planes(self) -> int:
+        return len(self.planes)
+
+    @property
+    def hosts(self) -> List[str]:
+        return list(self._hosts)
+
+    def plane(self, index: int) -> Topology:
+        return self.planes[index]
+
+    def invalidate_routing(self) -> None:
+        """Drop memoised paths (call after failing/restoring links)."""
+        self._len_cache.clear()
+        self._sp_cache.clear()
+        self._ksp_cache.clear()
+
+    # --- per-plane path queries ---------------------------------------------
+
+    def path_length(self, plane_idx: int, src: str, dst: str) -> Optional[int]:
+        """Shortest live path length in one plane (None if disconnected)."""
+        key = (plane_idx, src, dst)
+        if key not in self._len_cache:
+            self._len_cache[key] = shortest_path_length(
+                self.planes[plane_idx], src, dst
+            )
+        return self._len_cache[key]
+
+    def shortest_paths(
+        self, plane_idx: int, src: str, dst: str, limit: int = DEFAULT_PATH_POOL
+    ) -> List[List[str]]:
+        """Equal-cost shortest paths in one plane (cached, capped)."""
+        key = (plane_idx, src, dst)
+        if key not in self._sp_cache:
+            self._sp_cache[key] = all_shortest_paths(
+                self.planes[plane_idx], src, dst, limit=limit
+            )
+        return self._sp_cache[key]
+
+    def ksp(self, plane_idx: int, src: str, dst: str, k: int) -> List[List[str]]:
+        """K shortest loopless paths in one plane (cached).
+
+        Yen's output is a sorted prefix-stable list, so a cached result
+        computed for a larger K answers any smaller K by slicing -- this
+        makes K sweeps cost only their largest K.
+        """
+        key = (plane_idx, src, dst)
+        cached = self._ksp_cache.get(key)
+        if cached is not None:
+            k_cached, paths = cached
+            # A shorter-than-K result that exhausted the graph is also
+            # complete for any larger K.
+            if k_cached >= k or len(paths) < k_cached:
+                return paths[:k]
+        paths = k_shortest_paths(self.planes[plane_idx], src, dst, k)
+        self._ksp_cache[key] = (k, paths)
+        return paths
+
+    # --- cross-plane queries --------------------------------------------------
+
+    def plane_lengths(self, src: str, dst: str) -> List[Optional[int]]:
+        """Shortest path length per plane (None where disconnected)."""
+        return [
+            self.path_length(i, src, dst) for i in range(self.n_planes)
+        ]
+
+    def min_hop_planes(self, src: str, dst: str) -> List[int]:
+        """Planes achieving the minimum path length (may be several)."""
+        lengths = self.plane_lengths(src, dst)
+        live = [l for l in lengths if l is not None]
+        if not live:
+            return []
+        best = min(live)
+        return [i for i, l in enumerate(lengths) if l == best]
+
+    def min_hop_length(self, src: str, dst: str) -> Optional[int]:
+        """Best shortest-path length over all planes."""
+        live = [l for l in self.plane_lengths(src, dst) if l is not None]
+        return min(live) if live else None
+
+    def live_planes(self, src: str, dst: str) -> List[int]:
+        """Planes in which src and dst are currently connected."""
+        return [
+            i
+            for i, l in enumerate(self.plane_lengths(src, dst))
+            if l is not None
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"PNet({self.name!r}, planes={self.n_planes}, "
+            f"hosts={len(self._hosts)})"
+        )
+
+
+def _host_key(host: str):
+    """Sort hosts numerically when they follow the h{i} convention."""
+    suffix = host[1:]
+    return (0, int(suffix)) if suffix.isdigit() else (1, host)

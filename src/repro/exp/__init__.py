@@ -1,0 +1,33 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each module exposes a ``run(scale=...)`` function returning plain data
+structures and a ``main()`` that prints the paper-style rows/series.
+Scales: ``"tiny"`` (CI), ``"small"`` (benchmark default), ``"full"``
+(paper scale; slow in pure Python).  Select with the ``PNET_SCALE``
+environment variable or an explicit argument.
+
+Index (see DESIGN.md for the full mapping):
+
+========  ============================================================
+table1    component counts (Table 1)
+fig6      fat tree throughput: ECMP a2a/permutation, multipath scaling
+fig7      Jellyfish ideal throughput, rack-level all-to-all
+fig8      Jellyfish KSP throughput + multipath scaling
+fig9      small-flow FCT vs flow size
+fig10     1500B RPC completion time CDF + Table 2
+fig11     concurrent RPC completion times
+fig12     Hadoop-like shuffle per-worker completion times
+fig13     published-trace flow sizes + FCT distributions
+fig14     hop count under link failures
+appendix  Appendix A: all five traces x rates x topology families
+========  ============================================================
+"""
+
+from repro.exp.common import (
+    FatTreeFamily,
+    JellyfishFamily,
+    NetworkSet,
+    get_scale,
+)
+
+__all__ = ["FatTreeFamily", "JellyfishFamily", "NetworkSet", "get_scale"]

@@ -1,0 +1,124 @@
+"""Appendix A (Figures 16-20): all five traces, both rates, both families.
+
+Generalises Figure 13's trace replay across the full grid the paper's
+appendix covers:
+
+* traces: websearch, webserver, cache, hadoop, datamining;
+* base rates: 10 G (parallel 4x10G vs serial 40G) and
+  100 G (parallel 4x100G vs serial 400G);
+* topology families: fat tree (no heterogeneous variant) and Jellyfish.
+
+Expected shape: at 10/40G P-Nets beat serial-low broadly (better load
+balancing); at 100/400G the heterogeneous path-length advantage carries
+short flows below even the serial 400G network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import Summary, summarize
+from repro.exp.common import (
+    FatTreeFamily,
+    JellyfishFamily,
+    format_table,
+    get_scale,
+)
+from repro.exp.fig10 import single_path_policy
+from repro.exp.fig13 import replay_trace
+from repro.traffic.traces import TRACES
+from repro.units import Gbps
+
+PRESETS = {
+    "tiny": dict(
+        jf=dict(n_switches=10, net_degree=4, hosts_per_switch=2),
+        ft_k=4,
+        n_planes=4,
+        rates=(10 * Gbps, 100 * Gbps),
+        traces=("datamining", "websearch"),
+        flows_per_host=4,
+        completions_per_host=8,
+    ),
+    "small": dict(
+        jf=dict(n_switches=16, net_degree=5, hosts_per_switch=3),
+        ft_k=4,
+        n_planes=4,
+        rates=(10 * Gbps, 100 * Gbps),
+        traces=("websearch", "webserver", "cache", "hadoop", "datamining"),
+        flows_per_host=4,
+        completions_per_host=15,
+    ),
+    "full": dict(
+        jf=dict(n_switches=98, net_degree=7, hosts_per_switch=7),
+        ft_k=8,
+        n_planes=4,
+        rates=(10 * Gbps, 100 * Gbps),
+        traces=("websearch", "webserver", "cache", "hadoop", "datamining"),
+        flows_per_host=4,
+        completions_per_host=150,
+    ),
+}
+
+
+@dataclass
+class AppendixResult:
+    #: (family, rate, trace, network label) -> FCT summary.
+    stats: Dict[Tuple[str, float, str, str], Summary] = field(
+        default_factory=dict
+    )
+
+
+def run(scale: Optional[str] = None) -> AppendixResult:
+    params = PRESETS[get_scale(scale)]
+    result = AppendixResult()
+    for rate in params["rates"]:
+        families = {
+            "fattree": FatTreeFamily(params["ft_k"], link_rate=rate),
+            "jellyfish": JellyfishFamily(link_rate=rate, **params["jf"]),
+        }
+        for family_name, family in families.items():
+            networks = family.network_set(params["n_planes"])
+            for trace_name in params["traces"]:
+                trace = TRACES[trace_name]
+                for label, pnet in networks.items():
+                    policy = single_path_policy(label, pnet)
+                    fcts = replay_trace(
+                        pnet,
+                        policy,
+                        trace,
+                        params["flows_per_host"],
+                        params["completions_per_host"],
+                    )
+                    result.stats[
+                        (family_name, rate, trace_name, label)
+                    ] = summarize(fcts)
+    return result
+
+
+def main() -> None:
+    result = run()
+    print("Appendix A: trace-replay FCT medians/p99s (microseconds)\n")
+    keys = sorted(result.stats, key=lambda k: (k[0], k[1], k[2], k[3]))
+    rows = [
+        [
+            family,
+            f"{rate / Gbps:.0f}G",
+            trace,
+            label,
+            f"{s.median * 1e6:.1f}",
+            f"{s.p99 * 1e6:.1f}",
+        ]
+        for (family, rate, trace, label) in keys
+        for s in [result.stats[(family, rate, trace, label)]]
+    ]
+    print(
+        format_table(
+            ["family", "rate", "trace", "network", "median us", "p99 us"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Flatten experiment results to CSV (artifact-style outputs).
+
+The original artifact emits CSV/text files that plotting notebooks
+consume.  This module provides the same interface for every experiment in
+:mod:`repro.exp`: a generic flattener that walks a result dataclass and
+yields ``(field, key..., value)`` rows, plus a CSV writer.
+
+Flattening rules: dataclass fields become the first column; dict keys
+(including tuple keys, expanded) become middle columns; numeric leaves
+become the value column.  Nested dicts recurse.  Summary objects expand
+to one row per statistic.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import numbers
+import pathlib
+from typing import Any, Iterator, List, Sequence, Tuple
+
+from repro.analysis.stats import Summary
+
+Row = Tuple
+
+
+def _expand_key(key: Any) -> List[Any]:
+    if isinstance(key, tuple):
+        return [part for sub in key for part in _expand_key(sub)]
+    return [key]
+
+
+def _leaf_rows(prefix: List[Any], value: Any) -> Iterator[Row]:
+    if isinstance(value, Summary):
+        for stat in ("count", "mean", "median", "p90", "p99",
+                     "minimum", "maximum"):
+            yield tuple(prefix + [stat, getattr(value, stat)])
+    elif isinstance(value, dict):
+        for key, sub in value.items():
+            yield from _leaf_rows(prefix + _expand_key(key), sub)
+    elif isinstance(value, (list, tuple)):
+        for idx, sub in enumerate(value):
+            yield from _leaf_rows(prefix + [idx], sub)
+    elif isinstance(value, numbers.Number) or value is None:
+        yield tuple(prefix + [value])
+    elif isinstance(value, str):
+        yield tuple(prefix + [value])
+    elif dataclasses.is_dataclass(value):
+        for row in flatten(value):
+            yield tuple(prefix + list(row))
+    # Anything else (functions, simulators) is skipped on purpose.
+
+
+def flatten(result: Any) -> List[Row]:
+    """Rows of (field, key..., value) for a result dataclass."""
+    if not dataclasses.is_dataclass(result):
+        raise TypeError(f"expected a dataclass, got {type(result).__name__}")
+    rows: List[Row] = []
+    for field in dataclasses.fields(result):
+        value = getattr(result, field.name)
+        rows.extend(_leaf_rows([field.name], value))
+    return rows
+
+
+def write_csv(path, result: Any, header: Sequence[str] = ()) -> int:
+    """Flatten ``result`` and write it to ``path``; returns row count.
+
+    Rows are ragged (different key depths); they are padded to the
+    longest row so the CSV stays rectangular.
+    """
+    rows = flatten(result)
+    width = max((len(r) for r in rows), default=0)
+    padded = [list(r[:-1]) + [""] * (width - len(r)) + [r[-1]] for r in rows]
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if header:
+            writer.writerow(header)
+        writer.writerows(padded)
+    return len(padded)

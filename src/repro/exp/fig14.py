@@ -1,0 +1,106 @@
+"""Figure 14: average hop count under random link failures.
+
+Fail a growing fraction of switch-to-switch links uniformly at random and
+measure the average best-path (min over planes) switch hop count across
+all host pairs, for serial, 4-plane homogeneous, and 4-plane
+heterogeneous Jellyfish.
+
+Paper numbers at 40% failures: serial +22% hops, homogeneous +3%;
+heterogeneous starts lower but converges toward homogeneous as its short
+paths die, while still staying best overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.hops import failure_sweep
+from repro.exp.common import (
+    JellyfishFamily,
+    PARALLEL_HETEROGENEOUS,
+    PARALLEL_HOMOGENEOUS,
+    SERIAL_LOW,
+    format_table,
+    get_scale,
+)
+
+PRESETS = {
+    "tiny": dict(
+        switches=16, degree=5, hosts_per=2, n_planes=4,
+        fractions=(0.0, 0.2, 0.4), seeds=(0, 1),
+    ),
+    "small": dict(
+        switches=32, degree=6, hosts_per=3, n_planes=4,
+        fractions=(0.0, 0.1, 0.2, 0.3, 0.4), seeds=(0, 1, 2),
+    ),
+    "full": dict(
+        switches=98, degree=7, hosts_per=7, n_planes=4,
+        fractions=(0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4),
+        seeds=(0, 1, 2, 3, 4),
+    ),
+}
+
+
+@dataclass
+class Fig14Result:
+    n_hosts: int
+    #: label -> {failure fraction -> mean (over seeds) avg hop count}.
+    hop_counts: Dict[str, Dict[float, float]] = field(default_factory=dict)
+
+    def relative_increase(self, label: str) -> float:
+        """Hop inflation from 0% to the worst measured failure rate."""
+        series = self.hop_counts[label]
+        return series[max(series)] / series[0.0] - 1.0
+
+
+def run(scale: Optional[str] = None) -> Fig14Result:
+    params = PRESETS[get_scale(scale)]
+    family = JellyfishFamily(
+        params["switches"], params["degree"], params["hosts_per"]
+    )
+    builders = {
+        SERIAL_LOW: lambda: family.serial_low(),
+        PARALLEL_HOMOGENEOUS: lambda: family.parallel_homogeneous(
+            params["n_planes"]
+        ),
+        PARALLEL_HETEROGENEOUS: lambda: family.parallel_heterogeneous(
+            params["n_planes"]
+        ),
+    }
+    result = Fig14Result(n_hosts=family.n_hosts)
+    for label, make in builders.items():
+        sweep = failure_sweep(
+            make, fractions=params["fractions"], seeds=params["seeds"]
+        )
+        result.hop_counts[label] = {
+            fraction: sum(values) / len(values)
+            for fraction, values in sweep.items()
+        }
+    return result
+
+
+def main() -> None:
+    result = run()
+    print(
+        f"Figure 14: average best-path hop count vs link failure rate "
+        f"({result.n_hosts} hosts)\n"
+    )
+    fractions = sorted(next(iter(result.hop_counts.values())))
+    rows = []
+    for label, series in result.hop_counts.items():
+        rows.append(
+            [label]
+            + [f"{series[f]:.3f}" for f in fractions]
+            + [f"+{result.relative_increase(label):.1%}"]
+        )
+    print(
+        format_table(
+            ["network"] + [f"{f:.0%}" for f in fractions] + ["inflation"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

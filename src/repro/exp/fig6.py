@@ -1,0 +1,147 @@
+"""Figure 6: parallel fat tree throughput under ECMP and multipath.
+
+* **6a** -- all-to-all traffic, ECMP: dense traffic saturates every added
+  dataplane (normalised throughput tracks N).
+* **6b** -- permutation traffic, ECMP: each flow is hashed onto a single
+  plane and path, so added planes barely help.
+* **6c** -- permutation traffic, MPTCP + K-shortest-paths for growing K:
+  multipath recovers the parallel capacity, and N-plane P-Nets need about
+  N times the subflows of the serial network to saturate.
+
+Throughput is the max-concurrent-flow LP optimum over the selected routes,
+normalised against the serial low-bandwidth network's ECMP throughput for
+6a/6b (like the paper's y-axes) and against the serial line rate for 6c.
+
+The serial high-bandwidth network is the same topology with N-times link
+capacity, so its LP optimum is exactly N times the serial-low value for
+any fixed route set (LP scaling); we report it that way rather than
+re-solving.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.path_selection import EcmpPolicy, KspMultipathPolicy
+from repro.exp.common import FatTreeFamily, format_table, get_scale
+from repro.exp.throughput import routed_total_throughput
+from repro.traffic.patterns import all_to_all, permutation
+
+#: Per-scale parameters: fat tree radix, plane counts, K sweep, seeds.
+PRESETS = {
+    "tiny": dict(k=4, planes=(1, 2, 4), ks=(1, 2, 4, 8, 16), seeds=(0,)),
+    "small": dict(k=6, planes=(1, 2, 4, 8), ks=(1, 2, 4, 8, 16, 32), seeds=(0,)),
+    "full": dict(k=16, planes=(1, 2, 4, 8), ks=(1, 2, 4, 8, 16, 32), seeds=(0, 1, 2, 3, 4)),
+}
+
+
+@dataclass
+class Fig6Result:
+    """All three panels, keyed by plane count (a, b) or (planes, K) (c)."""
+
+    k: int
+    ecmp_all_to_all: Dict[int, float] = field(default_factory=dict)
+    ecmp_permutation: Dict[int, float] = field(default_factory=dict)
+    multipath: Dict[int, Dict[int, float]] = field(default_factory=dict)
+    saturation_k: Dict[int, Optional[int]] = field(default_factory=dict)
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def run(scale: Optional[str] = None) -> Fig6Result:
+    params = PRESETS[get_scale(scale)]
+    family = FatTreeFamily(params["k"])
+    result = Fig6Result(k=params["k"])
+    hosts = family.serial_low().hosts
+    a2a_pairs = all_to_all(hosts)
+
+    # Panels a & b: ECMP total throughput, normalised against the
+    # serial-low ECMP total (the paper's y-axis).
+    for pattern_name, store in (
+        ("all_to_all", result.ecmp_all_to_all),
+        ("permutation", result.ecmp_permutation),
+    ):
+        for n_planes in params["planes"]:
+            samples = []
+            for seed in params["seeds"]:
+                pnet = family.parallel(n_planes)
+                if pattern_name == "all_to_all":
+                    pairs = a2a_pairs
+                else:
+                    pairs = permutation(hosts, random.Random(f"fig6-{seed}"))
+                base = family.serial_low()
+                total_base = routed_total_throughput(
+                    base, pairs, EcmpPolicy(base, salt=seed)
+                )
+                total = routed_total_throughput(
+                    pnet, pairs, EcmpPolicy(pnet, salt=seed)
+                )
+                samples.append(total / total_base)
+            store[n_planes] = _mean(samples)
+
+    # Panel c: permutation with K-way multipath, normalised to the
+    # serial-low total capacity (n_hosts * line rate); a value of N means
+    # the P-Net's combined capacity is saturated.
+    serial_capacity = family.link_rate * len(hosts)
+    for n_planes in params["planes"]:
+        series: Dict[int, float] = {}
+        # One PNet per seed, shared across the K sweep; descending K so
+        # the KSP cache computed at the largest K answers the rest.
+        pnets = {seed: family.parallel(n_planes) for seed in params["seeds"]}
+        for k_paths in sorted(params["ks"], reverse=True):
+            samples = []
+            for seed in params["seeds"]:
+                pnet = pnets[seed]
+                pairs = permutation(hosts, random.Random(f"fig6c-{seed}"))
+                policy = KspMultipathPolicy(pnet, k=k_paths, seed=seed)
+                total = routed_total_throughput(pnet, pairs, policy)
+                samples.append(total / serial_capacity)
+            series[k_paths] = _mean(samples)
+        result.multipath[n_planes] = series
+        result.saturation_k[n_planes] = next(
+            (
+                k_paths
+                for k_paths, value in sorted(series.items())
+                if value >= 0.95 * n_planes
+            ),
+            None,
+        )
+    return result
+
+
+def main() -> None:
+    result = run()
+    print(f"Figure 6 (fat tree k={result.k}; normalised throughput)\n")
+    planes = sorted(result.ecmp_all_to_all)
+    print(
+        format_table(
+            ["planes", "6a all-to-all ECMP", "6b permutation ECMP",
+             "serial-high reference"],
+            [
+                [n, f"{result.ecmp_all_to_all[n]:.2f}",
+                 f"{result.ecmp_permutation[n]:.2f}", n]
+                for n in planes
+            ],
+        )
+    )
+    print("\n6c: permutation, MPTCP+KSP (normalised to line rate)")
+    ks = sorted(next(iter(result.multipath.values())))
+    print(
+        format_table(
+            ["planes \\ K"] + [str(k) for k in ks] + ["saturating K"],
+            [
+                [n]
+                + [f"{result.multipath[n][k]:.2f}" for k in ks]
+                + [result.saturation_k[n]]
+                for n in sorted(result.multipath)
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

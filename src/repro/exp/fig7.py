@@ -1,0 +1,122 @@
+"""Figure 7: ideal throughput on Jellyfish with rack-level all-to-all.
+
+No routing constraint: the edge-based LP measures the raw capacity of the
+network core.  The paper's finding: heterogeneous parallel Jellyfish can
+exceed the serial high-bandwidth equivalent by up to ~60%, because with N
+independent instantiations a flow can use whichever plane offers a shorter
+path, consuming less core capacity per byte.
+
+Homogeneous P-Nets (and serial high-bandwidth) are exactly N x the serial
+low-bandwidth value by LP scaling, so only heterogeneous instantiations
+need fresh solves; we solve the homogeneous case at the smallest N as a
+consistency check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.exp.common import JellyfishFamily, format_table, get_scale
+from repro.lp.ideal import ideal_throughput, merge_parallel_with_rack_sources
+from repro.traffic.patterns import rack_level_all_to_all
+
+#: racks / net degree / plane counts / seeds per scale.
+PRESETS = {
+    "tiny": dict(racks=12, degree=5, planes=(1, 2, 4), seeds=(0,)),
+    "small": dict(racks=16, degree=6, planes=(1, 2, 4, 8), seeds=(0,)),
+    "full": dict(racks=128, degree=10, planes=(1, 2, 4, 8), seeds=(0, 1, 2, 3, 4)),
+}
+
+
+@dataclass
+class Fig7Result:
+    """Normalised (vs serial-low) ideal throughput per plane count."""
+
+    racks: int
+    heterogeneous: Dict[int, float] = field(default_factory=dict)
+    heterogeneous_std: Dict[int, float] = field(default_factory=dict)
+    homogeneous_check: Optional[float] = None
+    #: serial-high == homogeneous == N exactly; kept for plotting parity.
+    serial_high: Dict[int, float] = field(default_factory=dict)
+
+
+def _rack_alpha(planes, racks_count: int) -> float:
+    merged, racks = merge_parallel_with_rack_sources(planes)
+    demands = {
+        (a, b): 1.0 for a, b in rack_level_all_to_all(racks)
+    }
+    return ideal_throughput(merged, demands)
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _std(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    m = _mean(values)
+    return (sum((v - m) ** 2 for v in values) / (len(values) - 1)) ** 0.5
+
+
+def run(scale: Optional[str] = None) -> Fig7Result:
+    params = PRESETS[get_scale(scale)]
+    family = JellyfishFamily(params["racks"], params["degree"], 1)
+    result = Fig7Result(racks=params["racks"])
+
+    base_alphas = {
+        seed: _rack_alpha([family.base_plane(seed * 1000)], params["racks"])
+        for seed in params["seeds"]
+    }
+
+    for n_planes in params["planes"]:
+        result.serial_high[n_planes] = float(n_planes)
+        samples = []
+        for seed in params["seeds"]:
+            pnet = family.parallel_heterogeneous(n_planes, seed=seed)
+            alpha = _rack_alpha(pnet.planes, params["racks"])
+            samples.append(alpha / base_alphas[seed])
+        result.heterogeneous[n_planes] = _mean(samples)
+        result.heterogeneous_std[n_planes] = _std(samples)
+
+    # Consistency check: homogeneous planes give exactly N x serial-low.
+    check_n = params["planes"][1]
+    seed = params["seeds"][0]
+    homo = family.parallel_homogeneous(check_n, seed=seed * 1000)
+    result.homogeneous_check = (
+        _rack_alpha(homo.planes, params["racks"]) / base_alphas[seed]
+    )
+    return result
+
+
+def main() -> None:
+    result = run()
+    print(
+        f"Figure 7: ideal rack-level all-to-all throughput, "
+        f"{result.racks}-rack Jellyfish (normalised vs serial low)\n"
+    )
+    rows = [
+        [
+            n,
+            f"{result.heterogeneous[n]:.2f} +- {result.heterogeneous_std[n]:.2f}",
+            f"{result.serial_high[n]:.2f}",
+            f"{result.heterogeneous[n] / result.serial_high[n]:.2f}",
+        ]
+        for n in sorted(result.heterogeneous)
+    ]
+    print(
+        format_table(
+            ["planes", "parallel heterogeneous", "serial high-bw",
+             "hetero / serial-high"],
+            rows,
+        )
+    )
+    print(
+        f"\nhomogeneous consistency check (expect ~{sorted(result.heterogeneous)[1]}): "
+        f"{result.homogeneous_check:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,176 @@
+"""Figure 8: Jellyfish throughput with KSP routing and multipath scaling.
+
+* **8a** -- all-to-all with the default 8-way KSP: dense traffic saturates
+  the parallel planes.
+* **8b** -- permutation with 8-way KSP: the serial default (shown to work
+  well on serial expanders by Jellyfish [38]) recovers only part of the
+  parallel capacity (~60% in the paper).
+* **8c** -- permutation with K swept upward: K ~ 8 * N saturates, like the
+  fat tree case.
+
+Heterogeneous and homogeneous parallel Jellyfish behave near-identically
+for throughput (the paper plots both); we report both.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.path_selection import KspMultipathPolicy
+from repro.core.pnet import PNet
+from repro.exp.common import JellyfishFamily, format_table, get_scale
+from repro.exp.throughput import routed_total_throughput
+from repro.traffic.patterns import all_to_all, permutation
+
+PRESETS = {
+    "tiny": dict(
+        switches=12, degree=5, hosts_per=2,
+        planes=(1, 2, 4), ks=(1, 2, 4, 8, 16), seeds=(0,),
+    ),
+    "small": dict(
+        switches=14, degree=5, hosts_per=2,
+        planes=(1, 2, 4), ks=(1, 2, 4, 8, 16, 32), seeds=(0,),
+    ),
+    "full": dict(
+        switches=256, degree=10, hosts_per=4,
+        planes=(1, 2, 4, 8), ks=(1, 2, 4, 8, 16, 32), seeds=(0, 1, 2),
+    ),
+}
+
+DEFAULT_KSP = 8  # Jellyfish's recommended serial setting
+
+
+@dataclass
+class Fig8Result:
+    n_hosts: int
+    #: (variant, n_planes) -> normalised total throughput at K=8.
+    ksp8_all_to_all: Dict[Tuple[str, int], float] = field(default_factory=dict)
+    ksp8_permutation: Dict[Tuple[str, int], float] = field(default_factory=dict)
+    #: (variant, n_planes) -> {K -> normalised-to-capacity throughput}.
+    multipath: Dict[Tuple[str, int], Dict[int, float]] = field(default_factory=dict)
+    saturation_k: Dict[Tuple[str, int], Optional[int]] = field(default_factory=dict)
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _variants(family: JellyfishFamily, n_planes: int, seed: int):
+    return (
+        ("homogeneous", family.parallel_homogeneous(n_planes, seed=seed)),
+        ("heterogeneous", family.parallel_heterogeneous(n_planes, seed=seed)),
+    )
+
+
+def run(scale: Optional[str] = None) -> Fig8Result:
+    params = PRESETS[get_scale(scale)]
+    family = JellyfishFamily(
+        params["switches"], params["degree"], params["hosts_per"]
+    )
+    hosts = family.serial_low().hosts
+    result = Fig8Result(n_hosts=len(hosts))
+    a2a_pairs = all_to_all(hosts)
+
+    # Panels a & b: default 8-way KSP, normalised vs serial-low same-K.
+    # PNets (and their KSP caches) are shared across the two patterns.
+    for n_planes in params["planes"]:
+        samples: Dict[Tuple[str, str], list] = {}
+        for seed in params["seeds"]:
+            base = family.serial_low(seed=seed * 1000)
+            nets = [("serial", base)] + list(
+                _variants(family, n_planes, seed)
+            )
+            patterns = (
+                ("all_to_all", a2a_pairs),
+                ("permutation", permutation(hosts, random.Random(f"fig8-{seed}"))),
+            )
+            totals: Dict[Tuple[str, str], float] = {}
+            for label, pnet in nets:
+                policy = KspMultipathPolicy(pnet, k=DEFAULT_KSP, seed=seed)
+                for pattern_name, pairs in patterns:
+                    totals[(label, pattern_name)] = routed_total_throughput(
+                        pnet, pairs, policy
+                    )
+            for variant in ("homogeneous", "heterogeneous"):
+                for pattern_name in ("all_to_all", "permutation"):
+                    samples.setdefault((variant, pattern_name), []).append(
+                        totals[(variant, pattern_name)]
+                        / totals[("serial", pattern_name)]
+                    )
+        for (variant, pattern_name), values in samples.items():
+            store = (
+                result.ksp8_all_to_all
+                if pattern_name == "all_to_all"
+                else result.ksp8_permutation
+            )
+            store[(variant, n_planes)] = _mean(values)
+
+    # Panel c: K sweep on permutation, normalised to serial-low capacity.
+    serial_capacity = family.link_rate * len(hosts)
+    for n_planes in params["planes"]:
+        for variant in ("homogeneous", "heterogeneous"):
+            series: Dict[int, float] = {}
+            # One PNet per seed across the K sweep, descending K, so the
+            # KSP cache computed at the largest K serves all smaller Ks.
+            pnets = {
+                seed: dict(_variants(family, n_planes, seed))[variant]
+                for seed in params["seeds"]
+            }
+            for k_paths in sorted(params["ks"], reverse=True):
+                samples = []
+                for seed in params["seeds"]:
+                    pnet = pnets[seed]
+                    pairs = permutation(hosts, random.Random(f"fig8c-{seed}"))
+                    total = routed_total_throughput(
+                        pnet, pairs,
+                        KspMultipathPolicy(pnet, k=k_paths, seed=seed),
+                    )
+                    samples.append(total / serial_capacity)
+                series[k_paths] = _mean(samples)
+            key = (variant, n_planes)
+            result.multipath[key] = series
+            result.saturation_k[key] = next(
+                (
+                    k_paths
+                    for k_paths, value in sorted(series.items())
+                    if value >= 0.9 * n_planes
+                ),
+                None,
+            )
+    return result
+
+
+def main() -> None:
+    result = run()
+    print(f"Figure 8 (Jellyfish, {result.n_hosts} hosts)\n")
+    keys = sorted(result.ksp8_all_to_all)
+    print(
+        format_table(
+            ["variant", "planes", "8a all-to-all 8-KSP", "8b permutation 8-KSP"],
+            [
+                [variant, n,
+                 f"{result.ksp8_all_to_all[(variant, n)]:.2f}",
+                 f"{result.ksp8_permutation[(variant, n)]:.2f}"]
+                for variant, n in keys
+            ],
+        )
+    )
+    print("\n8c: permutation, K sweep (normalised to serial capacity)")
+    ks = sorted(next(iter(result.multipath.values())))
+    print(
+        format_table(
+            ["variant", "planes"] + [f"K={k}" for k in ks] + ["saturating K"],
+            [
+                [variant, n]
+                + [f"{result.multipath[(variant, n)][k]:.2f}" for k in ks]
+                + [result.saturation_k[(variant, n)]]
+                for variant, n in sorted(result.multipath)
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Routed-throughput helper shared by the LP experiments (Figs 6 and 8).
+
+Builds LP commodities by asking a path-selection policy for each flow's
+allowed paths, then solves the max-concurrent-flow LP -- exactly the
+paper's "ideal throughput with computed routes" methodology.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.path_selection import PathSelectionPolicy
+from repro.core.pnet import PNet
+from repro.lp.mcf import Commodity, max_concurrent_flow
+
+
+def routed_throughput(
+    pnet: PNet,
+    pairs: Sequence[Tuple[str, str]],
+    policy: PathSelectionPolicy,
+) -> float:
+    """Max concurrent per-flow throughput (bits/s) under policy routes.
+
+    Every (src, dst) pair becomes one unit-demand commodity constrained
+    to the paths the policy selects for it.
+
+    Raises:
+        RuntimeError: if the policy returns no path for some pair.
+    """
+    commodities = _commodities(pairs, policy)
+    result = max_concurrent_flow(pnet.planes, commodities)
+    return result.alpha
+
+
+def routed_total_throughput(
+    pnet: PNet,
+    pairs: Sequence[Tuple[str, str]],
+    policy: PathSelectionPolicy,
+) -> float:
+    """Max *total* throughput (bits/s) over policy routes.
+
+    Section 5.1.1 compares "the total throughput of flows"; this is that
+    metric (it may starve badly-routed flows, which is precisely how ECMP
+    collisions show up as lost capacity).
+    """
+    commodities = _commodities(pairs, policy)
+    result = max_concurrent_flow(pnet.planes, commodities, objective="total")
+    return result.total_throughput
+
+
+def _commodities(
+    pairs: Sequence[Tuple[str, str]], policy: PathSelectionPolicy
+) -> List[Commodity]:
+    commodities: List[Commodity] = []
+    for flow_id, (src, dst) in enumerate(pairs):
+        paths = policy.select(src, dst, flow_id)
+        if not paths:
+            raise RuntimeError(f"policy found no path for {src}->{dst}")
+        commodities.append(Commodity(src=src, dst=dst, paths=paths))
+    return commodities

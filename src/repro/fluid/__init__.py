@@ -1,0 +1,18 @@
+"""Flow-level fluid simulator.
+
+Packet-level simulation of multi-gigabyte flows at 100 Gb/s is
+prohibitively slow in pure Python, so bulk-transfer experiments
+(Figures 9, 12, 13, 16-20) run on a fluid model instead:
+
+* active flows share each link max-min fairly
+  (:func:`repro.fluid.maxmin.max_min_rates`, recomputed on every arrival
+  and departure) -- the steady state TCP/MPTCP approximates;
+* each subflow's rate is additionally capped by a slow-start ramp that
+  starts at ``IW * MSS / RTT`` and doubles every RTT, capturing the
+  small-flow transients the paper highlights in section 5.1.2.
+"""
+
+from repro.fluid.maxmin import max_min_rates
+from repro.fluid.flowsim import FlowRecord, FluidSimulator
+
+__all__ = ["max_min_rates", "FluidSimulator", "FlowRecord"]

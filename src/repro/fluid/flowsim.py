@@ -1,0 +1,423 @@
+"""Event-driven fluid flow simulator.
+
+Flows (possibly with multiple subflows across P-Net planes) arrive, share
+the network max-min fairly, and depart when their bytes are delivered.
+Between events (arrival, departure, slow-start cap doubling) rates are
+constant, so delivered bytes advance linearly and the next departure is
+predictable exactly.
+
+Model choices, mirroring the paper's transport discussion:
+
+* **slow start**: a subflow's rate is capped at ``IW * MSS / RTT``
+  doubling every RTT until it exceeds its path's line rate -- this is
+  what lets small flows on parallel planes (more subflows in slow start)
+  beat even a serial high-bandwidth network (Figure 9's left side);
+* **multipath**: subflows are allocated independently (max-min treats
+  each as a flow), their rates summing for the carrying flow -- the
+  steady state MPTCP with enough time to probe converges to;
+* **FCT**: completion time of the last byte at the receiver, i.e. the
+  fluid delivery time plus half an RTT of the fastest subflow.
+
+Closed-loop workloads hook ``on_complete`` to inject the next flow.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pnet import PlanePath
+from repro.fluid.maxmin import max_min_rates
+from repro.topology.graph import Topology
+from repro.units import MSS, MTU
+
+#: Relative tolerance for byte/rate comparisons.
+_EPS = 1e-9
+
+
+@dataclass
+class FlowRecord:
+    """Result of one completed flow."""
+
+    flow_id: int
+    src: str
+    dst: str
+    size: float
+    arrival: float
+    completion: float
+    n_subflows: int
+    tag: Optional[str] = None
+
+    @property
+    def fct(self) -> float:
+        return self.completion - self.arrival
+
+
+class _Subflow:
+    __slots__ = ("links", "rtt", "cap", "next_double", "line_rate", "rate")
+
+    def __init__(self, links: List[int], rtt: float, line_rate: float):
+        self.links = links
+        self.rtt = rtt
+        self.line_rate = line_rate
+        self.cap = math.inf
+        self.next_double = math.inf
+        self.rate = 0.0
+
+
+class _Flow:
+    __slots__ = (
+        "flow_id", "src", "dst", "size", "size_bits", "arrival",
+        "delivered", "subflows", "on_complete", "tag", "min_rtt",
+    )
+
+    def __init__(self, flow_id, src, dst, size, arrival, subflows,
+                 on_complete, tag):
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.size_bits = size * 8.0
+        self.arrival = arrival
+        self.delivered = 0.0  # bits
+        self.subflows = subflows
+        self.on_complete = on_complete
+        self.tag = tag
+        self.min_rtt = min(sf.rtt for sf in subflows)
+
+    @property
+    def rate(self) -> float:
+        return sum(sf.rate for sf in self.subflows)
+
+
+class FluidSimulator:
+    """Fluid simulation over one or more dataplanes.
+
+    Args:
+        planes: the dataplanes (one for a serial network).
+        slow_start: enable the per-subflow ramp cap.
+        initial_window: slow-start initial window in segments (RFC 6928's
+            10 is today's datacenter default).
+        mss: segment size in bytes for the ramp model.
+    """
+
+    def __init__(
+        self,
+        planes: Sequence[Topology],
+        slow_start: bool = True,
+        initial_window: int = 10,
+        mss: int = MSS,
+    ):
+        if not planes:
+            raise ValueError("need at least one plane")
+        self.planes = list(planes)
+        self.slow_start = slow_start
+        self.initial_window = initial_window
+        self.mss = mss
+
+        self._link_index: Dict[Tuple[int, str, str], int] = {}
+        caps: List[float] = []
+        props: List[float] = []
+        for plane_idx, plane in enumerate(self.planes):
+            for link in plane.live_links:
+                for u, v in ((link.u, link.v), (link.v, link.u)):
+                    self._link_index[(plane_idx, u, v)] = len(caps)
+                    caps.append(link.capacity)
+                    props.append(link.propagation)
+        self._capacities = np.asarray(caps)
+        self._propagations = props
+
+        self.now = 0.0
+        self._active: List[_Flow] = []
+        self._arrivals: List[Tuple[float, int, _Flow]] = []
+        self._timers: List[Tuple[float, int, Callable[[], None]]] = []
+        self._ids = itertools.count()
+        self._seq = itertools.count()
+        self.records: List[FlowRecord] = []
+
+    # --- flow submission ---------------------------------------------------
+
+    def _path_to_links(self, plane_path: PlanePath) -> Tuple[List[int], float, float]:
+        """(link ids, rtt estimate, line rate) for one tagged path."""
+        plane_idx, path = plane_path
+        links = []
+        rtt = 0.0
+        line_rate = math.inf
+        for u, v in zip(path, path[1:]):
+            try:
+                idx = self._link_index[(plane_idx, u, v)]
+            except KeyError:
+                raise ValueError(
+                    f"{u}->{v} is not a live link of plane {plane_idx}"
+                ) from None
+            links.append(idx)
+            cap = self._capacities[idx]
+            line_rate = min(line_rate, cap)
+            # Round trip: data MTU one way, 40B ACK back, plus both
+            # propagation legs.
+            rtt += 2 * self._propagations[idx]
+            rtt += MTU * 8 / cap + 40 * 8 / cap
+        return links, rtt, line_rate
+
+    def add_flow(
+        self,
+        src: str,
+        dst: str,
+        size: float,
+        paths: Sequence[PlanePath],
+        at: Optional[float] = None,
+        on_complete: Optional[Callable[[FlowRecord], None]] = None,
+        tag: Optional[str] = None,
+    ) -> int:
+        """Schedule a flow of ``size`` bytes over the given subflow paths.
+
+        Returns the flow id.  ``on_complete`` fires (during :meth:`run`)
+        when the last byte is delivered, and may call :meth:`add_flow`
+        again for closed-loop workloads.
+        """
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        if not paths:
+            raise ValueError("need at least one path")
+        start = self.now if at is None else float(at)
+        if start < self.now - _EPS:
+            raise ValueError(f"cannot schedule in the past ({start} < {self.now})")
+        subflows = []
+        for plane_path in paths:
+            links, rtt, line_rate = self._path_to_links(plane_path)
+            if not links:
+                raise ValueError("subflow path must traverse at least one link")
+            subflows.append(_Subflow(links, rtt, line_rate))
+        flow_id = next(self._ids)
+        flow = _Flow(flow_id, src, dst, float(size), start, subflows,
+                     on_complete, tag)
+        heapq.heappush(self._arrivals, (start, next(self._seq), flow))
+        return flow_id
+
+    # --- control-plane hooks ------------------------------------------------
+
+    def schedule(self, at: float, fn: Callable[[], None]) -> None:
+        """Run a callback at simulated time ``at`` (for controllers).
+
+        Callbacks run between rate recomputations and may add flows,
+        migrate flows, or re-schedule themselves (periodic controllers).
+        """
+        if at < self.now - _EPS:
+            raise ValueError(f"cannot schedule in the past ({at} < {self.now})")
+        heapq.heappush(self._timers, (at, next(self._seq), fn))
+
+    def active_flows(self) -> List[Tuple[int, str, str, float]]:
+        """(flow_id, src, dst, current total rate) of in-flight flows."""
+        return [
+            (f.flow_id, f.src, f.dst, f.rate) for f in self._active
+        ]
+
+    def flow_rate(self, flow_id: int) -> Optional[float]:
+        for flow in self._active:
+            if flow.flow_id == flow_id:
+                return flow.rate
+        return None
+
+    def link_usage(self, exclude_flow: Optional[int] = None) -> "np.ndarray":
+        """Current per-directed-link bits/s committed by active subflows.
+
+        Args:
+            exclude_flow: leave this flow's own usage out -- the view an
+                end host takes when deciding whether *its* flow would be
+                better off elsewhere (its own traffic moves with it).
+        """
+        usage = np.zeros(len(self._capacities))
+        for flow in self._active:
+            if flow.flow_id == exclude_flow:
+                continue
+            for sf in flow.subflows:
+                for idx in sf.links:
+                    usage[idx] += sf.rate
+        return usage
+
+    def path_available_bandwidth(
+        self, plane_path: PlanePath, exclude_flow: Optional[int] = None
+    ) -> float:
+        """Bottleneck headroom along a path at current rates."""
+        links, __, __ = self._path_to_links(plane_path)
+        usage = self.link_usage(exclude_flow=exclude_flow)
+        return float(
+            min(self._capacities[idx] - usage[idx] for idx in links)
+        )
+
+    def migrate_flow(
+        self, flow_id: int, paths: Sequence[PlanePath]
+    ) -> bool:
+        """Re-route an active flow onto new subflow paths.
+
+        Delivered bytes are preserved; the new subflows restart their
+        slow-start ramp (a real path migration re-probes).  Returns False
+        if the flow is no longer active.
+        """
+        if not paths:
+            raise ValueError("need at least one path")
+        for flow in self._active:
+            if flow.flow_id == flow_id:
+                old_rate = flow.rate
+                subflows = []
+                for plane_path in paths:
+                    links, rtt, line_rate = self._path_to_links(plane_path)
+                    if not links:
+                        raise ValueError("path must traverse a link")
+                    subflows.append(_Subflow(links, rtt, line_rate))
+                # Carry the previous rate over as a provisional estimate
+                # so that same-instant observers (e.g. other hosts'
+                # adaptive routers) see the moved traffic before the next
+                # recomputation -- otherwise two hosts migrating in the
+                # same control epoch pile onto the same "empty" path.
+                for sf in subflows:
+                    sf.rate = old_rate / len(subflows)
+                flow.subflows = subflows
+                flow.min_rtt = min(sf.rtt for sf in subflows)
+                self._start_ramp(flow)
+                return True
+        return False
+
+    # --- engine --------------------------------------------------------------
+
+    def _start_ramp(self, flow: _Flow) -> None:
+        if not self.slow_start:
+            return
+        for sf in flow.subflows:
+            initial = self.initial_window * self.mss * 8 / sf.rtt
+            if initial >= sf.line_rate:
+                sf.cap = math.inf
+                sf.next_double = math.inf
+            else:
+                sf.cap = initial
+                sf.next_double = self.now + sf.rtt
+
+    def _activate(self, flow: _Flow) -> None:
+        self._start_ramp(flow)
+        self._active.append(flow)
+
+    def _recompute_rates(self) -> None:
+        subflows: List[_Subflow] = [
+            sf for flow in self._active for sf in flow.subflows
+        ]
+        if not subflows:
+            return
+        rates = max_min_rates(
+            self._capacities,
+            [sf.links for sf in subflows],
+            [sf.cap for sf in subflows],
+        )
+        for sf, rate in zip(subflows, rates):
+            sf.rate = float(rate)
+
+    def _next_event_time(self) -> Optional[float]:
+        candidates: List[float] = []
+        if self._arrivals:
+            candidates.append(self._arrivals[0][0])
+        if self._timers:
+            candidates.append(self._timers[0][0])
+        for flow in self._active:
+            rate = flow.rate
+            if rate > 0:
+                remaining = flow.size_bits - flow.delivered
+                candidates.append(self.now + max(remaining, 0.0) / rate)
+            for sf in flow.subflows:
+                if math.isfinite(sf.next_double):
+                    candidates.append(sf.next_double)
+        return min(candidates) if candidates else None
+
+    def _complete(self, flow: _Flow) -> None:
+        record = FlowRecord(
+            flow_id=flow.flow_id,
+            src=flow.src,
+            dst=flow.dst,
+            size=flow.size,
+            arrival=flow.arrival,
+            # Fluid delivery time plus last-byte propagation.
+            completion=self.now + flow.min_rtt / 2,
+            n_subflows=len(flow.subflows),
+            tag=flow.tag,
+        )
+        self.records.append(record)
+        if flow.on_complete is not None:
+            flow.on_complete(record)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> List[FlowRecord]:
+        """Run to completion (or ``until``); returns all flow records."""
+        events = 0
+        while self._active or self._arrivals or self._timers:
+            events += 1
+            if events > max_events:
+                raise RuntimeError(f"exceeded {max_events} events")
+
+            # Admit arrivals and fire control callbacks due now before
+            # computing rates.
+            while self._arrivals and self._arrivals[0][0] <= self.now + _EPS:
+                __, __, flow = heapq.heappop(self._arrivals)
+                self._activate(flow)
+            while self._timers and self._timers[0][0] <= self.now + _EPS:
+                __, __, fn = heapq.heappop(self._timers)
+                fn()
+            if not self._active:
+                if not self._arrivals and not self._timers:
+                    break
+                # Jump to the next scheduled thing.
+                pending = []
+                if self._arrivals:
+                    pending.append(self._arrivals[0][0])
+                if self._timers:
+                    pending.append(self._timers[0][0])
+                target = min(pending)
+                if until is not None and target > until:
+                    self.now = until
+                    break
+                self.now = target
+                continue
+
+            self._recompute_rates()
+            t_next = self._next_event_time()
+            if t_next is None or not math.isfinite(t_next):
+                raise RuntimeError(
+                    "simulation stalled: active flows with zero rate "
+                    "and no pending events"
+                )
+            if until is not None and t_next > until:
+                self.now = until
+                break
+            dt = max(t_next - self.now, 0.0)
+
+            for flow in self._active:
+                flow.delivered += flow.rate * dt
+            self.now = t_next
+
+            # Completions (iterate over a copy: callbacks may add flows).
+            finished = [
+                f
+                for f in self._active
+                if f.delivered >= f.size_bits * (1 - _EPS) - _EPS
+            ]
+            if finished:
+                self._active = [f for f in self._active if f not in finished]
+                for flow in finished:
+                    self._complete(flow)
+
+            # Slow-start cap doublings due now.
+            for flow in self._active:
+                for sf in flow.subflows:
+                    while sf.next_double <= self.now + _EPS:
+                        sf.cap *= 2
+                        if sf.cap >= sf.line_rate:
+                            sf.cap = math.inf
+                            sf.next_double = math.inf
+                        else:
+                            sf.next_double += sf.rtt
+        return self.records

@@ -1,0 +1,117 @@
+"""Max-min fair rate allocation by progressive filling.
+
+Given directed link capacities and, per flow, the list of links it
+crosses (plus an optional per-flow rate cap, used for the slow-start ramp
+model), compute the max-min fair allocation: rates are raised together
+until a link saturates; flows through saturated links freeze at their fair
+share; repeat with the rest.
+
+A flow capped below its fair share freezes at its cap instead, releasing
+the unused share to others -- the standard cap extension.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def max_min_rates(
+    capacities: Sequence[float],
+    flow_links: Sequence[Sequence[int]],
+    flow_caps: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Max-min fair rates for ``flow_links`` over ``capacities``.
+
+    Args:
+        capacities: per-directed-link capacity (bits/s).
+        flow_links: per flow, the directed link indices it traverses.
+            A flow with no links (e.g. src == dst at this abstraction)
+            is only limited by its cap (or infinity).
+        flow_caps: optional per-flow maximum rate (``math.inf`` for none).
+
+    Returns:
+        numpy array of per-flow rates.
+    """
+    n_links = len(capacities)
+    n_flows = len(flow_links)
+    caps_arr = np.asarray(capacities, dtype=float)
+    if np.any(caps_arr < 0):
+        raise ValueError("capacities must be >= 0")
+    if flow_caps is None:
+        flow_caps = [math.inf] * n_flows
+    elif len(flow_caps) != n_flows:
+        raise ValueError("flow_caps length must match flow_links")
+
+    rates = np.zeros(n_flows)
+    if n_flows == 0:
+        return rates
+
+    remaining = caps_arr.copy()
+    count = np.zeros(n_links, dtype=np.int64)
+    link_flows: List[List[int]] = [[] for __ in range(n_links)]
+    unfrozen = np.ones(n_flows, dtype=bool)
+
+    for f_idx, links in enumerate(flow_links):
+        for l_idx in links:
+            count[l_idx] += 1
+            link_flows[l_idx].append(f_idx)
+        if not links:
+            # Unconstrained by the network: freeze at the cap now.
+            rates[f_idx] = flow_caps[f_idx]
+            unfrozen[f_idx] = False
+
+    scale = float(caps_arr.max()) if n_links else 1.0
+    eps = 1e-12 * max(scale, 1.0)
+
+    def freeze(f_idx: int, rate: float) -> None:
+        rates[f_idx] = rate
+        unfrozen[f_idx] = False
+        for l_idx in flow_links[f_idx]:
+            remaining[l_idx] -= rate
+            if remaining[l_idx] < 0:
+                remaining[l_idx] = 0.0
+            count[l_idx] -= 1
+
+    while unfrozen.any():
+        active_links = count > 0
+        if active_links.any():
+            shares = np.where(
+                active_links, remaining / np.maximum(count, 1), np.inf
+            )
+            s_link = float(shares.min())
+        else:
+            s_link = math.inf
+
+        # Flows whose ramp cap binds before the fair share freeze at it.
+        capped = [
+            f_idx
+            for f_idx in np.flatnonzero(unfrozen)
+            if flow_caps[f_idx] <= s_link + eps
+        ]
+        if capped:
+            for f_idx in capped:
+                freeze(f_idx, float(flow_caps[f_idx]))
+            continue
+
+        if not math.isfinite(s_link):
+            # No capacity constraint and no finite caps left.
+            for f_idx in np.flatnonzero(unfrozen):
+                rates[f_idx] = math.inf
+                unfrozen[f_idx] = False
+            break
+
+        bottlenecks = np.flatnonzero(
+            active_links & (shares <= s_link + eps)
+        )
+        froze_any = False
+        for l_idx in bottlenecks:
+            for f_idx in link_flows[l_idx]:
+                if unfrozen[f_idx]:
+                    freeze(f_idx, s_link)
+                    froze_any = True
+        assert froze_any, "progressive filling must freeze a flow per round"
+
+    return rates

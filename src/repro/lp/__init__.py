@@ -1,0 +1,22 @@
+"""Linear-programming throughput solvers.
+
+The paper uses Gurobi to measure "ideal throughput" of a traffic matrix,
+either with flows constrained to computed routes (ECMP / KSP) or with no
+path constraint at all.  This package provides the same two formulations on
+``scipy.optimize.linprog`` (HiGHS):
+
+* :mod:`repro.lp.mcf` -- path-based maximum concurrent flow.
+* :mod:`repro.lp.ideal` -- edge-based multicommodity flow (no path
+  constraint), used for Figure 7.
+"""
+
+from repro.lp.mcf import Commodity, McfResult, max_concurrent_flow
+from repro.lp.ideal import ideal_throughput, merge_parallel_with_rack_sources
+
+__all__ = [
+    "Commodity",
+    "McfResult",
+    "max_concurrent_flow",
+    "ideal_throughput",
+    "merge_parallel_with_rack_sources",
+]

@@ -1,0 +1,209 @@
+"""Edge-based multicommodity-flow LP: throughput with no path constraint.
+
+This measures "the total capacity of the network core" (section 5.1.1,
+Figure 7): the best any routing scheme could possibly do.  Flows may split
+arbitrarily over the whole fabric, so we use an edge-flow formulation with
+commodities aggregated by source (one flow variable per source group and
+directed edge), which keeps the LP polynomial in network size::
+
+    maximise  alpha
+    s.t.      conservation:  for each source s, node v != s:
+                  inflow_s(v) - outflow_s(v) = alpha * demand(s, v)
+              capacity:      sum_s flow_s(e) <= c(e)   for each directed e
+
+For a P-Net, the planes are merged into one graph whose switch names are
+prefixed per plane; the hosts (or virtual rack nodes) are the only shared
+nodes, which encodes exactly the architecture's constraint that traffic
+picks a plane at the edge and stays in it.
+
+Figure 7 runs *rack-level* traffic: :func:`merge_parallel_with_rack_sources`
+adds a virtual rack node per ToR index, attached to its ToR in every plane
+by an effectively-unconstrained link, so the measured bottleneck is the
+network core -- matching the paper's setup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.topology.graph import HOST, TOR, Topology
+
+
+def merge_parallel(planes: Sequence[Topology], name: str = "merged") -> Topology:
+    """Union of dataplanes sharing host nodes; switches get plane prefixes."""
+    merged = Topology(name)
+    for plane_idx, plane in enumerate(planes):
+        prefix = f"p{plane_idx}:"
+        for node in plane.nodes:
+            kind = plane.kind(node)
+            merged.add_node(node if kind == HOST else prefix + node, kind)
+        for link in plane.live_links:
+            ends = []
+            for end in (link.u, link.v):
+                kind = plane.kind(end)
+                ends.append(end if kind == HOST else prefix + end)
+            merged.add_link(ends[0], ends[1], link.capacity, link.propagation)
+    return merged
+
+
+def merge_parallel_with_rack_sources(
+    planes: Sequence[Topology],
+    name: str = "merged-racks",
+    rack_link_capacity: Optional[float] = None,
+) -> Tuple[Topology, List[str]]:
+    """Merge planes and attach one virtual rack node per ToR index.
+
+    Every plane must have the same ToR name set (true for homogeneous
+    *and* heterogeneous constructions from this repo's builders, which
+    name switches ``t0..``).  Rack node ``r{i}`` connects to ``t{i}`` in
+    each plane with a link big enough never to bottleneck.
+
+    Returns:
+        (merged topology, list of rack node names).
+    """
+    tor_sets = [set(p.nodes_of_kind(TOR)) for p in planes]
+    for other in tor_sets[1:]:
+        if other != tor_sets[0]:
+            raise ValueError("planes must share ToR names for rack sources")
+    merged = merge_parallel(planes, name=name)
+    if rack_link_capacity is None:
+        # Larger than the sum of any plane's core capacity: never binding.
+        rack_link_capacity = 1e6 * max(
+            link.capacity for plane in planes for link in plane.links
+        )
+    racks = []
+    for tor in sorted(tor_sets[0], key=lambda t: int(t[1:])):
+        rack = f"r{tor[1:]}"
+        merged.add_node(rack, HOST)
+        for plane_idx in range(len(planes)):
+            merged.add_link(rack, f"p{plane_idx}:{tor}", rack_link_capacity)
+        racks.append(rack)
+    return merged, racks
+
+
+def ideal_throughput(
+    topo: Topology,
+    demands: Dict[Tuple[str, str], float],
+) -> float:
+    """Maximum concurrent throughput scale ``alpha`` with free routing.
+
+    Args:
+        topo: the (possibly merged multi-plane) network.
+        demands: map (src, dst) -> demand.  ``alpha * demand`` is shipped
+            for every pair at the optimum.
+
+    Returns:
+        The optimal ``alpha`` (bits/s per unit demand).
+    """
+    if not demands:
+        raise ValueError("need at least one demand")
+    for (src, dst), demand in demands.items():
+        if src == dst:
+            raise ValueError(f"self-demand {src}->{dst}")
+        if demand <= 0:
+            raise ValueError(f"demand must be positive: {src}->{dst}")
+        for node in (src, dst):
+            if node not in topo:
+                raise KeyError(f"unknown node {node!r}")
+
+    nodes = sorted(topo.nodes)
+    node_idx = {n: i for i, n in enumerate(nodes)}
+    n_nodes = len(nodes)
+
+    directed: List[Tuple[int, int]] = []
+    caps: List[float] = []
+    for link in topo.live_links:
+        u, v = node_idx[link.u], node_idx[link.v]
+        directed.append((u, v))
+        caps.append(link.capacity)
+        directed.append((v, u))
+        caps.append(link.capacity)
+    n_edges = len(directed)
+    capacities = np.asarray(caps)
+
+    sources = sorted({src for src, __ in demands})
+    src_pos = {s: i for i, s in enumerate(sources)}
+    n_sources = len(sources)
+
+    # Demand matrix: out_demand[s][v] = demand(s, v).
+    out_demand: List[Dict[int, float]] = [dict() for __ in sources]
+    for (src, dst), demand in demands.items():
+        out_demand[src_pos[src]][node_idx[dst]] = (
+            out_demand[src_pos[src]].get(node_idx[dst], 0.0) + demand
+        )
+
+    # Variables: f[s, e] for s in sources, e in directed edges; then alpha.
+    n_vars = n_sources * n_edges + 1
+    alpha_col = n_vars - 1
+
+    eq_rows: List[int] = []
+    eq_cols: List[int] = []
+    eq_data: List[float] = []
+    row = 0
+    for s_i, source in enumerate(sources):
+        s_node = node_idx[source]
+        base = s_i * n_edges
+        # Conservation at every node except the source itself.
+        # Row index for node v in this block:
+        node_row = {}
+        for v in range(n_nodes):
+            if v == s_node:
+                continue
+            node_row[v] = row
+            demand = out_demand[s_i].get(v, 0.0)
+            if demand:
+                eq_rows.append(row)
+                eq_cols.append(alpha_col)
+                eq_data.append(-demand)
+            row += 1
+        for e_i, (u, v) in enumerate(directed):
+            if v != s_node:
+                eq_rows.append(node_row[v])
+                eq_cols.append(base + e_i)
+                eq_data.append(1.0)  # inflow at v
+            if u != s_node:
+                eq_rows.append(node_row[u])
+                eq_cols.append(base + e_i)
+                eq_data.append(-1.0)  # outflow at u
+    n_eq = row
+
+    a_eq = sparse.coo_matrix(
+        (eq_data, (eq_rows, eq_cols)), shape=(n_eq, n_vars)
+    ).tocsr()
+    b_eq = np.zeros(n_eq)
+
+    # Capacity: sum_s f[s, e] <= cap(e).
+    ub_rows = []
+    ub_cols = []
+    for s_i in range(n_sources):
+        base = s_i * n_edges
+        for e_i in range(n_edges):
+            ub_rows.append(e_i)
+            ub_cols.append(base + e_i)
+    a_ub = sparse.coo_matrix(
+        (np.ones(len(ub_rows)), (ub_rows, ub_cols)), shape=(n_edges, n_vars)
+    ).tocsr()
+
+    c = np.zeros(n_vars)
+    c[alpha_col] = -1.0
+
+    # Normalise capacities to O(1) for HiGHS conditioning (see mcf.py).
+    cap_scale = float(capacities.max()) if n_edges else 1.0
+    if cap_scale <= 0:
+        cap_scale = 1.0
+    result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=capacities / cap_scale,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=(0, None),
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(f"ideal LP solve failed: {result.message}")
+    return float(result.x[alpha_col]) * cap_scale

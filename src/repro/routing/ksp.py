@@ -1,0 +1,158 @@
+"""K-shortest loopless paths (Yen's algorithm [45]).
+
+The paper pairs MPTCP with K-shortest-paths routing (section 4), following
+Jellyfish [38].  Hop count is the path metric (all links are equal cost in
+the evaluated fabrics).
+
+Implementation notes:
+
+* Equal-cost shortest paths are enumerated directly from the shortest-path
+  DAG first (cheap, and in fat trees usually covers all K); Yen's spur
+  machinery only runs when more paths are needed.
+* Determinism: candidate ties are broken by (length, node sequence), so
+  the same inputs always give the same path list.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.routing.shortest import all_shortest_paths
+from repro.topology.graph import Topology, link_key
+
+
+def _bfs_path_excluding(
+    topo: Topology,
+    src: str,
+    dst: str,
+    banned_nodes: Set[str],
+    banned_links: Set[Tuple[str, str]],
+) -> Optional[List[str]]:
+    """Lexicographically-first shortest path avoiding bans, or None."""
+    if src in banned_nodes or dst in banned_nodes:
+        return None
+    parent = {src: None}
+    frontier = deque([src])
+    while frontier:
+        node = frontier.popleft()
+        if node == dst:
+            break
+        for nbr in sorted(topo.neighbors(node)):
+            if nbr in banned_nodes or nbr in parent:
+                continue
+            if link_key(node, nbr) in banned_links:
+                continue
+            parent[nbr] = node
+            frontier.append(nbr)
+    if dst not in parent:
+        return None
+    path = [dst]
+    while parent[path[-1]] is not None:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def k_shortest_paths(
+    topo: Topology, src: str, dst: str, k: int
+) -> List[List[str]]:
+    """Up to ``k`` shortest loopless paths from ``src`` to ``dst``.
+
+    Returns paths sorted by (length, node sequence).  Fewer than ``k``
+    paths are returned if the graph does not contain that many.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if src == dst:
+        return [[src]]
+
+    # Fast path: equal-cost shortest paths straight off the BFS DAG.
+    shortest = all_shortest_paths(topo, src, dst, limit=k)
+    if not shortest:
+        return []
+    if len(shortest) >= k:
+        return sorted(shortest[:k], key=lambda p: (len(p), p))
+
+    found: List[List[str]] = sorted(shortest, key=lambda p: (len(p), p))
+    seen = {tuple(p) for p in found}
+    # Min-heap of candidate paths keyed by (length, sequence).
+    candidates: List[Tuple[int, List[str]]] = []
+    candidate_set: Set[Tuple[str, ...]] = set()
+
+    while len(found) < k:
+        last = found[-1]
+        for i in range(len(last) - 1):
+            spur_node = last[i]
+            root = last[: i + 1]
+            banned_links: Set[Tuple[str, str]] = set()
+            for path in found:
+                if path[: i + 1] == root and len(path) > i + 1:
+                    banned_links.add(link_key(path[i], path[i + 1]))
+            banned_nodes = set(root[:-1])
+            spur = _bfs_path_excluding(
+                topo, spur_node, dst, banned_nodes, banned_links
+            )
+            if spur is None:
+                continue
+            candidate = root[:-1] + spur
+            key = tuple(candidate)
+            if key in seen or key in candidate_set:
+                continue
+            candidate_set.add(key)
+            heapq.heappush(candidates, (len(candidate), candidate))
+        if not candidates:
+            break
+        __, best = heapq.heappop(candidates)
+        candidate_set.discard(tuple(best))
+        found.append(best)
+        seen.add(tuple(best))
+
+    return found
+
+
+def k_shortest_paths_pooled(
+    planes: Sequence[Topology], src: str, dst: str, k: int
+) -> List[Tuple[int, List[str]]]:
+    """K shortest paths pooled across parallel dataplanes.
+
+    This is how an MPTCP + KSP end host routes over a P-Net (section 4):
+    the candidate set is the union of each plane's K shortest paths, from
+    which the K globally shortest are kept.  Ties are broken round-robin
+    across planes so subflows spread over all planes instead of piling
+    onto the lowest-indexed one.
+
+    Returns:
+        List of ``(plane_index, path)`` tuples, length <= k.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    per_plane: List[List[Tuple[int, List[str]]]] = []
+    for idx, plane in enumerate(planes):
+        paths = k_shortest_paths(plane, src, dst, k)
+        per_plane.append([(idx, p) for p in paths])
+
+    # Merge by length with round-robin across planes for equal lengths.
+    pooled: List[Tuple[int, List[str]]] = []
+    cursors = [0] * len(per_plane)
+    while len(pooled) < k:
+        best_plane = -1
+        best_len = None
+        # Scan planes starting after the plane we last picked from, so
+        # equal-length candidates rotate across planes.
+        start = (pooled[-1][0] + 1) if pooled else 0
+        order = list(range(start, len(per_plane))) + list(range(start))
+        for plane_idx in order:
+            cur = cursors[plane_idx]
+            if cur >= len(per_plane[plane_idx]):
+                continue
+            length = len(per_plane[plane_idx][cur][1])
+            if best_len is None or length < best_len:
+                best_len = length
+                best_plane = plane_idx
+        if best_plane < 0:
+            break
+        pooled.append(per_plane[best_plane][cursors[best_plane]])
+        cursors[best_plane] += 1
+    return pooled

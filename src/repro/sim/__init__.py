@@ -1,0 +1,24 @@
+"""Packet-level discrete-event simulator (the repo's htsim [23] analog).
+
+Components mirror htsim's architecture:
+
+* :mod:`repro.sim.events` -- the event loop.
+* :mod:`repro.sim.packet` -- data/ACK packets with source routes.
+* :mod:`repro.sim.link` -- drop-tail output queues and propagation pipes.
+* :mod:`repro.sim.tcp` -- TCP NewReno sources/sinks (slow start, fast
+  retransmit/recovery, RTO with the 10 ms datacenter minimum).
+* :mod:`repro.sim.mptcp` -- MPTCP with LIA-coupled congestion control
+  over subflows pinned to P-Net paths.
+* :mod:`repro.sim.network` -- assembles queues/pipes from topologies and
+  launches flows.
+* :mod:`repro.sim.rpc` -- closed-loop request/response application.
+
+Used for the latency-sensitive experiments (Figures 9-11, Table 2) where
+queueing, slow start, and retransmissions matter packet by packet.
+"""
+
+from repro.sim.events import EventLoop
+from repro.sim.network import PacketNetwork
+from repro.sim.rpc import RpcClient
+
+__all__ = ["EventLoop", "PacketNetwork", "RpcClient"]

@@ -1,0 +1,73 @@
+"""DCTCP: Data Center TCP [6] on top of the NewReno source.
+
+The paper defers incast to "incast-aware transports like DCTCP" (section
+6.5); this module provides that transport so the incast extension can
+test the claim.  Mechanism (Alizadeh et al.):
+
+* switches mark packets with CE once the instantaneous queue exceeds a
+  threshold K (see :class:`repro.sim.link.Queue`'s ``ecn_threshold``);
+* the receiver echoes marks on ACKs (:class:`repro.sim.tcp.TcpSink`);
+* the sender keeps an EWMA ``alpha`` of the *fraction* of marked bytes
+  per window (gain g = 1/16) and, once per window with any marks, cuts
+  ``cwnd`` by ``alpha / 2`` -- gentle, proportional backoff instead of
+  NewReno's halving, keeping queues short without collapsing throughput.
+
+Loss handling (timeouts, fast retransmit) is inherited unchanged from
+NewReno, as in the DCTCP paper.
+"""
+
+from __future__ import annotations
+
+from repro.sim.packet import Packet
+from repro.sim.tcp import TcpSource
+
+#: EWMA gain for the mark-fraction estimator (DCTCP paper's g).
+DCTCP_GAIN = 1.0 / 16.0
+
+
+class DctcpSource(TcpSource):
+    """TCP NewReno sender with DCTCP's ECN-proportional window control."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.alpha = 0.0
+        self._acked_bytes_window = 0
+        self._marked_bytes_window = 0
+        self._window_end = 0
+        self._cut_this_window = False
+
+    def _handle_ack(self, packet: Packet) -> None:
+        prev_una = self.snd_una
+        super()._handle_ack(packet)
+        newly = self.snd_una - prev_una
+        if newly > 0:
+            self._acked_bytes_window += newly
+            if packet.ece:
+                self._marked_bytes_window += newly
+            if self.snd_una >= self._window_end:
+                self._end_of_window()
+
+    def _end_of_window(self) -> None:
+        """Per-window alpha update and proportional cut (DCTCP core)."""
+        if self._acked_bytes_window > 0:
+            fraction = (
+                self._marked_bytes_window / self._acked_bytes_window
+            )
+            self.alpha = (
+                (1 - DCTCP_GAIN) * self.alpha + DCTCP_GAIN * fraction
+            )
+            if self._marked_bytes_window > 0 and not self.in_recovery:
+                self.cwnd = max(
+                    self.cwnd * (1 - self.alpha / 2), float(self.mss)
+                )
+                # Marked windows also end slow start.
+                self.ssthresh = min(self.ssthresh, self.cwnd)
+        self._acked_bytes_window = 0
+        self._marked_bytes_window = 0
+        self._window_end = self.snd_nxt
+
+    def _slow_start_increase(self, newly_acked: int) -> None:
+        super()._slow_start_increase(newly_acked)
+
+    def __repr__(self) -> str:
+        return f"DctcpSource({self.name!r}, alpha={self.alpha:.3f})"

@@ -1,0 +1,81 @@
+"""Binary-heap event loop for the packet simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback; keep the handle to :meth:`cancel` it."""
+
+    __slots__ = ("time", "fn", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[[], None]):
+        self.time = time
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Lazily cancel: the loop skips cancelled events when popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Deterministic discrete-event loop.
+
+    Ties are broken by insertion order, so runs are reproducible given
+    the same schedule of calls.
+    """
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` after ``delay`` seconds; returns a cancellable handle."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self.now + delay, fn)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past ({time} < {self.now})"
+            )
+        event = Event(time, fn)
+        heapq.heappush(self._heap, (time, next(self._seq), event))
+        return event
+
+    def run(
+        self,
+        until: float = math.inf,
+        max_events: int = 500_000_000,
+    ) -> None:
+        """Process events in time order until the queue drains or ``until``."""
+        heap = self._heap
+        processed = 0
+        while heap:
+            time, __, event = heap[0]
+            if time > until:
+                break
+            heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self.now = time
+            event.fn()
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(f"exceeded {max_events} events")
+        if math.isfinite(until) and until > self.now:
+            self.now = until
+        self.events_processed += processed
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including lazily-cancelled ones)."""
+        return len(self._heap)

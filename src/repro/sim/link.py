@@ -1,0 +1,134 @@
+"""Queues and pipes: the two halves of a directed link.
+
+A directed link ``u -> v`` is a drop-tail :class:`Queue` (serialisation at
+the link rate, bounded buffer) feeding a :class:`Pipe` (fixed propagation
+delay).  This matches htsim's element model and the paper's switch
+abstraction: output-queued switches with per-port FIFO buffers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional  # noqa: F401 (Optional used in sig)
+
+from repro.sim.events import EventLoop
+from repro.sim.packet import Packet
+
+
+class Pipe:
+    """Fixed propagation delay; never drops or reorders."""
+
+    __slots__ = ("loop", "delay", "name")
+
+    def __init__(self, loop: EventLoop, delay: float, name: str = ""):
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.loop = loop
+        self.delay = delay
+        self.name = name
+
+    def receive(self, packet: Packet) -> None:
+        self.loop.schedule(self.delay, packet.forward)
+
+
+class Queue:
+    """Drop-tail FIFO output queue serialising at the link rate.
+
+    Args:
+        loop: the event loop.
+        rate: link rate, bits/second.
+        max_packets: buffer capacity in packets *excluding* the one in
+            service (htsim-style; the paper's switches default to 100).
+    """
+
+    __slots__ = (
+        "loop", "rate", "max_packets", "name", "ecn_threshold",
+        "_buffer", "_busy", "drops", "packets_forwarded", "bytes_forwarded",
+        "ecn_marks", "down",
+    )
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rate: float,
+        max_packets: int = 100,
+        name: str = "",
+        ecn_threshold: Optional[int] = None,
+    ):
+        """See class docstring.
+
+        Args:
+            ecn_threshold: mark packets with Congestion Experienced when
+                the instantaneous queue depth is at or above this many
+                packets on arrival (DCTCP's step marking at K).  None
+                disables marking.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if max_packets < 1:
+            raise ValueError(f"max_packets must be >= 1, got {max_packets}")
+        if ecn_threshold is not None and ecn_threshold < 1:
+            raise ValueError(
+                f"ecn_threshold must be >= 1, got {ecn_threshold}"
+            )
+        self.loop = loop
+        self.rate = rate
+        self.max_packets = max_packets
+        self.name = name
+        self.ecn_threshold = ecn_threshold
+        self._buffer: Deque[Packet] = deque()
+        self._busy = False
+        self.drops = 0
+        self.packets_forwarded = 0
+        self.bytes_forwarded = 0
+        self.ecn_marks = 0
+        #: Mid-run failure flag: a down link black-holes everything
+        #: (buffered packets are lost too, like a cut fiber).
+        self.down = False
+
+    @property
+    def depth(self) -> int:
+        """Packets buffered (excluding the one being serialised)."""
+        return len(self._buffer)
+
+    def fail(self) -> None:
+        """Cut the link: drop the buffer and every future arrival."""
+        self.down = True
+        self.drops += len(self._buffer)
+        self._buffer.clear()
+
+    def restore(self) -> None:
+        self.down = False
+
+    def receive(self, packet: Packet) -> None:
+        if self.down:
+            self.drops += 1
+            return
+        if (
+            self.ecn_threshold is not None
+            and not packet.is_ack
+            and len(self._buffer) + (1 if self._busy else 0)
+                >= self.ecn_threshold
+        ):
+            packet.ecn_ce = True
+            self.ecn_marks += 1
+        if not self._busy:
+            self._busy = True
+            self._serve(packet)
+        elif len(self._buffer) < self.max_packets:
+            self._buffer.append(packet)
+        else:
+            self.drops += 1
+
+    def _serve(self, packet: Packet) -> None:
+        service_time = packet.size * 8 / self.rate
+        self.loop.schedule(service_time, lambda: self._done(packet))
+
+    def _done(self, packet: Packet) -> None:
+        self.packets_forwarded += 1
+        self.bytes_forwarded += packet.size
+        packet.forward()
+        if self._buffer:
+            self._serve(self._buffer.popleft())
+        else:
+            self._busy = False

@@ -1,0 +1,245 @@
+"""Assemble a packet-level simulation from topologies and launch flows.
+
+:class:`PacketNetwork` lazily instantiates a drop-tail
+:class:`~repro.sim.link.Queue` + :class:`~repro.sim.link.Pipe` pair for
+every directed link a flow actually crosses, wires TCP/MPTCP sources and
+sinks onto source routes, and records per-flow results.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pnet import PlanePath
+from repro.sim.events import EventLoop
+from repro.sim.link import Pipe, Queue
+from repro.sim.mptcp import MptcpSource
+from repro.sim.tcp import TcpSink, TcpSource
+from repro.topology.graph import Topology
+from repro.units import DEFAULT_MIN_RTO, DEFAULT_QUEUE_PACKETS, MSS
+
+
+@dataclass
+class SimFlowRecord:
+    """Result of one packet-simulated flow."""
+
+    flow_id: int
+    src: str
+    dst: str
+    size: int
+    start: float
+    finish: float
+    n_subflows: int
+    retransmits: int
+    packets_sent: int
+    tag: Optional[str] = None
+
+    @property
+    def fct(self) -> float:
+        return self.finish - self.start
+
+
+class PacketNetwork:
+    """Packet simulation over one or more dataplanes.
+
+    Args:
+        planes: dataplanes (single element for a serial network).
+        queue_packets: per-port output buffer in packets.
+        mss: TCP segment payload size.
+        min_rto: minimum retransmission timeout (paper: 10 ms).
+    """
+
+    def __init__(
+        self,
+        planes: Sequence[Topology],
+        queue_packets: int = DEFAULT_QUEUE_PACKETS,
+        mss: int = MSS,
+        min_rto: float = DEFAULT_MIN_RTO,
+        ecn_threshold: Optional[int] = None,
+        loop: Optional[EventLoop] = None,
+    ):
+        if not planes:
+            raise ValueError("need at least one plane")
+        self.planes = list(planes)
+        self.queue_packets = queue_packets
+        self.mss = mss
+        self.min_rto = min_rto
+        self.ecn_threshold = ecn_threshold
+        self.loop = loop if loop is not None else EventLoop()
+        self._elements: Dict[Tuple[int, str, str], Tuple[Queue, Pipe]] = {}
+        self._flow_ids = itertools.count()
+        self.records: List[SimFlowRecord] = []
+
+    # --- element plumbing ------------------------------------------------
+
+    def _element_pair(self, plane_idx: int, u: str, v: str) -> Tuple[Queue, Pipe]:
+        key = (plane_idx, u, v)
+        pair = self._elements.get(key)
+        if pair is None:
+            plane = self.planes[plane_idx]
+            if not plane.has_link(u, v) or plane.is_failed(u, v):
+                raise ValueError(
+                    f"{u}->{v} is not a live link of plane {plane_idx}"
+                )
+            link = plane.link(u, v)
+            queue = Queue(
+                self.loop,
+                rate=link.capacity,
+                max_packets=self.queue_packets,
+                name=f"p{plane_idx}:{u}->{v}",
+                ecn_threshold=self.ecn_threshold,
+            )
+            pipe = Pipe(self.loop, link.propagation, name=f"p{plane_idx}:{u}->{v}")
+            pair = (queue, pipe)
+            self._elements[key] = pair
+        return pair
+
+    def _route_elements(self, plane_idx: int, path: Sequence[str]) -> List:
+        if len(path) < 2:
+            raise ValueError("path must traverse at least one link")
+        elements: List = []
+        for u, v in zip(path, path[1:]):
+            queue, pipe = self._element_pair(plane_idx, u, v)
+            elements.append(queue)
+            elements.append(pipe)
+        return elements
+
+    # --- flow launch ----------------------------------------------------------
+
+    def add_flow(
+        self,
+        src: str,
+        dst: str,
+        size: int,
+        paths: Sequence[PlanePath],
+        at: float = 0.0,
+        on_complete: Optional[Callable[[SimFlowRecord], None]] = None,
+        tag: Optional[str] = None,
+        transport: str = "tcp",
+    ):
+        """Launch a flow at time ``at`` over the given subflow paths.
+
+        One path -> plain TCP (or DCTCP with ``transport="dctcp"``, which
+        requires the network's queues to have an ``ecn_threshold``);
+        several paths -> MPTCP with one subflow each.
+        Returns the source object (a TcpSource or MptcpSource).
+        """
+        if transport not in ("tcp", "dctcp"):
+            raise ValueError(f"unknown transport {transport!r}")
+        if transport == "dctcp" and len(paths) > 1:
+            raise ValueError("DCTCP is single-path; use one path")
+        if not paths:
+            raise ValueError("need at least one path")
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        for plane_idx, path in paths:
+            if path[0] != src or path[-1] != dst:
+                raise ValueError(f"path {path} does not connect {src}->{dst}")
+        flow_id = next(self._flow_ids)
+
+        def finish(source) -> None:
+            record = SimFlowRecord(
+                flow_id=flow_id,
+                src=src,
+                dst=dst,
+                size=size,
+                start=source.start_time,
+                finish=source.finish_time,
+                n_subflows=len(paths),
+                retransmits=source.retransmits,
+                packets_sent=source.packets_sent,
+                tag=tag,
+            )
+            self.records.append(record)
+            if on_complete is not None:
+                on_complete(record)
+
+        if len(paths) == 1:
+            from repro.sim.dctcp import DctcpSource
+
+            source_cls = DctcpSource if transport == "dctcp" else TcpSource
+            source = source_cls(
+                self.loop,
+                size=size,
+                mss=self.mss,
+                min_rto=self.min_rto,
+                on_complete=finish,
+                name=f"{transport}-{flow_id}",
+            )
+            self._wire(source, paths[0])
+        else:
+            source = MptcpSource(
+                self.loop,
+                size=size,
+                n_subflows=len(paths),
+                mss=self.mss,
+                min_rto=self.min_rto,
+                on_complete=finish,
+                name=f"mptcp-{flow_id}",
+            )
+            for subflow, plane_path in zip(source.subflows, paths):
+                self._wire(subflow, plane_path)
+
+        self.loop.schedule_at(at, source.start)
+        return source
+
+    def _wire(self, tcp_source: TcpSource, plane_path: PlanePath) -> None:
+        plane_idx, path = plane_path
+        sink = TcpSink(self.loop, name=f"{tcp_source.name}-sink")
+        forward = self._route_elements(plane_idx, path)
+        backward = self._route_elements(plane_idx, list(reversed(path)))
+        tcp_source.route_out = forward + [sink]
+        sink.route_back = backward + [tcp_source]
+
+    # --- mid-run failures -----------------------------------------------------------
+
+    def fail_link(self, plane_idx: int, u: str, v: str) -> None:
+        """Cut a link during the simulation.
+
+        Both directions black-hole immediately (in-queue packets are
+        lost); the topology is marked failed so path selection performed
+        after :meth:`~repro.core.pnet.PNet.invalidate_routing` avoids it.
+        Flows already pinned to the link stall into RTO -- exactly what a
+        real cut does to a source-routed flow.
+        """
+        self.planes[plane_idx].fail_link(u, v)
+        for a, b in ((u, v), (v, u)):
+            pair = self._elements.get((plane_idx, a, b))
+            if pair is not None:
+                pair[0].fail()
+
+    def restore_link(self, plane_idx: int, u: str, v: str) -> None:
+        self.planes[plane_idx].restore_link(u, v)
+        for a, b in ((u, v), (v, u)):
+            pair = self._elements.get((plane_idx, a, b))
+            if pair is not None:
+                pair[0].restore()
+
+    # --- execution -----------------------------------------------------------------
+
+    def run(self, until: float = math.inf, max_events: int = 500_000_000) -> None:
+        self.loop.run(until=until, max_events=max_events)
+
+    # --- statistics -------------------------------------------------------------------
+
+    @property
+    def total_drops(self) -> int:
+        return sum(q.drops for q, __ in self._elements.values())
+
+    @property
+    def total_ecn_marks(self) -> int:
+        return sum(q.ecn_marks for q, __ in self._elements.values())
+
+    @property
+    def total_retransmits(self) -> int:
+        return sum(r.retransmits for r in self.records)
+
+    def queue_stats(self) -> Dict[str, Tuple[int, int]]:
+        """Per-queue (packets forwarded, drops), keyed by queue name."""
+        return {
+            q.name: (q.packets_forwarded, q.drops)
+            for q, __ in self._elements.values()
+        }

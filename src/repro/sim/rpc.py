@@ -1,0 +1,119 @@
+"""Closed-loop request/response (RPC) application on the packet simulator.
+
+Reproduces the paper's ping-pong setup (section 5.2.1): a client sends a
+request to a server, the server replies, and the request completion time
+is the wall-clock from request launch to the last response byte being
+ACKed.  Each chain immediately issues the next request to its next
+destination; ``concurrency`` chains per client model the concurrent-RPC
+study (Figure 11).
+
+Path selection is delegated to a callable ``(src, dst, flow_id) ->
+[PlanePath]`` so any policy from :mod:`repro.core.path_selection` plugs
+in; requests and responses each select their own path (the response flows
+from server back to client).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.pnet import PlanePath
+from repro.sim.network import PacketNetwork, SimFlowRecord
+
+PathSelector = Callable[[str, str, int], List[PlanePath]]
+
+
+class RpcClient:
+    """One closed-loop RPC chain.
+
+    Args:
+        network: the packet network.
+        select_paths: policy callable (src, dst, flow_id) -> paths.
+        client: client host name.
+        destinations: server per round (length = number of rounds).
+        request_bytes / response_bytes: payload sizes.
+        flow_id_base: offset so concurrent chains hash differently.
+        on_done: fired when all rounds complete.
+    """
+
+    def __init__(
+        self,
+        network: PacketNetwork,
+        select_paths: PathSelector,
+        client: str,
+        destinations: Sequence[str],
+        request_bytes: int,
+        response_bytes: int,
+        flow_id_base: int = 0,
+        on_done: Optional[Callable[["RpcClient"], None]] = None,
+    ):
+        if not destinations:
+            raise ValueError("need at least one destination")
+        self.network = network
+        self.select_paths = select_paths
+        self.client = client
+        self.destinations = list(destinations)
+        self.request_bytes = request_bytes
+        self.response_bytes = response_bytes
+        self.flow_id_base = flow_id_base
+        self.on_done = on_done
+
+        self.completion_times: List[float] = []
+        self.retransmits = 0
+        self._round = 0
+        self._round_start = 0.0
+
+    def start(self, at: float = 0.0) -> None:
+        """Begin the first round at simulated time ``at``."""
+        self.network.loop.schedule_at(at, self._next_round)
+
+    @property
+    def done(self) -> bool:
+        return self._round >= len(self.destinations)
+
+    def _next_round(self) -> None:
+        if self.done:
+            if self.on_done is not None:
+                self.on_done(self)
+            return
+        server = self.destinations[self._round]
+        self._round_start = self.network.loop.now
+        flow_id = self.flow_id_base + 2 * self._round
+        paths = self.select_paths(self.client, server, flow_id)
+        if not paths:
+            raise RuntimeError(f"no path for RPC {self.client}->{server}")
+        self.network.add_flow(
+            self.client,
+            server,
+            self.request_bytes,
+            paths,
+            at=self.network.loop.now,
+            on_complete=lambda rec, server=server: self._on_request_done(
+                rec, server
+            ),
+            tag="rpc-request",
+        )
+
+    def _on_request_done(self, record: SimFlowRecord, server: str) -> None:
+        self.retransmits += record.retransmits
+        flow_id = self.flow_id_base + 2 * self._round + 1
+        paths = self.select_paths(server, self.client, flow_id)
+        if not paths:
+            raise RuntimeError(f"no path for RPC response {server}->{self.client}")
+        self.network.add_flow(
+            server,
+            self.client,
+            self.response_bytes,
+            paths,
+            at=self.network.loop.now,
+            on_complete=self._on_response_done,
+            tag="rpc-response",
+        )
+
+    def _on_response_done(self, record: SimFlowRecord) -> None:
+        self.retransmits += record.retransmits
+        self.completion_times.append(
+            self.network.loop.now - self._round_start
+        )
+        self._round += 1
+        self._next_round()

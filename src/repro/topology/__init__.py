@@ -1,0 +1,29 @@
+"""Topology builders for serial and parallel datacenter fabrics.
+
+This subpackage provides the physical substrate of the reproduction:
+
+* :mod:`repro.topology.graph` -- the :class:`~repro.topology.graph.Topology`
+  container (nodes, capacitated links, failure injection).
+* :mod:`repro.topology.fattree` -- k-ary folded-Clos fat trees.
+* :mod:`repro.topology.chassis` -- chassis-based fat trees (section 2.2).
+* :mod:`repro.topology.jellyfish` -- random regular graphs (Jellyfish).
+* :mod:`repro.topology.xpander` -- deterministic expanders via lifts.
+* :mod:`repro.topology.parallel` -- N-dataplane parallel networks (P-Nets).
+* :mod:`repro.topology.cost` -- the component-count cost model (Table 1).
+"""
+
+from repro.topology.graph import Link, Topology
+from repro.topology.fattree import build_fat_tree, build_two_tier_fat_tree
+from repro.topology.jellyfish import build_jellyfish
+from repro.topology.xpander import build_xpander
+from repro.topology.parallel import ParallelTopology
+
+__all__ = [
+    "Link",
+    "Topology",
+    "build_fat_tree",
+    "build_two_tier_fat_tree",
+    "build_jellyfish",
+    "build_xpander",
+    "ParallelTopology",
+]

@@ -1,0 +1,98 @@
+"""Chassis-switch model (paper section 2.2).
+
+A chassis packages many small switch chips into one box behind copper
+backplane traces, exposing a single high-radix switch.  The paper's
+8192-host exemplar (Table 1) uses 128-port chassis built from 16-port
+chips:
+
+* **Spine chassis**: non-blocking, 3-stage internal folded Clos --
+  ``k`` edge chips exposing ``k/2`` external ports each plus ``k/2``
+  middle chips, i.e. ``k + k/2 = 24`` chips for ``k = 16``, exposing
+  ``k^2/2 = 128`` ports.
+* **Aggregation chassis**: blocking 2-stage internal topology with ``k``
+  chips exposing the same ``k^2/2`` ports (the fabric as a whole stays
+  non-blocking, a fact leveraged in production networks [36]).
+
+For network *simulation* a chassis behaves exactly like one big switch (the
+internal hops only matter for the latency/cost accounting in Table 1), so
+:func:`build_chassis_fat_tree` returns a logical 2-tier fat tree of
+high-radix switches, annotated with a :class:`ChassisSpec` describing the
+internals for the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.fattree import build_two_tier_fat_tree
+from repro.topology.graph import Topology
+from repro.units import DEFAULT_HOP_PROPAGATION, DEFAULT_LINK_RATE
+
+
+@dataclass(frozen=True)
+class ChassisSpec:
+    """Internal composition of one chassis switch.
+
+    Attributes:
+        external_ports: radix exposed to the network.
+        chips: internal switch chips.
+        internal_hops: chip hops a packet takes crossing the chassis
+            (entering and leaving via external ports).
+    """
+
+    external_ports: int
+    chips: int
+    internal_hops: int
+
+
+def spine_chassis_spec(chip_radix: int) -> ChassisSpec:
+    """Non-blocking 3-stage chassis from ``chip_radix``-port chips.
+
+    ``k`` edge chips (k/2 external + k/2 backplane ports each) and ``k/2``
+    middle chips give ``k^2/2`` external ports from ``3k/2`` chips.  A
+    transit packet crosses edge -> middle -> edge = 3 chips.
+    """
+    _check_radix(chip_radix)
+    k = chip_radix
+    return ChassisSpec(external_ports=k * k // 2, chips=k + k // 2, internal_hops=3)
+
+
+def agg_chassis_spec(chip_radix: int) -> ChassisSpec:
+    """Blocking 2-stage chassis from ``chip_radix``-port chips.
+
+    Matches the paper's accounting: ``k`` chips exposing ``k^2/2`` ports;
+    a transit packet crosses 2 chips (one per stage).
+    """
+    _check_radix(chip_radix)
+    k = chip_radix
+    return ChassisSpec(external_ports=k * k // 2, chips=k, internal_hops=2)
+
+
+def _check_radix(chip_radix: int) -> None:
+    if chip_radix < 4 or chip_radix % 2:
+        raise ValueError(
+            f"chip radix must be even and >= 4, got {chip_radix}"
+        )
+
+
+def build_chassis_fat_tree(
+    chip_radix: int,
+    link_rate: float = DEFAULT_LINK_RATE,
+    propagation: float = DEFAULT_HOP_PROPAGATION,
+    name: str = "",
+) -> Topology:
+    """Logical topology of a 2-tier chassis-based fat tree.
+
+    The network is a leaf-spine fabric of ``chip_radix^2/2``-port chassis,
+    supporting ``(chip_radix^2/2)^2 / 2`` hosts.  Chassis internals are
+    collapsed to single switch nodes (see module docstring); use
+    :mod:`repro.topology.cost` for chip/box/link accounting.
+    """
+    radix = spine_chassis_spec(chip_radix).external_ports
+    topo = build_two_tier_fat_tree(
+        radix,
+        link_rate=link_rate,
+        propagation=propagation,
+        name=name or f"chassis-fattree-chip{chip_radix}",
+    )
+    return topo

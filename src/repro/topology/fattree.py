@@ -1,0 +1,118 @@
+"""k-ary fat tree (folded Clos) builders.
+
+Two constructions are provided:
+
+* :func:`build_fat_tree` -- the classic 3-tier k-ary fat tree of
+  Al-Fares et al. [5]: ``k`` pods, ``k/2`` ToR and ``k/2`` aggregation
+  switches per pod, ``(k/2)^2`` core switches, ``k^3/4`` hosts.
+* :func:`build_two_tier_fat_tree` -- a 2-tier leaf-spine folded Clos, the
+  shape each plane of an N-way parallel fat tree takes when switch chips are
+  run at full radix (paper section 3.1 / Figure 4): ``radix`` -port leaves
+  with half the ports down to hosts, spines with every port down to leaves.
+
+Host names are always ``h0 .. h{n-1}`` so traffic generators can enumerate
+them uniformly across topology families.
+"""
+
+from __future__ import annotations
+
+from repro.topology.graph import AGG, CORE, HOST, TOR, Topology
+from repro.units import DEFAULT_HOP_PROPAGATION, DEFAULT_LINK_RATE
+
+
+def build_fat_tree(
+    k: int,
+    link_rate: float = DEFAULT_LINK_RATE,
+    propagation: float = DEFAULT_HOP_PROPAGATION,
+    name: str = "",
+    host_offset: int = 0,
+) -> Topology:
+    """Build a 3-tier k-ary fat tree with ``k^3/4`` hosts.
+
+    Args:
+        k: switch radix; must be even and >= 2.
+        link_rate: capacity of every link, bits/second.
+        propagation: one-way propagation delay of every link, seconds.
+        name: topology label (defaults to ``fattree-k{k}``).
+        host_offset: first host index (used when embedding into multi-plane
+            constructions that share host names).
+
+    Returns:
+        A :class:`Topology` whose hosts are ``h{host_offset} ..``.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat tree radix must be even and >= 2, got {k}")
+    topo = Topology(name or f"fattree-k{k}")
+    half = k // 2
+    n_hosts = k * half * half
+
+    cores = [f"c{i}" for i in range(half * half)]
+    for core in cores:
+        topo.add_node(core, CORE)
+
+    host_idx = host_offset
+    for pod in range(k):
+        aggs = [f"a{pod}_{i}" for i in range(half)]
+        tors = [f"t{pod}_{i}" for i in range(half)]
+        for agg in aggs:
+            topo.add_node(agg, AGG)
+        for tor in tors:
+            topo.add_node(tor, TOR)
+        # ToR <-> agg full bipartite inside the pod.
+        for tor in tors:
+            for agg in aggs:
+                topo.add_link(tor, agg, link_rate, propagation)
+        # agg i connects to core group i (half cores each).
+        for i, agg in enumerate(aggs):
+            for j in range(half):
+                topo.add_link(agg, cores[i * half + j], link_rate, propagation)
+        # hosts under each ToR.
+        for tor in tors:
+            for __ in range(half):
+                host = f"h{host_idx}"
+                topo.add_node(host, HOST)
+                topo.add_link(host, tor, link_rate, propagation)
+                host_idx += 1
+
+    assert host_idx - host_offset == n_hosts
+    return topo
+
+
+def build_two_tier_fat_tree(
+    radix: int,
+    link_rate: float = DEFAULT_LINK_RATE,
+    propagation: float = DEFAULT_HOP_PROPAGATION,
+    name: str = "",
+    host_offset: int = 0,
+) -> Topology:
+    """Build a 2-tier (leaf-spine) folded Clos with ``radix^2/2`` hosts.
+
+    Leaves are ToR switches with ``radix/2`` host ports and ``radix/2``
+    uplinks; each spine connects to every leaf.  This is the per-plane
+    topology of the paper's parallel fat tree (Table 1, "Parallel 8x" row,
+    where freed-up radix buys a tier back).
+    """
+    if radix < 2 or radix % 2:
+        raise ValueError(f"radix must be even and >= 2, got {radix}")
+    topo = Topology(name or f"leafspine-r{radix}")
+    half = radix // 2
+    n_leaves = radix
+    n_spines = half
+
+    spines = [f"s{i}" for i in range(n_spines)]
+    for spine in spines:
+        topo.add_node(spine, CORE)
+
+    host_idx = host_offset
+    for leaf_idx in range(n_leaves):
+        leaf = f"t{leaf_idx}"
+        topo.add_node(leaf, TOR)
+        for spine in spines:
+            topo.add_link(leaf, spine, link_rate, propagation)
+        for __ in range(half):
+            host = f"h{host_idx}"
+            topo.add_node(host, HOST)
+            topo.add_link(host, leaf, link_rate, propagation)
+            host_idx += 1
+
+    return topo

@@ -1,0 +1,142 @@
+"""Parallel dataplane topologies (P-Nets) -- the paper's core structure.
+
+A :class:`ParallelTopology` is a set of ``N`` disjoint dataplanes sharing
+only their host names.  Each host has one uplink into each plane; once
+traffic enters a plane it stays there until the destination host (paper
+section 3).  Two constructions:
+
+* :meth:`ParallelTopology.homogeneous` -- N identical copies of one base
+  topology (a *parallel fat tree* when the base is a fat tree, Figure 4).
+* :meth:`ParallelTopology.heterogeneous` -- N independently-seeded
+  instantiations of a randomised family (e.g. Jellyfish, Figure 5).
+
+The module also provides :func:`scale_capacity`, used to build the "serial
+high-bandwidth" comparison network (same topology as one plane, N-times
+the link rate -- the ideal but cost-prohibitive design of section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.topology.graph import Topology
+
+
+def scale_capacity(topo: Topology, factor: float, name: str = "") -> Topology:
+    """A copy of ``topo`` with every link capacity multiplied by ``factor``."""
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    scaled = Topology(name or f"{topo.name}-x{factor:g}")
+    for node in topo.nodes:
+        scaled.add_node(node, topo.kind(node))
+    for link in topo.links:
+        scaled.add_link(
+            link.u, link.v, link.capacity * factor, link.propagation
+        )
+    for u, v in topo.failed_links:
+        scaled.fail_link(u, v)
+    return scaled
+
+
+class ParallelTopology:
+    """N disjoint dataplanes sharing a common set of hosts.
+
+    Plane topologies keep their own namespaces internally; use
+    :meth:`plane` to access them.  All planes must expose the identical
+    host name set ``h0 .. h{n-1}``.
+    """
+
+    def __init__(self, planes: Sequence[Topology], name: str = "pnet"):
+        if not planes:
+            raise ValueError("need at least one dataplane")
+        host_set = set(planes[0].hosts)
+        for plane in planes[1:]:
+            if set(plane.hosts) != host_set:
+                raise ValueError(
+                    "all dataplanes must share the same host set; "
+                    f"{plane.name!r} differs from {planes[0].name!r}"
+                )
+        self.name = name
+        self.planes: List[Topology] = list(planes)
+
+    # --- constructors -----------------------------------------------------
+
+    @classmethod
+    def homogeneous(
+        cls,
+        build: Callable[[], Topology],
+        n_planes: int,
+        name: str = "",
+    ) -> "ParallelTopology":
+        """N identical planes produced by calling ``build`` once and copying."""
+        if n_planes < 1:
+            raise ValueError(f"n_planes must be >= 1, got {n_planes}")
+        base = build()
+        planes = [base.copy(name=f"{base.name}/plane{i}") for i in range(n_planes)]
+        return cls(planes, name=name or f"parallel-homogeneous-{base.name}x{n_planes}")
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        build: Callable[[int], Topology],
+        n_planes: int,
+        seeds: Optional[Sequence[int]] = None,
+        name: str = "",
+    ) -> "ParallelTopology":
+        """N independent planes: ``build(seed)`` is called once per plane.
+
+        Args:
+            build: factory taking a seed and returning a plane topology.
+            seeds: per-plane seeds; defaults to ``0 .. n_planes-1``.
+        """
+        if n_planes < 1:
+            raise ValueError(f"n_planes must be >= 1, got {n_planes}")
+        if seeds is None:
+            seeds = list(range(n_planes))
+        if len(seeds) != n_planes:
+            raise ValueError(
+                f"got {len(seeds)} seeds for {n_planes} planes"
+            )
+        planes = [build(seed) for seed in seeds]
+        for i, plane in enumerate(planes):
+            plane.name = f"{plane.name}/plane{i}"
+        return cls(planes, name=name or f"parallel-heterogeneous-x{n_planes}")
+
+    # --- accessors ----------------------------------------------------------
+
+    @property
+    def n_planes(self) -> int:
+        return len(self.planes)
+
+    def plane(self, index: int) -> Topology:
+        return self.planes[index]
+
+    @property
+    def hosts(self) -> List[str]:
+        return self.planes[0].hosts
+
+    def serial_equivalent(self, name: str = "") -> Topology:
+        """The serial high-bandwidth comparison network.
+
+        Same topology as plane 0, with every link running ``n_planes``
+        times faster -- the "ideal (but cost- and power-prohibitive)"
+        network of section 5.
+        """
+        return scale_capacity(
+            self.planes[0],
+            self.n_planes,
+            name=name or f"serial-high-{self.planes[0].name}",
+        )
+
+    def total_host_uplink(self, host: str) -> float:
+        """Aggregate uplink capacity of ``host`` across all planes."""
+        return sum(
+            next(iter(plane.neighbor_links(host))).capacity
+            for plane in self.planes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelTopology({self.name!r}, planes={self.n_planes}, "
+            f"hosts={len(self.hosts)})"
+        )

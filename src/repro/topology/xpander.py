@@ -1,0 +1,88 @@
+"""Xpander-style deterministic expanders via random k-lifts [42].
+
+Valadarsky et al. build near-optimal expanders by repeatedly *lifting* a
+small base graph: a k-lift replaces every node with k copies and every edge
+(u, v) with a random perfect matching between the copies of u and the copies
+of v.  Lifting preserves regularity and (with high probability) expansion.
+
+This gives a second expander family for heterogeneous P-Nets: like
+Jellyfish, different seeds give different (pseudorandom) instantiations,
+but the construction is deterministic given the seed, which is the paper's
+"pseudorandom [42]" option (section 3.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.topology.graph import HOST, TOR, Topology
+from repro.units import DEFAULT_HOP_PROPAGATION, DEFAULT_LINK_RATE
+
+
+def _lift(edges: List[Tuple[int, int]], n: int, k: int, rng: random.Random):
+    """k-lift an edge list over ``n`` nodes; returns (new_edges, new_n)."""
+    lifted = []
+    for u, v in edges:
+        perm = list(range(k))
+        rng.shuffle(perm)
+        for i, j in enumerate(perm):
+            lifted.append((u * k + i, v * k + j))
+    return lifted, n * k
+
+
+def xpander_switch_edges(
+    net_degree: int, n_lifts: int, lift_factor: int, seed: int
+) -> Tuple[List[Tuple[int, int]], int]:
+    """Edge list of an Xpander switch graph.
+
+    Starts from the complete graph K_{d+1} (d-regular) and applies
+    ``n_lifts`` random ``lift_factor``-lifts, yielding a d-regular graph on
+    ``(d+1) * lift_factor^n_lifts`` switches.
+    """
+    if net_degree < 2:
+        raise ValueError(f"net_degree must be >= 2, got {net_degree}")
+    if lift_factor < 2:
+        raise ValueError(f"lift_factor must be >= 2, got {lift_factor}")
+    rng = random.Random(seed)
+    n = net_degree + 1
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    for __ in range(n_lifts):
+        edges, n = _lift(edges, n, lift_factor, rng)
+    # A lift can create parallel edges only if the base had them; K_{d+1}
+    # doesn't, and matchings map distinct base edges to distinct pairs of
+    # copy-groups, so the result is simple.  Self-loops are impossible.
+    return edges, n
+
+
+def build_xpander(
+    net_degree: int,
+    n_lifts: int,
+    lift_factor: int,
+    hosts_per_switch: int,
+    seed: int,
+    link_rate: float = DEFAULT_LINK_RATE,
+    propagation: float = DEFAULT_HOP_PROPAGATION,
+    name: str = "",
+) -> Topology:
+    """Build an Xpander topology.
+
+    The switch graph is ``net_degree``-regular with
+    ``(net_degree+1) * lift_factor^n_lifts`` switches; each switch carries
+    ``hosts_per_switch`` hosts.
+    """
+    edges, n_switches = xpander_switch_edges(
+        net_degree, n_lifts, lift_factor, seed
+    )
+    topo = Topology(
+        name or f"xpander-d{net_degree}-x{lift_factor}^{n_lifts}-s{seed}"
+    )
+    for i in range(n_switches):
+        topo.add_node(f"t{i}", TOR)
+    for u, v in edges:
+        topo.add_link(f"t{u}", f"t{v}", link_rate, propagation)
+    for i in range(n_switches * hosts_per_switch):
+        host = f"h{i}"
+        topo.add_node(host, HOST)
+        topo.add_link(host, f"t{i // hosts_per_switch}", link_rate, propagation)
+    return topo

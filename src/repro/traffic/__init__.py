@@ -1,0 +1,35 @@
+"""Workload generators: synthetic patterns, trace CDFs, and applications."""
+
+from repro.traffic.patterns import (
+    all_to_all,
+    host_pairs_by_rack,
+    permutation,
+    rack_level_all_to_all,
+)
+from repro.traffic.traces import (
+    CACHE,
+    DATAMINING,
+    HADOOP,
+    TRACES,
+    WEBSEARCH,
+    WEBSERVER,
+    FlowSizeCDF,
+)
+from repro.traffic.shuffle import ShuffleJob
+from repro.traffic.rpc_workload import RpcWorkload
+
+__all__ = [
+    "all_to_all",
+    "permutation",
+    "rack_level_all_to_all",
+    "host_pairs_by_rack",
+    "FlowSizeCDF",
+    "WEBSEARCH",
+    "DATAMINING",
+    "WEBSERVER",
+    "CACHE",
+    "HADOOP",
+    "TRACES",
+    "ShuffleJob",
+    "RpcWorkload",
+]

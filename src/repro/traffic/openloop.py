@@ -1,0 +1,93 @@
+"""Open-loop Poisson flow arrivals at a target load.
+
+The closed-loop replay of section 5.3 keeps a fixed number of flows per
+host; FCT studies also commonly drive the fabric *open loop*: flows
+arrive by a Poisson process whose rate is set so offered traffic equals a
+chosen fraction of the network's edge capacity.  This generator supports
+that style for any flow-size distribution in :mod:`repro.traffic.traces`.
+
+The arrival rate is derived as::
+
+    lambda_total = load * n_hosts * host_rate / (8 * mean_flow_bytes)
+
+so at ``load = 0.6`` the expected offered bytes equal 60% of the hosts'
+aggregate uplink capacity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.traffic.traces import FlowSizeCDF
+
+
+@dataclass(frozen=True)
+class OpenLoopFlow:
+    """One generated arrival."""
+
+    arrival: float
+    src: str
+    dst: str
+    size: int
+
+
+def poisson_flows(
+    hosts: Sequence[str],
+    trace: FlowSizeCDF,
+    load: float,
+    host_rate: float,
+    duration: float,
+    seed: int = 0,
+    mean_samples: int = 2001,
+) -> List[OpenLoopFlow]:
+    """Generate Poisson arrivals over ``duration`` seconds at ``load``.
+
+    Sources and destinations are uniform random distinct hosts; sizes are
+    i.i.d. from ``trace``.  Deterministic given the seed.
+
+    Args:
+        load: offered load as a fraction of aggregate host uplink
+            capacity, in (0, 1].
+        host_rate: one host's uplink capacity, bits/s (for a P-Net, the
+            sum over planes).
+    """
+    if not 0 < load <= 1:
+        raise ValueError(f"load must be in (0, 1], got {load}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts")
+    rng = random.Random(f"openloop-{seed}")
+    mean_bytes = trace.mean(samples=mean_samples)
+    rate_per_host = load * host_rate / (8 * mean_bytes)
+    lam = rate_per_host * len(hosts)
+
+    flows: List[OpenLoopFlow] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(lam)
+        if t >= duration:
+            break
+        src = rng.choice(hosts)
+        dst = rng.choice(hosts)
+        while dst == src:
+            dst = rng.choice(hosts)
+        flows.append(
+            OpenLoopFlow(
+                arrival=t, src=src, dst=dst, size=trace.sample(rng)
+            )
+        )
+    return flows
+
+
+def offered_load(
+    flows: Sequence[OpenLoopFlow],
+    n_hosts: int,
+    host_rate: float,
+    duration: float,
+) -> float:
+    """Realised offered load of a generated arrival list."""
+    total_bits = sum(f.size for f in flows) * 8
+    return total_bits / (duration * n_hosts * host_rate)

@@ -1,0 +1,79 @@
+"""Synthetic traffic matrices: all-to-all and permutation (section 5.1).
+
+The paper contrasts *dense* traffic (all-to-all: every host talks to every
+other host) with *sparse* traffic (permutation: every host talks to exactly
+one other host).  Dense patterns saturate parallel planes even under naive
+routing; sparse patterns are where path selection makes or breaks a P-Net.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+Pair = Tuple[str, str]
+
+
+def all_to_all(hosts: Sequence[str]) -> List[Pair]:
+    """Every ordered pair of distinct hosts."""
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts")
+    return [(a, b) for a in hosts for b in hosts if a != b]
+
+
+def permutation(hosts: Sequence[str], rng: random.Random) -> List[Pair]:
+    """A random permutation traffic matrix (derangement).
+
+    Every host sends to exactly one host and receives from exactly one,
+    and never to itself -- the paper's sparse pattern.
+    """
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts")
+    senders = list(hosts)
+    receivers = list(hosts)
+    # Retry shuffles until no fixed point (expected ~e tries).
+    for __ in range(1000):
+        rng.shuffle(receivers)
+        if all(s != r for s, r in zip(senders, receivers)):
+            return list(zip(senders, receivers))
+    # Deterministic fallback: rotate by one.
+    rotated = senders[1:] + senders[:1]
+    return list(zip(senders, rotated))
+
+
+def rack_level_all_to_all(racks: Sequence[str]) -> List[Pair]:
+    """Every ordered pair of distinct racks (Figure 7's traffic)."""
+    return all_to_all(racks)
+
+
+def host_pairs_by_rack(
+    hosts: Sequence[str], hosts_per_rack: int
+) -> Dict[int, List[str]]:
+    """Group ``h{i}``-named hosts into racks of ``hosts_per_rack``.
+
+    Matches the builders' attachment rule (host ``h{i}`` lives under
+    switch ``t{i // hosts_per_rack}``).
+    """
+    if hosts_per_rack < 1:
+        raise ValueError("hosts_per_rack must be >= 1")
+    racks: Dict[int, List[str]] = {}
+    for host in hosts:
+        idx = int(host[1:])
+        racks.setdefault(idx // hosts_per_rack, []).append(host)
+    return racks
+
+
+def random_pairs(
+    hosts: Sequence[str], count: int, rng: random.Random
+) -> List[Pair]:
+    """``count`` uniform random (src, dst) pairs with src != dst."""
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts")
+    pairs = []
+    for __ in range(count):
+        src = rng.choice(hosts)
+        dst = rng.choice(hosts)
+        while dst == src:
+            dst = rng.choice(hosts)
+        pairs.append((src, dst))
+    return pairs

@@ -1,0 +1,124 @@
+"""Hadoop-style sort workload generator (paper section 5.2.2).
+
+The paper simulates a sort over ``total_bytes`` (100 GB) with ``n_mappers``
+(32) and ``n_reducers`` (32) placed on a cluster, running three network
+stages:
+
+1. **read input** -- each mapper loads its share of the input in
+   ``block_bytes`` (128 MB) blocks from hosts in random remote racks;
+2. **shuffle** -- every (mapper, reducer) pair exchanges an equal bucket,
+   ``total / (n_mappers * n_reducers)`` bytes (~100 MB);
+3. **write output** -- each reducer writes its sorted output in blocks to
+   a replica in a random rack.
+
+Workers read/write at most ``concurrency`` (4) blocks at a time; the
+experiment driver enforces that bound.  Each stage's flows are produced
+here as plain (src, dst, bytes, worker) tuples so any simulator can run
+them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class ShuffleFlow:
+    """One transfer of a shuffle job, attributed to a worker."""
+
+    src: str
+    dst: str
+    size: int
+    worker: str  # the mapper/reducer whose completion time it counts toward
+
+
+@dataclass
+class ShuffleJob:
+    """A three-stage Hadoop-like sort job.
+
+    Args:
+        hosts: cluster hosts; mappers/reducers/replicas are drawn from it.
+        total_bytes: job input size (paper: 100 GB).
+        n_mappers / n_reducers: worker counts (paper: 32 / 32).
+        block_bytes: I/O block size (paper: 128 MB).
+        concurrency: max in-flight blocks per worker (paper: 4).
+        seed: placement RNG seed.
+    """
+
+    hosts: Sequence[str]
+    total_bytes: int
+    n_mappers: int = 32
+    n_reducers: int = 32
+    block_bytes: int = 128 * 10**6
+    concurrency: int = 4
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_mappers + self.n_reducers > len(self.hosts):
+            raise ValueError(
+                f"{len(self.hosts)} hosts cannot place "
+                f"{self.n_mappers} mappers + {self.n_reducers} reducers"
+            )
+        if self.total_bytes <= 0 or self.block_bytes <= 0:
+            raise ValueError("sizes must be positive")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        rng = random.Random(f"shuffle-{self.seed}")
+        chosen = rng.sample(list(self.hosts), self.n_mappers + self.n_reducers)
+        self.mappers: List[str] = chosen[: self.n_mappers]
+        self.reducers: List[str] = chosen[self.n_mappers:]
+        self._rng = rng
+
+    def _random_remote(self, worker: str) -> str:
+        """A uniformly random host other than ``worker``."""
+        other = self._rng.choice(list(self.hosts))
+        while other == worker:
+            other = self._rng.choice(list(self.hosts))
+        return other
+
+    def read_input_flows(self) -> List[ShuffleFlow]:
+        """Stage 1: mappers pull input blocks from random remote hosts."""
+        per_mapper = self.total_bytes // self.n_mappers
+        flows = []
+        for mapper in self.mappers:
+            remaining = per_mapper
+            while remaining > 0:
+                size = min(self.block_bytes, remaining)
+                src = self._random_remote(mapper)
+                flows.append(ShuffleFlow(src=src, dst=mapper, size=size,
+                                         worker=mapper))
+                remaining -= size
+        return flows
+
+    def shuffle_flows(self) -> List[ShuffleFlow]:
+        """Stage 2: the all-to-all mapper->reducer bucket exchange."""
+        bucket = self.total_bytes // (self.n_mappers * self.n_reducers)
+        return [
+            ShuffleFlow(src=mapper, dst=reducer, size=bucket, worker=mapper)
+            for mapper in self.mappers
+            for reducer in self.reducers
+        ]
+
+    def write_output_flows(self) -> List[ShuffleFlow]:
+        """Stage 3: reducers push sorted output blocks to random replicas."""
+        per_reducer = self.total_bytes // self.n_reducers
+        flows = []
+        for reducer in self.reducers:
+            remaining = per_reducer
+            while remaining > 0:
+                size = min(self.block_bytes, remaining)
+                dst = self._random_remote(reducer)
+                flows.append(ShuffleFlow(src=reducer, dst=dst, size=size,
+                                         worker=reducer))
+                remaining -= size
+        return flows
+
+    def stages(self) -> Dict[str, List[ShuffleFlow]]:
+        """All three stages keyed by name, in execution order."""
+        return {
+            "read_input": self.read_input_flows(),
+            "shuffle": self.shuffle_flows(),
+            "write_output": self.write_output_flows(),
+        }

@@ -1,0 +1,84 @@
+"""Units and physical constants used throughout the P-Net reproduction.
+
+Internally the library uses SI base units everywhere:
+
+* rate        -- bits per second (float)
+* time        -- seconds (float)
+* data volume -- bytes (int where possible)
+
+This module provides readable multipliers so call sites can say
+``100 * Gbps`` or ``1500 * BYTE`` instead of raw powers of ten.
+"""
+
+from __future__ import annotations
+
+# --- rate -------------------------------------------------------------
+Kbps = 1e3
+Mbps = 1e6
+Gbps = 1e9
+Tbps = 1e12
+
+# --- data volume (decimal, matching the paper's 100GB etc.) -----------
+BYTE = 1
+KB = 10**3
+MB = 10**6
+GB = 10**9
+
+# binary variants for completeness
+KiB = 2**10
+MiB = 2**20
+GiB = 2**30
+
+# --- time --------------------------------------------------------------
+SEC = 1.0
+MSEC = 1e-3
+USEC = 1e-6
+NSEC = 1e-9
+
+# --- defaults used by the paper's evaluation ---------------------------
+#: Ethernet MTU used for packets and RPC requests (paper section 5.2.1).
+MTU = 1500
+#: TCP maximum segment size: MTU minus 40B of TCP/IP headers.
+MSS = MTU - 40
+#: Per-hop propagation delay: "Assuming 200m per switch hop in the core,
+#: each hop will introduce a whole microsecond" (paper section 5.2.1).
+DEFAULT_HOP_PROPAGATION = 1 * USEC
+#: Baseline link speed in the evaluation (section 5).
+DEFAULT_LINK_RATE = 100 * Gbps
+#: Minimum retransmission timeout, "tuned to 10ms as suggested in DCTCP".
+DEFAULT_MIN_RTO = 10 * MSEC
+#: Default switch output queue capacity, in packets (htsim default is 100).
+DEFAULT_QUEUE_PACKETS = 100
+
+
+def transmit_time(nbytes: float, rate_bps: float) -> float:
+    """Serialisation delay of ``nbytes`` on a link of ``rate_bps``.
+
+    >>> transmit_time(1500, 100e9)  # 120 ns, as computed in the paper
+    1.2e-07
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bps}")
+    return nbytes * 8.0 / rate_bps
+
+
+def pretty_rate(rate_bps: float) -> str:
+    """Format a rate in the most natural decimal unit (e.g. '100G')."""
+    for value, suffix in ((Tbps, "T"), (Gbps, "G"), (Mbps, "M"), (Kbps, "K")):
+        if rate_bps >= value:
+            scaled = rate_bps / value
+            if scaled == int(scaled):
+                return f"{int(scaled)}{suffix}"
+            return f"{scaled:.2f}{suffix}"
+    return f"{rate_bps:g}bps"
+
+
+def pretty_size(nbytes: float) -> str:
+    """Format a byte count in the most natural decimal unit (e.g. '100MB')."""
+    for value, suffix in ((GB, "GB"), (MB, "MB"), (KB, "kB")):
+        if nbytes >= value:
+            scaled = nbytes / value
+            if scaled == int(scaled):
+                return f"{int(scaled)}{suffix}"
+            return f"{scaled:.2f}{suffix}"
+    return f"{int(nbytes)}B"

@@ -1,0 +1,152 @@
+"""Tests for statistics helpers and the hop-count / failure analysis."""
+
+import pytest
+
+from repro.analysis.hops import (
+    average_min_hop_count,
+    failure_sweep,
+    hop_count_distribution,
+)
+from repro.analysis.stats import cdf_points, normalize, percentile, summarize
+from repro.core.pnet import PNet
+from repro.topology import ParallelTopology, build_fat_tree, build_jellyfish
+
+
+class TestPercentile:
+    def test_basic(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+
+    def test_interpolation(self):
+        assert percentile([1, 2], 50) == pytest.approx(1.5)
+
+    def test_single_value(self):
+        assert percentile([7], 99) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.minimum == 1 and s.maximum == 4
+
+    def test_p99_tracks_tail(self):
+        values = [1.0] * 99 + [100.0]
+        s = summarize(values)
+        assert s.p99 > 1.0
+
+
+class TestCdfPoints:
+    def test_steps(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestNormalize:
+    def test_against_baseline(self):
+        result = normalize({"a": 2.0, "b": 4.0}, "a")
+        assert result == {"a": 1.0, "b": 2.0}
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalize({"a": 1.0}, "z")
+
+    def test_zero_baseline(self):
+        with pytest.raises(ZeroDivisionError):
+            normalize({"a": 0.0}, "a")
+
+
+def serial_jf(seed=0):
+    return PNet.serial(build_jellyfish(12, 4, 2, seed=seed))
+
+
+def hetero_jf(n_planes=4):
+    return PNet(
+        ParallelTopology.heterogeneous(
+            lambda s: build_jellyfish(12, 4, 2, seed=s), n_planes
+        )
+    )
+
+
+def homo_jf(n_planes=4):
+    return PNet(
+        ParallelTopology.homogeneous(
+            lambda: build_jellyfish(12, 4, 2, seed=0), n_planes
+        )
+    )
+
+
+class TestHops:
+    def test_distribution_counts_all_pairs(self):
+        pnet = serial_jf()
+        counts = hop_count_distribution(pnet)
+        n = len(pnet.hosts)
+        assert len(counts) == n * (n - 1) // 2
+
+    def test_intra_rack_is_one_hop(self):
+        pnet = serial_jf()
+        counts = hop_count_distribution(pnet)
+        assert min(counts) == 1
+
+    def test_homogeneous_equals_serial(self):
+        # Identical planes add no shorter paths.
+        assert average_min_hop_count(homo_jf()) == pytest.approx(
+            average_min_hop_count(serial_jf())
+        )
+
+    def test_heterogeneous_shorter_than_serial(self):
+        # The paper's key structural claim (section 3.2): extra random
+        # instantiations stochastically shorten the best path.
+        hetero = average_min_hop_count(hetero_jf(4))
+        serial = average_min_hop_count(serial_jf())
+        assert hetero < serial
+
+    def test_more_planes_never_longer(self):
+        h2 = average_min_hop_count(hetero_jf(2))
+        h4 = average_min_hop_count(hetero_jf(4))
+        assert h4 <= h2
+
+    def test_fat_tree_hop_counts(self):
+        pnet = PNet.serial(build_fat_tree(4))
+        counts = hop_count_distribution(pnet)
+        # k=4 fat tree: 1 (same ToR), 3 (same pod), or 5 (cross pod).
+        assert set(counts) == {1, 3, 5}
+
+
+class TestFailureSweep:
+    def test_hop_count_grows_with_failures(self):
+        results = failure_sweep(
+            lambda: serial_jf(), fractions=[0.0, 0.3], seeds=[0, 1]
+        )
+        base = sum(results[0.0]) / 2
+        failed = sum(results[0.3]) / 2
+        assert failed > base
+
+    def test_parallel_degrades_less(self):
+        serial = failure_sweep(lambda: serial_jf(), [0.0, 0.3], seeds=[0, 1])
+        homo = failure_sweep(lambda: homo_jf(4), [0.0, 0.3], seeds=[0, 1])
+
+        def rel_increase(sweep):
+            base = sum(sweep[0.0]) / len(sweep[0.0])
+            worst = sum(sweep[0.3]) / len(sweep[0.3])
+            return worst / base
+
+        assert rel_increase(homo) < rel_increase(serial)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            failure_sweep(lambda: serial_jf(), [1.0], seeds=[0])

@@ -1,0 +1,292 @@
+"""Tests for PNet, path-selection policies, host model, and failures."""
+
+import pytest
+
+from repro.core import (
+    EcmpPolicy,
+    EndHost,
+    FailureAwareSelector,
+    KspMultipathPolicy,
+    MinHopPlanePolicy,
+    PNet,
+    RoundRobinPlanePolicy,
+    SizeThresholdPolicy,
+    TrafficClass,
+)
+from repro.core.failures import detect_failed_uplinks, path_is_live
+from repro.topology import ParallelTopology, build_fat_tree, build_jellyfish
+from repro.units import GB, MB
+
+
+@pytest.fixture(scope="module")
+def homo4():
+    pnet = ParallelTopology.homogeneous(lambda: build_fat_tree(4), 4)
+    return PNet(pnet)
+
+
+@pytest.fixture(scope="module")
+def hetero4():
+    pnet = ParallelTopology.heterogeneous(
+        lambda s: build_jellyfish(16, 4, 2, seed=s), 4
+    )
+    return PNet(pnet)
+
+
+class TestPNet:
+    def test_serial_constructor(self):
+        pnet = PNet.serial(build_fat_tree(4))
+        assert pnet.n_planes == 1
+        assert len(pnet.hosts) == 16
+
+    def test_hosts_sorted_numerically(self, homo4):
+        hosts = homo4.hosts
+        assert hosts[0] == "h0"
+        assert hosts[10] == "h10"  # not lexicographic ("h10" < "h2")
+
+    def test_plane_lengths_homogeneous(self, homo4):
+        lengths = homo4.plane_lengths("h0", "h15")
+        assert lengths == [6, 6, 6, 6]
+
+    def test_min_hop_planes_heterogeneous(self, hetero4):
+        planes = hetero4.min_hop_planes("h0", "h31")
+        assert planes  # at least one plane connects
+        best = hetero4.min_hop_length("h0", "h31")
+        for idx in planes:
+            assert hetero4.path_length(idx, "h0", "h31") == best
+
+    def test_hetero_min_hop_never_worse_than_any_plane(self, hetero4):
+        best = hetero4.min_hop_length("h0", "h20")
+        for i in range(4):
+            length = hetero4.path_length(i, "h0", "h20")
+            assert best <= length
+
+    def test_cache_invalidation(self):
+        pnet = PNet.serial(build_fat_tree(4))
+        before = pnet.path_length(0, "h0", "h1")
+        assert before == 2
+        pnet.plane(0).fail_link("h1", "t0_0")
+        # Stale until invalidated.
+        assert pnet.path_length(0, "h0", "h1") == 2
+        pnet.invalidate_routing()
+        assert pnet.path_length(0, "h0", "h1") is None
+
+    def test_mismatched_hosts_rejected(self):
+        a = build_fat_tree(4)  # 16 hosts
+        b = build_jellyfish(16, 4, 2, seed=0)  # 32 hosts
+        with pytest.raises(ValueError):
+            PNet([a, b])
+
+
+class TestEcmpPolicy:
+    def test_single_path_returned(self, homo4):
+        policy = EcmpPolicy(homo4)
+        selection = policy.select("h0", "h15", 0)
+        assert len(selection) == 1
+        plane, path = selection[0]
+        assert path[0] == "h0" and path[-1] == "h15"
+        assert not policy.is_multipath
+
+    def test_spreads_planes_across_flows(self, homo4):
+        policy = EcmpPolicy(homo4)
+        planes = {policy.select("h0", "h15", i)[0][0] for i in range(64)}
+        assert planes == {0, 1, 2, 3}
+
+    def test_flow_is_pinned(self, homo4):
+        policy = EcmpPolicy(homo4)
+        assert policy.select("h0", "h15", 7) == policy.select("h0", "h15", 7)
+
+
+class TestRoundRobin:
+    def test_plane_rotation(self, homo4):
+        policy = RoundRobinPlanePolicy(homo4)
+        planes = [policy.select("h0", "h15", i)[0][0] for i in range(8)]
+        assert planes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestMinHopPlane:
+    def test_uses_only_min_hop_planes(self, hetero4):
+        policy = MinHopPlanePolicy(hetero4)
+        best_planes = set(hetero4.min_hop_planes("h0", "h31"))
+        for flow_id in range(32):
+            plane, path = policy.select("h0", "h31", flow_id)[0]
+            assert plane in best_planes
+            assert len(path) - 1 == hetero4.min_hop_length("h0", "h31")
+
+
+class TestKspMultipath:
+    def test_returns_k_paths(self, homo4):
+        policy = KspMultipathPolicy(homo4, k=8)
+        selection = policy.select("h0", "h15", 0)
+        assert len(selection) == 8
+        assert policy.is_multipath
+
+    def test_paths_are_distinct_and_valid(self, homo4):
+        policy = KspMultipathPolicy(homo4, k=8)
+        selection = policy.select("h0", "h15", 0)
+        seen = set()
+        for plane, path in selection:
+            assert path[0] == "h0" and path[-1] == "h15"
+            key = (plane, tuple(path))
+            assert key not in seen
+            seen.add(key)
+
+    def test_spreads_over_all_planes(self, homo4):
+        policy = KspMultipathPolicy(homo4, k=8)
+        planes = {p for p, __ in policy.select("h0", "h15", 0)}
+        assert planes == {0, 1, 2, 3}
+
+    def test_shortest_first(self, hetero4):
+        policy = KspMultipathPolicy(hetero4, k=8)
+        lengths = [len(p) for __, p in policy.select("h0", "h31", 0)]
+        assert lengths == sorted(lengths)
+        assert lengths[0] - 1 == hetero4.min_hop_length("h0", "h31") + 0
+
+    def test_different_pairs_get_different_tiebreaks(self, homo4):
+        # With many equal-cost paths, two pairs sharing a source should
+        # not deterministically pick the same core switches.
+        policy = KspMultipathPolicy(homo4, k=2)
+        first = {tuple(p) for __, p in policy.select("h0", "h12", 0)}
+        second = {tuple(p) for __, p in policy.select("h1", "h13", 0)}
+        # Paths differ by endpoints anyway; compare the core nodes used.
+        cores_first = {p[3] for p in first}
+        cores_second = {p[3] for p in second}
+        assert cores_first != cores_second or len(cores_first) > 1
+
+    def test_k_validation(self, homo4):
+        with pytest.raises(ValueError):
+            KspMultipathPolicy(homo4, k=0)
+
+    def test_more_subflows_than_paths(self):
+        pnet = PNet.serial(build_jellyfish(6, 3, 1, seed=0))
+        policy = KspMultipathPolicy(pnet, k=64)
+        selection = policy.select("h0", "h5", 0)
+        assert 0 < len(selection) <= 64
+        # All returned paths distinct.
+        assert len({tuple(p) for __, p in selection}) == len(selection)
+
+
+class TestSizeThresholdPolicy:
+    def test_paper_thresholds(self):
+        policy = SizeThresholdPolicy()
+        assert not policy.use_multipath(100 * MB)
+        assert not policy.use_multipath(100 * 1000)
+        assert policy.use_multipath(1 * GB)
+        assert policy.use_multipath(10 * GB)
+        assert not policy.use_multipath(500 * MB)  # between: single
+
+    def test_between_preference(self):
+        policy = SizeThresholdPolicy(prefer_multipath_between=True)
+        assert policy.use_multipath(500 * MB)
+
+    def test_subflow_counts(self):
+        policy = SizeThresholdPolicy()
+        assert policy.subflow_count(10 * GB, 4) == 32
+        assert policy.subflow_count(10 * MB, 4) == 1
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            SizeThresholdPolicy(single_path_threshold=0)
+        with pytest.raises(ValueError):
+            SizeThresholdPolicy(
+                single_path_threshold=2 * GB, multipath_threshold=1 * GB
+            )
+        with pytest.raises(ValueError):
+            SizeThresholdPolicy().use_multipath(-1)
+
+
+class TestEndHost:
+    def test_addresses_one_per_plane(self, homo4):
+        host = EndHost(homo4, "h3")
+        assert len(host.addresses) == 4
+        assert host.ip_address(0) == "10.0.0.3"
+        assert host.ip_address(2).startswith("10.2.")
+
+    def test_unknown_host_rejected(self, homo4):
+        with pytest.raises(ValueError):
+            EndHost(homo4, "h999")
+
+    def test_low_latency_flow(self, hetero4):
+        host = EndHost(hetero4, "h0")
+        spec = host.open_flow("h31", 10_000, TrafficClass.LOW_LATENCY)
+        assert not spec.is_multipath
+        assert len(spec.paths[0][1]) - 1 == hetero4.min_hop_length("h0", "h31")
+
+    def test_high_throughput_flow_default_k(self, homo4):
+        host = EndHost(homo4, "h0")
+        spec = host.open_flow("h15", 10 * GB, TrafficClass.HIGH_THROUGHPUT)
+        assert spec.is_multipath
+        assert len(spec.paths) == 32  # 8 * 4 planes
+
+    def test_size_policy_routes_by_default(self, homo4):
+        host = EndHost(homo4, "h0")
+        small = host.open_flow("h15", 1 * MB)
+        bulk = host.open_flow("h15", 2 * GB)
+        assert small.traffic_class is TrafficClass.BALANCED
+        assert bulk.traffic_class is TrafficClass.HIGH_THROUGHPUT
+        assert not small.is_multipath
+        assert bulk.is_multipath
+
+    def test_flow_ids_increment(self, homo4):
+        host = EndHost(homo4, "h0")
+        a = host.open_flow("h15", 1)
+        b = host.open_flow("h15", 1)
+        assert b.flow_id == a.flow_id + 1
+
+
+class TestFailures:
+    def make_pnet(self):
+        pnet = ParallelTopology.homogeneous(lambda: build_fat_tree(4), 2)
+        return PNet(pnet)
+
+    def test_detect_failed_uplinks(self):
+        pnet = self.make_pnet()
+        assert detect_failed_uplinks(pnet, "h0") == []
+        pnet.plane(1).fail_link("h0", "t0_0")
+        assert detect_failed_uplinks(pnet, "h0") == [1]
+
+    def test_path_is_live(self):
+        pnet = self.make_pnet()
+        path = (0, ["h0", "t0_0", "a0_0", "t0_1", "h2"])
+        assert path_is_live(pnet, path)
+        pnet.plane(0).fail_link("t0_0", "a0_0")
+        assert not path_is_live(pnet, path)
+
+    def test_failover_to_live_plane(self):
+        pnet = self.make_pnet()
+        # Cut h0's uplink on plane 0 entirely.
+        pnet.plane(0).fail_link("h0", "t0_0")
+        pnet.invalidate_routing()
+        selector = FailureAwareSelector(EcmpPolicy(pnet))
+        for flow_id in range(16):
+            selection = selector.select("h0", "h15", flow_id)
+            assert selection, "must fail over"
+            assert all(plane == 1 for plane, __ in selection)
+
+    def test_full_partition_returns_empty(self):
+        pnet = self.make_pnet()
+        for plane in pnet.planes:
+            plane.fail_link("h0", "t0_0")
+        pnet.invalidate_routing()
+        selector = FailureAwareSelector(EcmpPolicy(pnet))
+        assert selector.select("h0", "h15", 0) == []
+
+    def test_multipath_drops_dead_subflow_paths(self):
+        pnet = self.make_pnet()
+        policy = KspMultipathPolicy(pnet, k=4)
+        selector = FailureAwareSelector(policy)
+        healthy = selector.select("h0", "h15", 0)
+        assert len(healthy) == 4
+        pnet.plane(0).fail_link("h0", "t0_0")
+        pnet.invalidate_routing()
+        degraded = FailureAwareSelector(KspMultipathPolicy(pnet, k=4)).select(
+            "h0", "h15", 0
+        )
+        assert degraded
+        assert all(plane == 1 for plane, __ in degraded)
+
+    def test_host_usable_planes(self):
+        pnet = self.make_pnet()
+        host = EndHost(pnet, "h0")
+        assert host.usable_planes() == [0, 1]
+        pnet.plane(0).fail_link("h0", "t0_0")
+        assert host.usable_planes() == [1]

@@ -1,0 +1,94 @@
+"""Tests for the component-count model (Table 1)."""
+
+import pytest
+
+from repro.topology.cost import (
+    count_parallel,
+    count_serial_chassis,
+    count_serial_scale_out,
+    fat_tree_tiers,
+    relative_power,
+    table1,
+)
+
+
+class TestTable1:
+    """The headline check: reproduce Table 1 of the paper exactly."""
+
+    def test_serial_scale_out_row(self):
+        row = count_serial_scale_out(8192, 16)
+        assert row.tiers == 4
+        assert row.hops == 7
+        assert row.chips == 3584
+        assert row.boxes == 3584
+        assert row.links == 24576  # "24.6 k"
+
+    def test_serial_chassis_row(self):
+        row = count_serial_chassis(8192, 16)
+        assert row.tiers == 2
+        assert row.hops == 7
+        assert row.chips == 3584
+        assert row.boxes == 192
+        assert row.links == 8192  # "8.2 k"
+
+    def test_parallel_8x_row(self):
+        row = count_parallel(8192, 16, 8)
+        assert row.tiers == 2
+        assert row.hops == 3
+        assert row.chips == 1536
+        assert row.boxes == 192
+        assert row.links == 8192
+
+    def test_table1_returns_all_rows(self):
+        rows = table1()
+        assert [r.architecture for r in rows] == [
+            "serial-scale-out",
+            "serial-chassis",
+            "parallel-8x",
+        ]
+
+    def test_same_bisection_chips_claim(self):
+        """Parallel uses strictly fewer chips than either serial design."""
+        rows = table1()
+        assert rows[2].chips < rows[0].chips
+        assert rows[2].chips < rows[1].chips
+
+
+class TestTiers:
+    def test_small_cases(self):
+        assert fat_tree_tiers(16, 16) == 1  # one 16-port switch... 2*(8)^1=16
+        assert fat_tree_tiers(128, 16) == 2
+        assert fat_tree_tiers(1024, 16) == 3
+        assert fat_tree_tiers(8192, 16) == 4
+
+    def test_boundaries(self):
+        # 2*(8)^2 = 128 is the exact 2-tier capacity; 129 needs 3 tiers.
+        assert fat_tree_tiers(129, 16) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fat_tree_tiers(10, 15)
+        with pytest.raises(ValueError):
+            fat_tree_tiers(0, 16)
+
+
+class TestScaling:
+    def test_parallel_chips_scale_linearly_in_planes(self):
+        c2 = count_parallel(128, 16, 2)
+        c4 = count_parallel(128, 16, 4)
+        # Higher breakout radix flattens further; chips grow sublinearly
+        # or linearly but never superlinearly.
+        assert c4.chips <= 2 * c2.chips
+
+    def test_chassis_requires_two_tier_fit(self):
+        with pytest.raises(ValueError):
+            count_serial_chassis(10**7, 16)
+
+    def test_power_model_prefers_parallel(self):
+        rows = table1()
+        assert relative_power(rows[2]) < relative_power(rows[1])
+        assert relative_power(rows[2]) < relative_power(rows[0])
+
+    def test_invalid_planes(self):
+        with pytest.raises(ValueError):
+            count_parallel(8192, 16, 0)

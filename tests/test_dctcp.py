@@ -1,0 +1,146 @@
+"""Tests for ECN marking and the DCTCP transport."""
+
+import pytest
+
+from repro.sim.dctcp import DctcpSource
+from repro.sim.events import EventLoop
+from repro.sim.link import Queue
+from repro.sim.network import PacketNetwork
+from repro.sim.packet import Packet
+from repro.topology.graph import HOST, TOR, Topology
+from repro.units import Gbps, MB
+
+
+def dumbbell(cap=100 * Gbps, prop=1e-6):
+    topo = Topology("dumbbell")
+    for i in range(4):
+        topo.add_node(f"h{i}", HOST)
+    topo.add_node("t0", TOR)
+    topo.add_node("t1", TOR)
+    topo.add_link("h0", "t0", cap, prop)
+    topo.add_link("h1", "t0", cap, prop)
+    topo.add_link("h2", "t1", cap, prop)
+    topo.add_link("h3", "t1", cap, prop)
+    topo.add_link("t0", "t1", cap, prop)
+    return topo
+
+
+PATH_02 = (0, ["h0", "t0", "t1", "h2"])
+PATH_13 = (0, ["h1", "t0", "t1", "h3"])
+
+
+class _Collector:
+    def __init__(self, loop):
+        self.loop = loop
+        self.arrivals = []
+
+    def receive(self, packet):
+        self.arrivals.append(packet)
+
+
+class TestEcnMarking:
+    def test_marks_above_threshold(self):
+        loop = EventLoop()
+        sink = _Collector(loop)
+        queue = Queue(loop, rate=1e9, max_packets=50, ecn_threshold=3)
+        packets = [
+            Packet(flow=None, route=[queue, sink], payload=1000)
+            for __ in range(6)
+        ]
+        for pkt in packets:
+            pkt.forward()
+        loop.run()
+        # Occupancy at arrival: 0,1,2,3,4,5 -> packets 4..6 marked.
+        marked = [p for p in packets if p.ecn_ce]
+        assert len(marked) == 3
+        assert queue.ecn_marks == 3
+
+    def test_no_marking_when_disabled(self):
+        loop = EventLoop()
+        sink = _Collector(loop)
+        queue = Queue(loop, rate=1e9)
+        for __ in range(10):
+            Packet(flow=None, route=[queue, sink], payload=1000).forward()
+        loop.run()
+        assert queue.ecn_marks == 0
+
+    def test_acks_not_marked(self):
+        loop = EventLoop()
+        sink = _Collector(loop)
+        queue = Queue(loop, rate=1e9, ecn_threshold=1)
+        ack = Packet(flow=None, route=[queue, sink], is_ack=True)
+        ack.forward()
+        loop.run()
+        assert not ack.ecn_ce
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            Queue(EventLoop(), rate=1e9, ecn_threshold=0)
+
+
+class TestDctcp:
+    def test_completes_without_marks_like_tcp(self):
+        net = PacketNetwork([dumbbell()], ecn_threshold=65)
+        net.add_flow("h0", "h2", 10 * 1460, [PATH_02], transport="dctcp")
+        net.run()
+        rec = net.records[0]
+        assert rec.retransmits == 0
+
+    def test_alpha_rises_under_congestion(self):
+        net = PacketNetwork([dumbbell()], ecn_threshold=10)
+        source = net.add_flow(
+            "h0", "h2", int(2 * MB), [PATH_02], transport="dctcp"
+        )
+        net.add_flow(
+            "h1", "h3", int(2 * MB), [PATH_13], transport="dctcp"
+        )
+        net.run()
+        assert net.total_ecn_marks > 0
+        assert source.alpha > 0
+
+    def test_dctcp_cuts_drops_vs_tcp_incast(self):
+        """The §6.5 motivation: DCTCP keeps queues short, avoiding drops."""
+        def run(transport, ecn):
+            topo = dumbbell()
+            net = PacketNetwork([topo], queue_packets=60, ecn_threshold=ecn)
+            # Two senders incast into h2's downlink.
+            net.add_flow("h0", "h2", int(1 * MB), [PATH_02],
+                         transport=transport)
+            net.add_flow(
+                "h1", "h2", int(1 * MB),
+                [(0, ["h1", "t0", "t1", "h2"])],
+                transport=transport,
+            )
+            net.run()
+            return net.total_drops, max(r.fct for r in net.records)
+
+        tcp_drops, tcp_fct = run("tcp", None)
+        dctcp_drops, dctcp_fct = run("dctcp", 15)
+        assert dctcp_drops < tcp_drops
+        assert dctcp_fct <= tcp_fct * 1.5
+
+    def test_window_cut_is_proportional(self):
+        loop = EventLoop()
+        source = DctcpSource(loop, size=10**6)
+        source.cwnd = 100 * 1460.0
+        source.ssthresh = 1.0  # force CA
+        source.alpha = 0.0
+        source._acked_bytes_window = 1000
+        source._marked_bytes_window = 1000  # all marked
+        before = source.cwnd
+        source._end_of_window()
+        # alpha jumps to g (1/16); cut = alpha/2 of cwnd.
+        assert source.alpha == pytest.approx(1 / 16)
+        assert source.cwnd == pytest.approx(before * (1 - source.alpha / 2))
+
+    def test_multipath_dctcp_rejected(self):
+        net = PacketNetwork([dumbbell()], ecn_threshold=10)
+        with pytest.raises(ValueError):
+            net.add_flow(
+                "h0", "h2", 1000, [PATH_02, PATH_02], transport="dctcp"
+            )
+
+    def test_unknown_transport_rejected(self):
+        net = PacketNetwork([dumbbell()])
+        with pytest.raises(ValueError):
+            net.add_flow("h0", "h2", 1000, [PATH_02], transport="ndp")

@@ -1,0 +1,99 @@
+"""Determinism regression tests: same seeds must give identical results.
+
+The paper's artifact promises reproducible figures; these tests guard
+that property end to end for each layer of this reproduction.
+"""
+
+import random
+
+import pytest
+
+from repro.core.path_selection import KspMultipathPolicy
+from repro.core.pnet import PNet
+from repro.fluid.flowsim import FluidSimulator
+from repro.sim.network import PacketNetwork
+from repro.topology import ParallelTopology, build_jellyfish, build_xpander
+from repro.traffic.patterns import permutation
+from repro.traffic.traces import DATAMINING
+from repro.units import MB
+
+
+def make_pnet(seed=0):
+    return PNet(
+        ParallelTopology.heterogeneous(
+            lambda s: build_jellyfish(10, 4, 2, seed=s + seed), 2
+        )
+    )
+
+
+class TestTopologyDeterminism:
+    def test_jellyfish(self):
+        a = build_jellyfish(14, 5, 2, seed=9)
+        b = build_jellyfish(14, 5, 2, seed=9)
+        assert {l.key for l in a.links} == {l.key for l in b.links}
+
+    def test_xpander(self):
+        a = build_xpander(4, 2, 3, 2, seed=9)
+        b = build_xpander(4, 2, 3, 2, seed=9)
+        assert {l.key for l in a.links} == {l.key for l in b.links}
+
+
+class TestPolicyDeterminism:
+    def test_ksp_policy_identical_across_instances(self):
+        selections = []
+        for __ in range(2):
+            pnet = make_pnet()
+            policy = KspMultipathPolicy(pnet, k=6, seed=3)
+            selections.append(
+                [policy.select("h0", "h15", i) for i in range(5)]
+            )
+        assert selections[0] == selections[1]
+
+
+class TestSimulatorDeterminism:
+    def test_packet_sim_records_identical(self):
+        def run():
+            pnet = make_pnet()
+            net = PacketNetwork(pnet.planes)
+            policy = KspMultipathPolicy(pnet, k=4, seed=1)
+            pairs = permutation(pnet.hosts, random.Random(11))
+            for i, (src, dst) in enumerate(pairs):
+                net.add_flow(src, dst, int(1 * MB),
+                             policy.select(src, dst, i))
+            net.run()
+            return [
+                (r.flow_id, r.finish, r.retransmits, r.packets_sent)
+                for r in net.records
+            ]
+
+        assert run() == run()
+
+    def test_fluid_sim_records_identical(self):
+        def run():
+            pnet = make_pnet()
+            sim = FluidSimulator(pnet.planes)
+            rng = random.Random(5)
+            policy = KspMultipathPolicy(pnet, k=4, seed=1)
+            for i in range(20):
+                src, dst = rng.sample(pnet.hosts, 2)
+                sim.add_flow(
+                    src, dst, DATAMINING.sample(rng),
+                    policy.select(src, dst, i), at=i * 1e-5,
+                )
+            return [(r.flow_id, r.completion) for r in sim.run()]
+
+        assert run() == run()
+
+
+class TestExperimentDeterminism:
+    def test_fig14_tiny_identical(self):
+        from repro.exp import fig14
+
+        a = fig14.run(scale="tiny")
+        b = fig14.run(scale="tiny")
+        assert a.hop_counts == b.hop_counts
+
+    def test_trace_sampling_identical(self):
+        a = DATAMINING.sample_many(100, random.Random(3))
+        b = DATAMINING.sample_many(100, random.Random(3))
+        assert a == b

@@ -1,0 +1,102 @@
+"""Tests for mid-run link failures in the packet simulator."""
+
+import pytest
+
+from repro.sim.network import PacketNetwork
+from repro.topology.graph import HOST, TOR, Topology
+from repro.units import Gbps, MB
+
+
+def two_path_net(cap=10 * Gbps):
+    """h0 -> t0 with disjoint paths via a and b to t1 -> h1."""
+    topo = Topology("twopath")
+    topo.add_node("h0", HOST)
+    topo.add_node("h1", HOST)
+    for t in ("t0", "t1", "a", "b"):
+        topo.add_node(t, TOR)
+    topo.add_link("h0", "t0", cap)
+    topo.add_link("h1", "t1", cap)
+    topo.add_link("t0", "a", cap)
+    topo.add_link("a", "t1", cap)
+    topo.add_link("t0", "b", cap)
+    topo.add_link("b", "t1", cap)
+    return topo
+
+
+VIA_A = (0, ["h0", "t0", "a", "t1", "h1"])
+VIA_B = (0, ["h0", "t0", "b", "t1", "h1"])
+
+
+class TestMidRunFailure:
+    def test_flow_stalls_after_cut(self):
+        net = PacketNetwork([two_path_net()])
+        net.add_flow("h0", "h1", int(5 * MB), [VIA_A])
+        # Cut the path mid-transfer.
+        net.loop.schedule(1e-4, lambda: net.fail_link(0, "t0", "a"))
+        net.run(until=0.5)
+        assert net.records == []  # never completes
+        assert net.total_drops > 0
+
+    def test_restore_lets_flow_finish(self):
+        net = PacketNetwork([two_path_net()])
+        net.add_flow("h0", "h1", int(1 * MB), [VIA_A])
+        net.loop.schedule(1e-4, lambda: net.fail_link(0, "t0", "a"))
+        net.loop.schedule(5e-2, lambda: net.restore_link(0, "t0", "a"))
+        net.run(until=2.0)
+        assert len(net.records) == 1
+        rec = net.records[0]
+        # The outage spans at least one RTO: FCT includes the dead time.
+        assert rec.fct > 1e-2
+        assert rec.retransmits > 0
+
+    def test_unaffected_path_keeps_working(self):
+        net = PacketNetwork([two_path_net()])
+        net.add_flow("h0", "h1", int(1 * MB), [VIA_A])
+        net.add_flow("h0", "h1", int(1 * MB), [VIA_B])
+        net.loop.schedule(1e-5, lambda: net.fail_link(0, "t0", "a"))
+        net.run(until=0.5)
+        # Only the via-b flow completes.
+        assert len(net.records) == 1
+
+    def test_new_flows_on_failed_link_rejected(self):
+        net = PacketNetwork([two_path_net()])
+        net.fail_link(0, "t0", "a")
+        with pytest.raises(ValueError):
+            net.add_flow("h0", "h1", 1000, [VIA_A])
+        # The disjoint path still accepts flows.
+        net.add_flow("h0", "h1", 1000, [VIA_B])
+        net.run()
+        assert len(net.records) == 1
+
+    def test_application_failover_with_abort(self):
+        """App-level fail-over: abort the stalled flow, retry on path B."""
+        net = PacketNetwork([two_path_net()])
+        outcome = {}
+
+        source = net.add_flow(
+            "h0", "h1", int(1 * MB), [VIA_A],
+            on_complete=lambda rec: outcome.setdefault("first", rec),
+        )
+
+        def failover():
+            net.fail_link(0, "t0", "a")
+            # The host's timeout handler gives up and re-issues the
+            # remaining bytes over the healthy plane/path.
+            remaining = int(1 * MB) - source.snd_una
+            source.abort()
+            net.add_flow(
+                "h0", "h1", remaining, [VIA_B],
+                at=net.loop.now + 1e-3,
+                on_complete=lambda rec: outcome.setdefault("retry", rec),
+            )
+
+        net.loop.schedule(1e-4, failover)
+        net.run(until=1.0)
+        assert "retry" in outcome
+        assert "first" not in outcome
+        assert outcome["retry"].size < 1 * MB  # partial progress carried over
+
+    def test_restore_unknown_link_raises(self):
+        net = PacketNetwork([two_path_net()])
+        with pytest.raises(KeyError):
+            net.fail_link(0, "h0", "h1")

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTED = {
+    "quickstart.py": "parallel planes keep up",
+    "rpc_latency.py": "median improvement",
+    "shuffle_sort.py": "network time",
+    "failure_drill.py": "Figure 14",
+    "mixed_planes.py": "performance isolation",
+    "rolling_upgrade.py": "bulk transfer to the new rack",
+    "operator_console.py": "suspect planes vs baseline: [3]",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED[script] in result.stdout
+
+
+def test_all_examples_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED)

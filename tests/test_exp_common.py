@@ -1,0 +1,109 @@
+"""Tests for the experiment harness shared machinery."""
+
+import pytest
+
+from repro.core.path_selection import EcmpPolicy
+from repro.exp.common import (
+    FatTreeFamily,
+    JellyfishFamily,
+    format_table,
+    get_scale,
+)
+from repro.exp.throughput import routed_throughput, routed_total_throughput
+from repro.units import Gbps
+
+
+class TestGetScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("PNET_SCALE", raising=False)
+        assert get_scale() == "small"
+
+    def test_env(self, monkeypatch):
+        monkeypatch.setenv("PNET_SCALE", "full")
+        assert get_scale() == "full"
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("PNET_SCALE", "full")
+        assert get_scale("tiny") == "tiny"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            get_scale("huge")
+
+
+class TestFatTreeFamily:
+    def test_network_set_consistent(self):
+        family = FatTreeFamily(4)
+        nets = family.network_set(n_planes=2)
+        assert nets.parallel_heterogeneous is None
+        labels = [label for label, __ in nets.items()]
+        assert labels == ["serial-low", "parallel-homogeneous", "serial-high"]
+        assert family.n_hosts == 16
+        for __, pnet in nets.items():
+            assert len(pnet.hosts) == 16
+
+    def test_serial_high_capacity(self):
+        family = FatTreeFamily(4, link_rate=10 * Gbps)
+        high = family.serial_high(4)
+        link = next(iter(high.plane(0).neighbor_links("h0")))
+        assert link.capacity == pytest.approx(40 * Gbps)
+
+
+class TestJellyfishFamily:
+    def test_network_set_has_heterogeneous(self):
+        family = JellyfishFamily(10, 4, 2)
+        nets = family.network_set(n_planes=2)
+        assert nets.parallel_heterogeneous is not None
+        assert nets.parallel_heterogeneous.n_planes == 2
+
+    def test_heterogeneous_planes_differ_homogeneous_do_not(self):
+        family = JellyfishFamily(10, 4, 2)
+        homo = family.parallel_homogeneous(2)
+        hetero = family.parallel_heterogeneous(2)
+
+        def edges(pnet, idx):
+            return {l.key for l in pnet.plane(idx).links}
+
+        assert edges(homo, 0) == edges(homo, 1)
+        assert edges(hetero, 0) != edges(hetero, 1)
+
+    def test_seed_isolation(self):
+        family = JellyfishFamily(10, 4, 2)
+        a = family.parallel_heterogeneous(2, seed=0)
+        b = family.parallel_heterogeneous(2, seed=1)
+        assert {l.key for l in a.plane(0).links} != {
+            l.key for l in b.plane(0).links
+        }
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # All rows same width.
+        assert len({len(l) for l in lines[1:]}) == 1
+
+
+class TestRoutedThroughput:
+    def test_concurrent_vs_total_on_fat_tree(self):
+        family = FatTreeFamily(4)
+        pnet = family.serial_low()
+        hosts = pnet.hosts
+        pairs = [(hosts[i], hosts[(i + 8) % 16]) for i in range(16)]
+        policy = EcmpPolicy(pnet)
+        concurrent = routed_throughput(pnet, pairs, policy)
+        total = routed_total_throughput(pnet, pairs, policy)
+        # Total optimum is at least n_pairs x the fair per-flow rate.
+        assert total >= concurrent * len(pairs) * (1 - 1e-9)
+
+    def test_unroutable_pair_raises(self):
+        family = FatTreeFamily(4)
+        pnet = family.serial_low()
+        plane = pnet.plane(0)
+        for link in list(plane.neighbor_links("h0")):
+            plane.fail_link(link.u, link.v)
+        pnet.invalidate_routing()
+        with pytest.raises(RuntimeError):
+            routed_throughput(pnet, [("h0", "h15")], EcmpPolicy(pnet))

@@ -1,0 +1,86 @@
+"""Property-based tests on fluid simulator invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluid.flowsim import FluidSimulator
+from repro.routing.shortest import all_shortest_paths
+from repro.topology import build_jellyfish
+from repro.units import Gbps
+
+
+def make_net(seed):
+    return build_jellyfish(6, 3, 2, seed=seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n_flows=st.integers(1, 10),
+    sizes=st.lists(
+        st.integers(1_000, 50_000_000), min_size=10, max_size=10
+    ),
+    slow_start=st.booleans(),
+)
+def test_all_flows_complete_with_positive_fct(seed, n_flows, sizes, slow_start):
+    """Every admitted flow completes; FCTs are positive and finite."""
+    topo = make_net(seed % 5)
+    sim = FluidSimulator([topo], slow_start=slow_start)
+    rng = random.Random(seed)
+    hosts = topo.hosts
+    for i in range(n_flows):
+        src, dst = rng.sample(hosts, 2)
+        paths = all_shortest_paths(topo, src, dst, limit=2)
+        sim.add_flow(src, dst, sizes[i], [(0, paths[0])],
+                     at=rng.uniform(0, 1e-3))
+    records = sim.run()
+    assert len(records) == n_flows
+    for rec in records:
+        assert rec.fct > 0
+        assert rec.completion >= rec.arrival
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    size=st.integers(10_000, 100_000_000),
+)
+def test_fct_lower_bound_is_line_rate(seed, size):
+    """No flow beats its bottleneck line rate."""
+    topo = make_net(seed % 5)
+    sim = FluidSimulator([topo], slow_start=False)
+    rng = random.Random(seed)
+    src, dst = rng.sample(topo.hosts, 2)
+    path = all_shortest_paths(topo, src, dst, limit=1)[0]
+    sim.add_flow(src, dst, size, [(0, path)])
+    rec = sim.run()[0]
+    line_rate_time = size * 8 / (100 * Gbps)
+    assert rec.fct >= line_rate_time * (1 - 1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), n_flows=st.integers(2, 8))
+def test_sharing_never_faster_than_alone(seed, n_flows):
+    """Adding competing flows never reduces a flow's FCT."""
+    topo = make_net(seed % 5)
+    rng = random.Random(seed)
+    src, dst = rng.sample(topo.hosts, 2)
+    path = all_shortest_paths(topo, src, dst, limit=1)[0]
+    size = 10_000_000
+
+    alone = FluidSimulator([topo], slow_start=False)
+    alone.add_flow(src, dst, size, [(0, path)])
+    fct_alone = alone.run()[0].fct
+
+    shared = FluidSimulator([topo], slow_start=False)
+    first = shared.add_flow(src, dst, size, [(0, path)])
+    for __ in range(n_flows - 1):
+        a, b = rng.sample(topo.hosts, 2)
+        p = all_shortest_paths(topo, a, b, limit=1)[0]
+        shared.add_flow(a, b, size, [(0, p)])
+    records = shared.run()
+    fct_shared = next(r.fct for r in records if r.flow_id == first)
+    assert fct_shared >= fct_alone * (1 - 1e-9)

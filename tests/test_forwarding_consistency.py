@@ -1,0 +1,86 @@
+"""Cross-layer consistency: forwarding tables vs source-routed paths.
+
+The paper's switches forward destination-based (ECMP tables); our
+simulators install source routes computed by host policies.  These tests
+check the two views agree: every source-routed path is realisable hop by
+hop under the plane's ECMP tables, and table walks produce valid
+shortest paths.
+"""
+
+import pytest
+
+from repro.core.path_selection import EcmpPolicy, MinHopPlanePolicy
+from repro.core.pnet import PNet
+from repro.routing.shortest import shortest_path_length
+from repro.routing.tables import ForwardingTable
+from repro.topology import ParallelTopology, build_jellyfish
+
+
+@pytest.fixture(scope="module")
+def pnet():
+    return PNet(
+        ParallelTopology.heterogeneous(
+            lambda s: build_jellyfish(10, 4, 2, seed=s), 3
+        )
+    )
+
+
+def test_policy_paths_follow_ecmp_tables(pnet):
+    """Every hop a policy picks is a legal ECMP next hop at that switch."""
+    tables = [
+        ForwardingTable(plane, destinations=pnet.hosts)
+        for plane in pnet.planes
+    ]
+    policy = EcmpPolicy(pnet)
+    hosts = pnet.hosts
+    for flow_id, (src, dst) in enumerate(
+        (a, b) for a in hosts[:6] for b in hosts[6:12]
+    ):
+        for plane_idx, path in policy.select(src, dst, flow_id):
+            table = tables[plane_idx]
+            for here, nxt in zip(path, path[1:]):
+                if nxt == dst:
+                    continue  # final host hop is direct
+                assert nxt in table.next_hops(here, dst), (
+                    f"{here}->{nxt} not an ECMP next hop toward {dst}"
+                )
+
+
+def test_table_walks_are_shortest(pnet):
+    for plane_idx, plane in enumerate(pnet.planes):
+        table = ForwardingTable(plane, destinations=["h15"])
+        for src in pnet.hosts[:8]:
+            if src == "h15":
+                continue
+            walked = table.walk(src, "h15", flow_id=plane_idx)
+            assert walked is not None
+            assert len(walked) - 1 == shortest_path_length(
+                plane, src, "h15"
+            )
+
+
+def test_min_hop_policy_agrees_with_tables_on_length(pnet):
+    """The low-latency interface's path length matches a table walk on
+    the same plane."""
+    policy = MinHopPlanePolicy(pnet)
+    src, dst = "h0", "h15"
+    plane_idx, path = policy.select(src, dst, 0)[0]
+    table = ForwardingTable(pnet.plane(plane_idx), destinations=[dst])
+    walked = table.walk(src, dst)
+    assert len(walked) == len(path)
+
+
+def test_tables_respect_failures(pnet):
+    plane = pnet.plane(0)
+    table = ForwardingTable(plane, destinations=["h15"])
+    before = table.walk("h0", "h15")
+    # Fail the first switch hop it used.
+    u, v = before[1], before[2]
+    plane.fail_link(u, v)
+    table.reinstall_all()
+    after = table.walk("h0", "h15")
+    plane.restore_link(u, v)
+    table.reinstall_all()
+    if after is not None:
+        for a, b in zip(after, after[1:]):
+            assert (a, b) != (u, v) and (b, a) != (u, v)

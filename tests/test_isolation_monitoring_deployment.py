@@ -1,0 +1,216 @@
+"""Tests for the section-6/7 extensions: isolation, monitoring, deployment."""
+
+import pytest
+
+from repro.core.isolation import PlaneAllocator, RestrictedPolicy
+from repro.core.monitoring import NetworkMonitor
+from repro.core.path_selection import EcmpPolicy, KspMultipathPolicy
+from repro.core.pnet import PNet
+from repro.sim.network import PacketNetwork
+from repro.topology import ParallelTopology, build_fat_tree, build_jellyfish
+from repro.topology.deployment import (
+    deployment_comparison,
+    plan_parallel,
+    plan_serial,
+)
+
+
+@pytest.fixture(scope="module")
+def pnet4():
+    return PNet(
+        ParallelTopology.homogeneous(lambda: build_fat_tree(4), 4)
+    )
+
+
+class TestPlaneAllocator:
+    def test_assign_and_lookup(self, pnet4):
+        alloc = PlaneAllocator(pnet4)
+        alloc.assign("frontend", [0])
+        alloc.assign("analytics", [1, 2, 3])
+        assert alloc.planes_of("frontend") == [0]
+        assert alloc.classes == ["frontend", "analytics"]
+        assert alloc.is_isolated("frontend", "analytics")
+
+    def test_exclusive_conflict_rejected(self, pnet4):
+        alloc = PlaneAllocator(pnet4)
+        alloc.assign("a", [0, 1])
+        with pytest.raises(ValueError):
+            alloc.assign("b", [1, 2], exclusive=True)
+        alloc.assign("c", [2, 3], exclusive=True)  # disjoint: fine
+
+    def test_overlapping_not_isolated(self, pnet4):
+        alloc = PlaneAllocator(pnet4)
+        alloc.assign("a", [0, 1])
+        alloc.assign("b", [1, 2])
+        assert not alloc.is_isolated("a", "b")
+
+    def test_validations(self, pnet4):
+        alloc = PlaneAllocator(pnet4)
+        with pytest.raises(ValueError):
+            alloc.assign("x", [])
+        with pytest.raises(IndexError):
+            alloc.assign("x", [9])
+        with pytest.raises(KeyError):
+            alloc.planes_of("nope")
+
+    def test_policy_confined_to_class_planes(self, pnet4):
+        alloc = PlaneAllocator(pnet4)
+        alloc.assign("bulk", [2, 3])
+        policy = alloc.policy("bulk", KspMultipathPolicy, k=8)
+        for flow_id in range(8):
+            for plane, path in policy.select("h0", "h15", flow_id):
+                assert plane in (2, 3)
+                assert path[0] == "h0" and path[-1] == "h15"
+
+    def test_single_plane_class(self, pnet4):
+        alloc = PlaneAllocator(pnet4)
+        alloc.assign("frontend", [1])
+        policy = alloc.policy("frontend", EcmpPolicy)
+        planes = {
+            policy.select("h0", "h15", i)[0][0] for i in range(16)
+        }
+        assert planes == {1}
+
+
+class TestRestrictedPolicy:
+    def test_translation_back_to_real_ids(self, pnet4):
+        restricted = RestrictedPolicy(pnet4, [3], EcmpPolicy)
+        plane, __ = restricted.select("h0", "h15", 0)[0]
+        assert plane == 3
+
+    def test_validations(self, pnet4):
+        with pytest.raises(ValueError):
+            RestrictedPolicy(pnet4, [], EcmpPolicy)
+        with pytest.raises(IndexError):
+            RestrictedPolicy(pnet4, [7], EcmpPolicy)
+        with pytest.raises(ValueError):
+            RestrictedPolicy(pnet4, [1, 1], EcmpPolicy)
+
+
+class TestNetworkMonitor:
+    def test_flow_attribution(self):
+        monitor = NetworkMonitor(2)
+        monitor.record_flow([0], size=1000, fct=1e-3)
+        monitor.record_flow([0, 1], size=2000, fct=2e-3)
+        assert monitor.stats[0].flows == 2
+        assert monitor.stats[0].bytes_carried == pytest.approx(2000)
+        assert monitor.stats[1].bytes_carried == pytest.approx(1000)
+
+    def test_load_imbalance(self):
+        monitor = NetworkMonitor(2)
+        monitor.record_flow([0], 3000, 1e-3)
+        monitor.record_flow([1], 1000, 1e-3)
+        assert monitor.load_imbalance() == pytest.approx(1.5)
+
+    def test_balanced_when_idle(self):
+        assert NetworkMonitor(4).load_imbalance() == 1.0
+
+    def test_suspect_planes_by_fct(self):
+        monitor = NetworkMonitor(2)
+        for __ in range(5):
+            monitor.record_flow([0], 100, 1e-4)
+            monitor.record_flow([1], 100, 1e-2)  # 100x slower
+        assert monitor.suspect_planes() == [1]
+
+    def test_ingest_queue_counters(self):
+        pnet = ParallelTopology.homogeneous(lambda: build_fat_tree(4), 2)
+        net = PacketNetwork(pnet.planes)
+        # Run a real flow on plane 1 only.
+        from repro.routing.shortest import shortest_path
+
+        path = shortest_path(pnet.plane(1), "h0", "h15")
+        net.add_flow("h0", "h15", 100_000, [(1, path)])
+        net.run()
+        monitor = NetworkMonitor(2)
+        monitor.ingest_queue_counters(net)
+        assert monitor.stats[1].packets_forwarded > 0
+        assert monitor.stats[0].packets_forwarded == 0
+
+    def test_report_renders(self):
+        monitor = NetworkMonitor(2)
+        monitor.record_flow([0], 100, 1e-3)
+        text = monitor.report()
+        assert "plane" in text and len(text.splitlines()) == 3
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            NetworkMonitor(0)
+        with pytest.raises(ValueError):
+            NetworkMonitor(1).record_flow([], 1, 1)
+
+
+class TestDeployment:
+    def make_pnet(self, n=4):
+        return ParallelTopology.homogeneous(lambda: build_fat_tree(4), n)
+
+    def test_bundling_matches_serial_cable_count(self):
+        """Section 6.1: bundled P-Net pulls as many cables as serial."""
+        pnet = self.make_pnet(4)
+        serial = plan_serial(pnet.serial_equivalent())
+        bundled = plan_parallel(pnet, bundle=True)
+        assert bundled.physical_cables == serial.physical_cables
+        assert bundled.logical_links == 4 * serial.logical_links
+        assert bundled.bundling_factor == pytest.approx(4.0)
+
+    def test_naive_is_n_times_cables(self):
+        pnet = self.make_pnet(4)
+        naive = plan_parallel(pnet, bundle=False)
+        bundled = plan_parallel(pnet, bundle=True)
+        assert naive.physical_cables == 4 * bundled.physical_cables
+
+    def test_optical_core_halves_transceivers(self):
+        pnet = self.make_pnet(2)
+        electrical = plan_parallel(pnet, bundle=True, optical_core=False)
+        optical = plan_parallel(pnet, bundle=True, optical_core=True)
+        assert optical.transceivers == electrical.transceivers // 2
+
+    def test_heterogeneous_bundles_by_location(self):
+        pnet = ParallelTopology.heterogeneous(
+            lambda s: build_jellyfish(10, 4, 1, seed=s), 4
+        )
+        plan = plan_parallel(pnet, bundle=True)
+        # Different instantiations share few exact pairs, but bundling by
+        # location still compresses: strictly fewer cables than links.
+        assert plan.physical_cables < plan.logical_links
+        assert plan.bundling_factor > 1.0
+
+    def test_comparison_keys(self):
+        comp = deployment_comparison(self.make_pnet(2))
+        assert set(comp) == {
+            "serial-high",
+            "parallel-naive",
+            "parallel-bundled",
+            "parallel-bundled-ocs",
+        }
+
+    def test_host_links_excluded(self):
+        pnet = self.make_pnet(1)
+        plan = plan_serial(pnet.plane(0))
+        n_host_links = len(pnet.hosts)
+        total_links = len(pnet.plane(0).links)
+        assert plan.logical_links == total_links - n_host_links
+
+
+class TestBaselineDetection:
+    def test_baseline_relative_suspects(self):
+        baseline = NetworkMonitor(2)
+        degraded = NetworkMonitor(2)
+        for __ in range(5):
+            # Plane 1 is naturally slower (longer paths) in both runs.
+            baseline.record_flow([0], 100, 1e-4)
+            baseline.record_flow([1], 100, 3e-4)
+            degraded.record_flow([0], 100, 1e-4)
+            degraded.record_flow([1], 100, 9e-4)  # 3x its own baseline
+        # Absolute comparison would flag plane 1 even in the baseline...
+        assert baseline.suspect_planes(fct_factor=2.0) == [1]
+        # ...but baseline-relative comparison only flags real regressions.
+        assert degraded.suspect_planes(
+            fct_factor=2.0, baseline=baseline
+        ) == [1]
+        healthy_again = NetworkMonitor(2)
+        for __ in range(5):
+            healthy_again.record_flow([0], 100, 1e-4)
+            healthy_again.record_flow([1], 100, 3e-4)
+        assert healthy_again.suspect_planes(
+            fct_factor=2.0, baseline=baseline
+        ) == []

@@ -1,0 +1,70 @@
+"""Tests for the unloaded-latency accounting (paper's section 5.2.1 math)."""
+
+import pytest
+
+from repro.analysis.latency import (
+    architecture_latency,
+    path_latency,
+    serialization_advantage,
+)
+from repro.topology.cost import table1
+from repro.units import Gbps, MTU, USEC
+
+
+class TestPathLatency:
+    def test_paper_serialization_values(self):
+        one_hop = path_latency(0, link_rate=100 * Gbps)
+        # One link: 120 ns serialisation at 100G.
+        assert one_hop.serialization == pytest.approx(120e-9)
+        fast = path_latency(0, link_rate=400 * Gbps)
+        assert fast.serialization == pytest.approx(30e-9)
+
+    def test_propagation_dominates_at_100g(self):
+        breakdown = path_latency(5, link_rate=100 * Gbps)
+        assert breakdown.propagation > breakdown.serialization * 5
+
+    def test_total_is_sum(self):
+        b = path_latency(3)
+        assert b.total == pytest.approx(b.serialization + b.propagation)
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            path_latency(-1)
+
+
+class TestSerializationAdvantage:
+    def test_paper_eleven_x(self):
+        # "each hop will introduce a whole microsecond, which is 11x the
+        # serialization delay improvement in serial high-bandwidth".
+        ratio = serialization_advantage(
+            slow_rate=100 * Gbps, fast_rate=400 * Gbps
+        )
+        assert ratio == pytest.approx(1 * USEC / 90e-9, rel=1e-6)
+        assert 10 < ratio < 12
+
+    def test_rate_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            serialization_advantage(slow_rate=400 * Gbps, fast_rate=100 * Gbps)
+
+
+class TestArchitectureLatency:
+    def test_parallel_beats_chassis_despite_slower_links(self):
+        """Table 1 + section 3.3: 3 hops at 100G beat 7 hops at 800G."""
+        serial, chassis, parallel = table1()
+        chassis_latency = architecture_latency(
+            chassis, link_rate=800 * Gbps
+        ).total
+        parallel_latency = architecture_latency(
+            parallel, link_rate=100 * Gbps
+        ).total
+        assert parallel_latency < chassis_latency
+
+    def test_hops_drive_latency(self):
+        serial, chassis, parallel = table1()
+        same_rate = [
+            architecture_latency(row).total
+            for row in (serial, chassis, parallel)
+        ]
+        # serial and chassis both cross 7 chips; parallel crosses 3.
+        assert same_rate[0] == pytest.approx(same_rate[1])
+        assert same_rate[2] == pytest.approx(same_rate[0] / 2)  # 4 vs 8 links

@@ -1,0 +1,212 @@
+"""Tests for the LP throughput solvers."""
+
+import pytest
+
+from repro.lp.ideal import (
+    ideal_throughput,
+    merge_parallel,
+    merge_parallel_with_rack_sources,
+)
+from repro.lp.mcf import Commodity, max_concurrent_flow
+from repro.topology import ParallelTopology, build_fat_tree, build_jellyfish
+from repro.topology.graph import HOST, TOR, Topology
+from repro.units import Gbps
+
+
+def line_topology(capacity=10 * Gbps):
+    """h0 - t0 - t1 - h1."""
+    topo = Topology("line")
+    topo.add_node("h0", HOST)
+    topo.add_node("h1", HOST)
+    topo.add_node("t0", TOR)
+    topo.add_node("t1", TOR)
+    topo.add_link("h0", "t0", capacity)
+    topo.add_link("t0", "t1", capacity)
+    topo.add_link("t1", "h1", capacity)
+    return topo
+
+
+def two_path_topology(cap_a=10 * Gbps, cap_b=5 * Gbps):
+    """h0-t0, two disjoint t0->t1 paths via a (cap_a) and b (cap_b)."""
+    topo = Topology("twopath")
+    for n, k in (("h0", HOST), ("h1", HOST)):
+        topo.add_node(n, k)
+    for t in ("t0", "t1", "a", "b"):
+        topo.add_node(t, TOR)
+    big = 100 * Gbps
+    topo.add_link("h0", "t0", big)
+    topo.add_link("h1", "t1", big)
+    topo.add_link("t0", "a", cap_a)
+    topo.add_link("a", "t1", cap_a)
+    topo.add_link("t0", "b", cap_b)
+    topo.add_link("b", "t1", cap_b)
+    return topo
+
+
+class TestMcf:
+    def test_single_flow_bottleneck(self):
+        topo = line_topology()
+        commodity = Commodity(
+            "h0", "h1", [(0, ["h0", "t0", "t1", "h1"])]
+        )
+        result = max_concurrent_flow([topo], [commodity])
+        assert result.alpha == pytest.approx(10 * Gbps, rel=1e-6)
+
+    def test_two_paths_sum(self):
+        topo = two_path_topology()
+        commodity = Commodity(
+            "h0",
+            "h1",
+            [
+                (0, ["h0", "t0", "a", "t1", "h1"]),
+                (0, ["h0", "t0", "b", "t1", "h1"]),
+            ],
+        )
+        result = max_concurrent_flow([topo], [commodity])
+        assert result.alpha == pytest.approx(15 * Gbps, rel=1e-6)
+        assert sum(result.path_rates[0]) == pytest.approx(15 * Gbps, rel=1e-6)
+
+    def test_concurrent_objective_is_fair(self):
+        # Two flows share one 10G link; each gets 5G.
+        topo = line_topology()
+        path = [(0, ["h0", "t0", "t1", "h1"])]
+        flows = [Commodity("h0", "h1", path), Commodity("h0", "h1", path)]
+        result = max_concurrent_flow([topo], flows)
+        assert result.alpha == pytest.approx(5 * Gbps, rel=1e-6)
+        assert result.total_throughput == pytest.approx(10 * Gbps, rel=1e-6)
+
+    def test_demand_scaling(self):
+        topo = line_topology()
+        commodity = Commodity(
+            "h0", "h1", [(0, ["h0", "t0", "t1", "h1"])], demand=2.0
+        )
+        result = max_concurrent_flow([topo], [commodity])
+        assert result.alpha == pytest.approx(5 * Gbps, rel=1e-6)
+        assert result.total_throughput == pytest.approx(10 * Gbps, rel=1e-6)
+
+    def test_total_objective_can_starve(self):
+        # Flow A (short path) and flow B (shares A's bottleneck); total
+        # objective may give everything to one of them.
+        topo = two_path_topology(cap_a=10 * Gbps, cap_b=5 * Gbps)
+        a = Commodity("h0", "h1", [(0, ["h0", "t0", "a", "t1", "h1"])])
+        b = Commodity("h0", "h1", [(0, ["h0", "t0", "a", "t1", "h1"])])
+        result = max_concurrent_flow([topo], [a, b], objective="total")
+        assert result.total_throughput == pytest.approx(10 * Gbps, rel=1e-6)
+
+    def test_multi_plane_paths(self):
+        pnet = ParallelTopology.homogeneous(lambda: line_topology(), 2)
+        commodity = Commodity(
+            "h0",
+            "h1",
+            [
+                (0, ["h0", "t0", "t1", "h1"]),
+                (1, ["h0", "t0", "t1", "h1"]),
+            ],
+        )
+        result = max_concurrent_flow(pnet.planes, [commodity])
+        assert result.alpha == pytest.approx(20 * Gbps, rel=1e-6)
+
+    def test_path_on_failed_link_rejected(self):
+        topo = line_topology()
+        topo.fail_link("t0", "t1")
+        commodity = Commodity("h0", "h1", [(0, ["h0", "t0", "t1", "h1"])])
+        with pytest.raises(ValueError):
+            max_concurrent_flow([topo], [commodity])
+
+    def test_validations(self):
+        topo = line_topology()
+        with pytest.raises(ValueError):
+            Commodity("h0", "h1", [])
+        with pytest.raises(ValueError):
+            Commodity("h0", "h1", [(0, ["h0", "t0"])])  # wrong endpoint
+        with pytest.raises(ValueError):
+            Commodity("h0", "h1", [(0, ["h0", "t0", "t1", "h1"])], demand=0)
+        with pytest.raises(ValueError):
+            max_concurrent_flow([topo], [])
+        with pytest.raises(ValueError):
+            max_concurrent_flow(
+                [topo],
+                [Commodity("h0", "h1", [(0, ["h0", "t0", "t1", "h1"])])],
+                objective="nope",
+            )
+
+
+class TestIdeal:
+    def test_matches_path_lp_on_line(self):
+        topo = line_topology()
+        alpha = ideal_throughput(topo, {("h0", "h1"): 1.0})
+        assert alpha == pytest.approx(10 * Gbps, rel=1e-6)
+
+    def test_uses_all_paths(self):
+        topo = two_path_topology()
+        alpha = ideal_throughput(topo, {("h0", "h1"): 1.0})
+        assert alpha == pytest.approx(15 * Gbps, rel=1e-6)
+
+    def test_bidirectional_demands(self):
+        topo = line_topology()
+        alpha = ideal_throughput(
+            topo, {("h0", "h1"): 1.0, ("h1", "h0"): 1.0}
+        )
+        # Full duplex: both directions get the full 10G.
+        assert alpha == pytest.approx(10 * Gbps, rel=1e-6)
+
+    def test_fat_tree_permutation_full_bisection(self):
+        topo = build_fat_tree(4)
+        hosts = sorted(topo.hosts, key=lambda h: int(h[1:]))
+        n = len(hosts)
+        demands = {
+            (hosts[i], hosts[(i + n // 2) % n]): 1.0 for i in range(n)
+        }
+        alpha = ideal_throughput(topo, demands)
+        # Non-blocking fabric: every host sends at line rate.
+        assert alpha == pytest.approx(100 * Gbps, rel=1e-4)
+
+    def test_validations(self):
+        topo = line_topology()
+        with pytest.raises(ValueError):
+            ideal_throughput(topo, {})
+        with pytest.raises(ValueError):
+            ideal_throughput(topo, {("h0", "h0"): 1.0})
+        with pytest.raises(ValueError):
+            ideal_throughput(topo, {("h0", "h1"): 0.0})
+        with pytest.raises(KeyError):
+            ideal_throughput(topo, {("h0", "nope"): 1.0})
+
+
+class TestMerge:
+    def test_merge_shares_hosts_only(self):
+        pnet = ParallelTopology.homogeneous(lambda: line_topology(), 2)
+        merged = merge_parallel(pnet.planes)
+        assert "h0" in merged
+        assert "p0:t0" in merged and "p1:t0" in merged
+        assert not merged.has_link("p0:t0", "p1:t0")
+        # Host has one uplink per plane.
+        assert merged.degree("h0") == 2
+
+    def test_merged_throughput_doubles(self):
+        pnet = ParallelTopology.homogeneous(lambda: line_topology(), 2)
+        merged = merge_parallel(pnet.planes)
+        alpha = ideal_throughput(merged, {("h0", "h1"): 1.0})
+        assert alpha == pytest.approx(20 * Gbps, rel=1e-6)
+
+    def test_rack_sources(self):
+        pnet = ParallelTopology.homogeneous(
+            lambda: build_jellyfish(6, 3, 1, seed=0), 2
+        )
+        merged, racks = merge_parallel_with_rack_sources(pnet.planes)
+        assert racks == [f"r{i}" for i in range(6)]
+        for rack in racks:
+            assert merged.degree(rack) == 2
+
+    def test_rack_links_do_not_bottleneck(self):
+        plane = build_jellyfish(6, 3, 1, seed=0)
+        merged, racks = merge_parallel_with_rack_sources([plane])
+        demands = {
+            (a, b): 1.0 for a in racks for b in racks if a != b
+        }
+        alpha = ideal_throughput(merged, demands)
+        assert alpha > 0
+        # The binding constraint must be a core link, not a rack link:
+        # total egress per rack = 5 * alpha must be below rack capacity.
+        rack_cap = merged.link("r0", "p0:t0").capacity
+        assert 5 * alpha < rack_cap / 10

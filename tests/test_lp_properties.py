@@ -1,0 +1,97 @@
+"""Property-based tests on the LP solvers: feasibility and optimality."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.path_selection import EcmpPolicy, KspMultipathPolicy
+from repro.core.pnet import PNet
+from repro.lp.ideal import ideal_throughput
+from repro.lp.mcf import Commodity, max_concurrent_flow
+from repro.topology import build_jellyfish
+
+
+def build_instance(seed: int, n_pairs: int, k: int):
+    topo = build_jellyfish(8, 4, 2, seed=seed % 4)
+    pnet = PNet.serial(topo)
+    rng = random.Random(seed)
+    policy = KspMultipathPolicy(pnet, k=k, seed=seed)
+    commodities = []
+    for i in range(n_pairs):
+        src, dst = rng.sample(topo.hosts, 2)
+        commodities.append(
+            Commodity(src, dst, policy.select(src, dst, i))
+        )
+    return topo, commodities
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    n_pairs=st.integers(1, 8),
+    k=st.integers(1, 4),
+)
+def test_concurrent_solution_feasible(seed, n_pairs, k):
+    """alpha*demand fits within every link capacity."""
+    topo, commodities = build_instance(seed, n_pairs, k)
+    result = max_concurrent_flow([topo], commodities)
+    assert result.alpha >= 0
+    # Reconstruct link usage from path rates.
+    usage = {}
+    for commodity, rates in zip(commodities, result.path_rates):
+        # Each commodity ships alpha * demand in total.
+        assert sum(rates) == pytest.approx(
+            result.alpha * commodity.demand, rel=1e-6, abs=1.0
+        )
+        for (plane, path), rate in zip(commodity.paths, rates):
+            for u, v in zip(path, path[1:]):
+                usage[(u, v)] = usage.get((u, v), 0.0) + rate
+    for (u, v), used in usage.items():
+        cap = topo.link(u, v).capacity
+        assert used <= cap * (1 + 1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6), n_pairs=st.integers(1, 6))
+def test_total_at_least_concurrent(seed, n_pairs):
+    """Max-total throughput >= total at the fair optimum."""
+    topo, commodities = build_instance(seed, n_pairs, 2)
+    fair = max_concurrent_flow([topo], commodities)
+    total = max_concurrent_flow([topo], commodities, objective="total")
+    assert total.total_throughput >= fair.total_throughput * (1 - 1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6), n_pairs=st.integers(1, 5))
+def test_ideal_upper_bounds_routed(seed, n_pairs):
+    """Unconstrained routing can never do worse than ECMP-pinned routes."""
+    topo = build_jellyfish(8, 4, 2, seed=seed % 4)
+    pnet = PNet.serial(topo)
+    rng = random.Random(seed)
+    policy = EcmpPolicy(pnet)
+    demands = {}
+    commodities = []
+    for i in range(n_pairs):
+        src, dst = rng.sample(topo.hosts, 2)
+        if (src, dst) in demands:
+            continue
+        demands[(src, dst)] = 1.0
+        commodities.append(Commodity(src, dst, policy.select(src, dst, i)))
+    routed = max_concurrent_flow([topo], commodities)
+    ideal = ideal_throughput(topo, demands)
+    assert ideal >= routed.alpha * (1 - 1e-6)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_capacity_scaling_linearity(seed):
+    """Doubling every capacity exactly doubles the optimum."""
+    from repro.topology.parallel import scale_capacity
+
+    topo, commodities = build_instance(seed, 4, 2)
+    base = max_concurrent_flow([topo], commodities).alpha
+    doubled_topo = scale_capacity(topo, 2.0)
+    doubled = max_concurrent_flow([doubled_topo], commodities).alpha
+    assert doubled == pytest.approx(2 * base, rel=1e-6)

@@ -1,0 +1,117 @@
+"""Tests for the multi-channel NIC model (paper section 6.3)."""
+
+import pytest
+
+from repro.core.failures import detect_failed_uplinks
+from repro.core.host import EndHost
+from repro.core.nic import HostNic, NicConfig
+from repro.core.pnet import PNet
+from repro.topology import ParallelTopology, build_jellyfish
+
+
+def make_pnet(n_planes=4):
+    return PNet(
+        ParallelTopology.heterogeneous(
+            lambda s: build_jellyfish(8, 4, 2, seed=s), n_planes
+        )
+    )
+
+
+class TestNicConfig:
+    def test_channel_mapping(self):
+        config = NicConfig(n_planes=4, ports=2)
+        assert config.channels_per_port == 2
+        assert config.port_of_plane(0) == 0
+        assert config.port_of_plane(1) == 0
+        assert config.port_of_plane(2) == 1
+        assert config.planes_of_port(1) == [2, 3]
+
+    def test_single_port_carries_everything(self):
+        config = NicConfig(n_planes=4, ports=1)
+        assert config.planes_of_port(0) == [0, 1, 2, 3]
+
+    def test_one_port_per_plane(self):
+        config = NicConfig(n_planes=4, ports=4)
+        assert config.channels_per_port == 1
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            NicConfig(n_planes=4, ports=3)  # uneven split
+        with pytest.raises(ValueError):
+            NicConfig(n_planes=2, ports=4)  # more ports than planes
+        with pytest.raises(ValueError):
+            NicConfig(n_planes=0, ports=1)
+        with pytest.raises(IndexError):
+            NicConfig(n_planes=4, ports=2).port_of_plane(9)
+        with pytest.raises(IndexError):
+            NicConfig(n_planes=4, ports=2).planes_of_port(5)
+
+
+class TestHostNic:
+    def test_port_failure_takes_down_its_planes(self):
+        pnet = make_pnet()
+        nic = HostNic(pnet, "h0", NicConfig(n_planes=4, ports=2))
+        affected = nic.fail_port(0)
+        pnet.invalidate_routing()
+        assert affected == [0, 1]
+        assert nic.usable_planes() == [2, 3]
+        # The topology-level detection agrees.
+        assert detect_failed_uplinks(pnet, "h0") == [0, 1]
+        # Other hosts are unaffected.
+        assert detect_failed_uplinks(pnet, "h1") == []
+
+    def test_single_port_nic_is_a_single_point_of_failure(self):
+        pnet = make_pnet()
+        nic = HostNic(pnet, "h0", NicConfig(n_planes=4, ports=1))
+        nic.fail_port(0)
+        pnet.invalidate_routing()
+        assert nic.usable_planes() == []
+        host = EndHost(pnet, "h0")
+        assert host.usable_planes() == []
+
+    def test_restore_port(self):
+        pnet = make_pnet()
+        nic = HostNic(pnet, "h0", NicConfig(n_planes=4, ports=4))
+        nic.fail_port(2)
+        pnet.invalidate_routing()
+        assert nic.usable_planes() == [0, 1, 3]
+        nic.restore_port(2)
+        pnet.invalidate_routing()
+        assert nic.usable_planes() == [0, 1, 2, 3]
+        assert detect_failed_uplinks(pnet, "h0") == []
+
+    def test_restore_idempotent(self):
+        pnet = make_pnet()
+        nic = HostNic(pnet, "h0", NicConfig(n_planes=4, ports=2))
+        nic.restore_port(1)  # never failed: no-op
+        assert nic.usable_planes() == [0, 1, 2, 3]
+
+    def test_surviving_fraction_tradeoff(self):
+        pnet = make_pnet()
+        redundant = HostNic(pnet, "h1", NicConfig(n_planes=4, ports=4))
+        cheap = HostNic(pnet, "h2", NicConfig(n_planes=4, ports=1))
+        assert redundant.surviving_fraction(1) == pytest.approx(0.75)
+        assert cheap.surviving_fraction(1) == pytest.approx(0.0)
+        with pytest.raises(ValueError):
+            cheap.surviving_fraction(2)
+
+    def test_config_network_mismatch_rejected(self):
+        pnet = make_pnet(n_planes=2)
+        with pytest.raises(ValueError):
+            HostNic(pnet, "h0", NicConfig(n_planes=4, ports=2))
+        with pytest.raises(ValueError):
+            HostNic(pnet, "h999", NicConfig(n_planes=2, ports=1))
+
+    def test_failover_still_works_with_nic_failures(self):
+        from repro.core.failures import FailureAwareSelector
+        from repro.core.path_selection import EcmpPolicy
+
+        pnet = make_pnet()
+        nic = HostNic(pnet, "h0", NicConfig(n_planes=4, ports=2))
+        nic.fail_port(0)
+        pnet.invalidate_routing()
+        selector = FailureAwareSelector(EcmpPolicy(pnet))
+        for flow_id in range(8):
+            selection = selector.select("h0", "h15", flow_id)
+            assert selection
+            assert all(plane in (2, 3) for plane, __ in selection)

@@ -1,0 +1,78 @@
+"""Tests for the open-loop Poisson workload generator."""
+
+import pytest
+
+from repro.core.path_selection import EcmpPolicy
+from repro.core.pnet import PNet
+from repro.fluid.flowsim import FluidSimulator
+from repro.topology import build_jellyfish
+from repro.traffic.openloop import offered_load, poisson_flows
+from repro.traffic.traces import WEBSERVER
+from repro.units import Gbps
+
+HOSTS = [f"h{i}" for i in range(16)]
+
+
+class TestPoissonFlows:
+    def test_deterministic(self):
+        a = poisson_flows(HOSTS, WEBSERVER, 0.5, 100 * Gbps, 1e-3, seed=1)
+        b = poisson_flows(HOSTS, WEBSERVER, 0.5, 100 * Gbps, 1e-3, seed=1)
+        assert a == b
+
+    def test_seed_changes_arrivals(self):
+        a = poisson_flows(HOSTS, WEBSERVER, 0.5, 100 * Gbps, 1e-3, seed=1)
+        b = poisson_flows(HOSTS, WEBSERVER, 0.5, 100 * Gbps, 1e-3, seed=2)
+        assert a != b
+
+    def test_arrivals_sorted_within_duration(self):
+        flows = poisson_flows(HOSTS, WEBSERVER, 0.5, 100 * Gbps, 2e-3, seed=0)
+        times = [f.arrival for f in flows]
+        assert times == sorted(times)
+        assert all(0 < t < 2e-3 for t in times)
+
+    def test_no_self_flows(self):
+        flows = poisson_flows(HOSTS, WEBSERVER, 0.5, 100 * Gbps, 1e-3, seed=0)
+        assert all(f.src != f.dst for f in flows)
+
+    def test_realised_load_near_target(self):
+        duration = 20e-3
+        flows = poisson_flows(
+            HOSTS, WEBSERVER, 0.6, 100 * Gbps, duration, seed=3
+        )
+        realised = offered_load(flows, len(HOSTS), 100 * Gbps, duration)
+        # Poisson + heavy-ish sizes: generous tolerance, right ballpark.
+        assert 0.3 < realised < 1.0
+
+    def test_load_scales_arrival_count(self):
+        low = poisson_flows(HOSTS, WEBSERVER, 0.2, 100 * Gbps, 5e-3, seed=0)
+        high = poisson_flows(HOSTS, WEBSERVER, 0.8, 100 * Gbps, 5e-3, seed=0)
+        assert len(high) > 2 * len(low)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            poisson_flows(HOSTS, WEBSERVER, 0.0, 100 * Gbps, 1e-3)
+        with pytest.raises(ValueError):
+            poisson_flows(HOSTS, WEBSERVER, 1.5, 100 * Gbps, 1e-3)
+        with pytest.raises(ValueError):
+            poisson_flows(HOSTS, WEBSERVER, 0.5, 100 * Gbps, 0)
+        with pytest.raises(ValueError):
+            poisson_flows(["h0"], WEBSERVER, 0.5, 100 * Gbps, 1e-3)
+
+
+class TestOpenLoopOnFluidSim:
+    def test_replay_completes_all_flows(self):
+        topo = build_jellyfish(8, 4, 2, seed=0)
+        pnet = PNet.serial(topo)
+        policy = EcmpPolicy(pnet)
+        flows = poisson_flows(
+            pnet.hosts, WEBSERVER, 0.3, 100 * Gbps, 0.5e-3, seed=4
+        )
+        sim = FluidSimulator(pnet.planes)
+        for i, f in enumerate(flows):
+            sim.add_flow(
+                f.src, f.dst, f.size, policy.select(f.src, f.dst, i),
+                at=f.arrival,
+            )
+        records = sim.run()
+        assert len(records) == len(flows)
+        assert all(r.fct > 0 for r in records)

@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import cdf_points, percentile, summarize
+from repro.routing.ksp import k_shortest_paths
+from repro.routing.shortest import all_shortest_paths, shortest_path_length
+from repro.topology.graph import TOR, Topology
+from repro.topology.jellyfish import random_regular_edges
+from repro.traffic.traces import TRACES
+
+
+def random_topology(seed: int, n_switches: int, extra_links: int) -> Topology:
+    """A connected random switch graph: spanning tree + extra chords."""
+    rng = random.Random(seed)
+    topo = Topology(f"rand-{seed}")
+    for i in range(n_switches):
+        topo.add_node(f"t{i}", TOR)
+    for i in range(1, n_switches):
+        j = rng.randrange(i)
+        topo.add_link(f"t{i}", f"t{j}", 1e9)
+    added = 0
+    attempts = 0
+    while added < extra_links and attempts < 50:
+        attempts += 1
+        a, b = rng.sample(range(n_switches), 2)
+        if not topo.has_link(f"t{a}", f"t{b}"):
+            topo.add_link(f"t{a}", f"t{b}", 1e9)
+            added += 1
+    return topo
+
+
+class TestShortestPathProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        n=st.integers(3, 12),
+        extra=st.integers(0, 8),
+    )
+    def test_all_shortest_paths_are_shortest_and_simple(self, seed, n, extra):
+        topo = random_topology(seed, n, extra)
+        rng = random.Random(seed + 1)
+        src, dst = (f"t{i}" for i in rng.sample(range(n), 2))
+        expected = shortest_path_length(topo, src, dst)
+        paths = all_shortest_paths(topo, src, dst)
+        assert paths, "connected graph must have a path"
+        for path in paths:
+            assert len(path) - 1 == expected
+            assert len(set(path)) == len(path)
+            assert path[0] == src and path[-1] == dst
+            for u, v in zip(path, path[1:]):
+                assert topo.has_link(u, v)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        n=st.integers(3, 10),
+        extra=st.integers(0, 6),
+        k=st.integers(1, 6),
+    )
+    def test_ksp_sorted_distinct_simple(self, seed, n, extra, k):
+        topo = random_topology(seed, n, extra)
+        rng = random.Random(seed + 1)
+        src, dst = (f"t{i}" for i in rng.sample(range(n), 2))
+        paths = k_shortest_paths(topo, src, dst, k)
+        assert 1 <= len(paths) <= k
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+        assert len({tuple(p) for p in paths}) == len(paths)
+        assert lengths[0] - 1 == shortest_path_length(topo, src, dst)
+        for path in paths:
+            assert len(set(path)) == len(path)
+            for u, v in zip(path, path[1:]):
+                assert topo.has_link(u, v)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        n=st.integers(3, 10),
+        extra=st.integers(0, 6),
+    )
+    def test_failures_never_shorten_paths(self, seed, n, extra):
+        topo = random_topology(seed, n, extra)
+        rng = random.Random(seed + 2)
+        src, dst = (f"t{i}" for i in rng.sample(range(n), 2))
+        before = shortest_path_length(topo, src, dst)
+        links = list(topo.links)
+        victim = rng.choice(links)
+        topo.fail_link(victim.u, victim.v)
+        after = shortest_path_length(topo, src, dst)
+        assert after is None or after >= before
+
+
+class TestRegularGraphProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        n=st.integers(4, 24),
+        degree=st.integers(2, 5),
+    )
+    def test_random_regular_is_regular_and_simple(self, seed, n, degree):
+        if degree >= n or (n * degree) % 2:
+            return  # invalid combination; constructor rejects these
+        edges = random_regular_edges(n, degree, random.Random(seed))
+        counts = {}
+        for u, v in edges:
+            assert u != v
+            counts[u] = counts.get(u, 0) + 1
+            counts[v] = counts.get(v, 0) + 1
+        assert len(set(edges)) == len(edges)
+        assert all(counts.get(i, 0) == degree for i in range(n))
+
+
+class TestTraceProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(TRACES)),
+        p=st.floats(0.0, 1.0),
+        q=st.floats(0.0, 1.0),
+    )
+    def test_quantile_monotone(self, name, p, q):
+        cdf = TRACES[name]
+        lo, hi = min(p, q), max(p, q)
+        assert cdf.quantile(lo) <= cdf.quantile(hi)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(TRACES)),
+        seed=st.integers(0, 10**6),
+    )
+    def test_samples_within_support(self, name, seed):
+        cdf = TRACES[name]
+        size = cdf.sample(random.Random(seed))
+        assert cdf.points[0][0] * 0.99 <= size <= cdf.points[-1][0] * 1.01
+
+
+class TestStatsProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+        p=st.floats(0, 100),
+    )
+    def test_percentile_within_range(self, values, p):
+        result = percentile(values, p)
+        assert min(values) <= result <= max(values)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_summary_ordering(self, values):
+        s = summarize(values)
+        assert s.minimum <= s.median <= s.maximum
+        assert s.median <= s.p90 <= s.p99 <= s.maximum
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_cdf_points_monotone_reaching_one(self, values):
+        points = cdf_points(values)
+        fractions = [f for __, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+        xs = [x for x, __ in points]
+        assert xs == sorted(xs)

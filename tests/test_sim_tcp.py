@@ -1,0 +1,225 @@
+"""Tests for TCP NewReno, MPTCP, the packet network, and the RPC app."""
+
+import pytest
+
+from repro.sim.network import PacketNetwork
+from repro.sim.rpc import RpcClient
+from repro.topology import ParallelTopology
+from repro.topology.graph import HOST, TOR, Topology
+from repro.units import Gbps, KB, MB, MTU
+
+
+def dumbbell(cap=100 * Gbps, prop=1e-6):
+    topo = Topology("dumbbell")
+    for i in range(4):
+        topo.add_node(f"h{i}", HOST)
+    topo.add_node("t0", TOR)
+    topo.add_node("t1", TOR)
+    topo.add_link("h0", "t0", cap, prop)
+    topo.add_link("h1", "t0", cap, prop)
+    topo.add_link("h2", "t1", cap, prop)
+    topo.add_link("h3", "t1", cap, prop)
+    topo.add_link("t0", "t1", cap, prop)
+    return topo
+
+
+PATH_02 = (0, ["h0", "t0", "t1", "h2"])
+PATH_13 = (0, ["h1", "t0", "t1", "h3"])
+
+
+class TestTcpBasics:
+    def test_one_packet_flow_takes_about_one_rtt(self):
+        net = PacketNetwork([dumbbell()])
+        net.add_flow("h0", "h2", 1000, [PATH_02])
+        net.run()
+        rec = net.records[0]
+        # 3 links: ~3 us propagation each way plus serialisation.
+        assert 6e-6 < rec.fct < 12e-6
+        assert rec.retransmits == 0
+
+    def test_small_flow_within_initial_window_is_lossless(self):
+        net = PacketNetwork([dumbbell()])
+        net.add_flow("h0", "h2", 10 * 1460, [PATH_02])
+        net.run()
+        rec = net.records[0]
+        assert rec.retransmits == 0
+        assert net.total_drops == 0
+
+    def test_flow_completes_and_accounts_bytes(self):
+        net = PacketNetwork([dumbbell()])
+        net.add_flow("h0", "h2", int(1 * MB), [PATH_02])
+        net.run()
+        rec = net.records[0]
+        assert rec.size == 1 * MB
+        # Data packets must at least cover the flow size.
+        assert rec.packets_sent >= (1 * MB) // 1460
+
+    def test_bulk_flow_reaches_decent_utilisation(self):
+        net = PacketNetwork([dumbbell()])
+        net.add_flow("h0", "h2", int(20 * MB), [PATH_02])
+        net.run()
+        rec = net.records[0]
+        ideal = 20 * MB * 8 / (100 * Gbps)
+        # Slow-start losses cost something, but long flows should still
+        # get a large fraction of line rate.
+        assert rec.fct < 3 * ideal
+
+    def test_two_flows_share_but_both_finish(self):
+        net = PacketNetwork([dumbbell()])
+        net.add_flow("h0", "h2", int(5 * MB), [PATH_02])
+        net.add_flow("h1", "h3", int(5 * MB), [PATH_13])
+        net.run()
+        assert len(net.records) == 2
+        ideal_shared = 2 * (5 * MB * 8) / (100 * Gbps)
+        for rec in net.records:
+            assert rec.fct >= 0.9 * 5 * MB * 8 / (100 * Gbps)
+
+    def test_drop_recovery_via_retransmission(self):
+        # Tiny buffers force drops; the flow must still complete.
+        net = PacketNetwork([dumbbell()], queue_packets=10)
+        net.add_flow("h0", "h2", int(2 * MB), [PATH_02])
+        net.run()
+        rec = net.records[0]
+        assert net.total_drops > 0
+        assert rec.retransmits > 0
+        assert rec.fct < 1.0  # finishes despite losses
+
+    def test_staggered_starts(self):
+        net = PacketNetwork([dumbbell()])
+        net.add_flow("h0", "h2", 1000, [PATH_02], at=0.0)
+        net.add_flow("h1", "h3", 1000, [PATH_13], at=1e-3)
+        net.run()
+        starts = sorted(r.start for r in net.records)
+        assert starts == pytest.approx([0.0, 1e-3])
+
+    def test_zero_byte_flow(self):
+        net = PacketNetwork([dumbbell()])
+        net.add_flow("h0", "h2", 0, [PATH_02])
+        net.run()
+        assert net.records[0].fct == 0.0
+
+    def test_validations(self):
+        net = PacketNetwork([dumbbell()])
+        with pytest.raises(ValueError):
+            net.add_flow("h0", "h2", 1000, [])
+        with pytest.raises(ValueError):
+            net.add_flow("h0", "h2", -1, [PATH_02])
+        with pytest.raises(ValueError):
+            net.add_flow("h0", "h2", 1000, [(0, ["h0", "t0", "t1", "h3"])])
+        with pytest.raises(ValueError):
+            net.add_flow("h0", "h3", 1000, [(0, ["h0", "t0", "h3"])])  # no link
+
+
+class TestMptcp:
+    def test_two_subflows_beat_one_plane(self):
+        pnet = ParallelTopology.homogeneous(lambda: dumbbell(), 2)
+        serial = PacketNetwork([pnet.plane(0)])
+        serial.add_flow("h0", "h2", int(5 * MB), [PATH_02])
+        serial.run()
+        single = serial.records[0].fct
+
+        parallel = PacketNetwork(pnet.planes)
+        parallel.add_flow(
+            "h0", "h2", int(5 * MB),
+            [(0, ["h0", "t0", "t1", "h2"]), (1, ["h0", "t0", "t1", "h2"])],
+        )
+        parallel.run()
+        double = parallel.records[0].fct
+        assert double < single
+
+    def test_subflow_accounting(self):
+        pnet = ParallelTopology.homogeneous(lambda: dumbbell(), 2)
+        net = PacketNetwork(pnet.planes)
+        source = net.add_flow(
+            "h0", "h2", int(1 * MB),
+            [(0, ["h0", "t0", "t1", "h2"]), (1, ["h0", "t0", "t1", "h2"])],
+        )
+        net.run()
+        assert source.completed
+        # Every byte assigned exactly once across subflows.
+        assert sum(sf.assigned for sf in source.subflows) == 1 * MB
+        assert all(sf.snd_una == sf.assigned for sf in source.subflows)
+        assert net.records[0].n_subflows == 2
+
+    def test_lia_increase_never_exceeds_uncoupled_tcp(self):
+        """RFC 6356: a coupled subflow grows at most as fast as plain TCP."""
+        from repro.sim.events import EventLoop
+        from repro.sim.mptcp import MptcpSource
+
+        loop = EventLoop()
+        source = MptcpSource(loop, size=10 * 1460, n_subflows=2)
+        a, b = source.subflows
+        # Put both subflows in congestion avoidance with synthetic state.
+        a.cwnd, a.srtt = 20 * 1460.0, 100e-6
+        b.cwnd, b.srtt = 10 * 1460.0, 50e-6
+        for subflow in (a, b):
+            before = subflow.cwnd
+            uncoupled = 1460 * 1460 / before  # plain TCP per-MSS-acked
+            subflow._ca_increase(1460)
+            assert subflow.cwnd - before <= uncoupled + 1e-9
+            assert subflow.cwnd > before  # still grows
+
+    def test_mptcp_zero_bytes(self):
+        net = PacketNetwork([dumbbell()])
+        net.add_flow("h0", "h2", 0, [PATH_02, PATH_02])
+        net.run()
+        assert net.records[0].fct == 0.0
+
+
+class TestRpc:
+    def select(self, src, dst, flow_id):
+        # Static single path through the dumbbell, either direction.
+        if src in ("h0", "h1"):
+            return [(0, [src, "t0", "t1", dst])]
+        return [(0, [src, "t1", "t0", dst])]
+
+    def test_ping_pong_rounds(self):
+        net = PacketNetwork([dumbbell()])
+        client = RpcClient(
+            net, self.select, "h0", ["h2", "h2", "h2"], MTU, MTU
+        )
+        client.start()
+        net.run()
+        assert client.done
+        assert len(client.completion_times) == 3
+        # Each round is about 2 RTTs (request + response) at microseconds.
+        for t in client.completion_times:
+            assert 1e-5 < t < 1e-4
+
+    def test_rounds_are_sequential(self):
+        net = PacketNetwork([dumbbell()])
+        client = RpcClient(net, self.select, "h0", ["h2"] * 5, MTU, MTU)
+        client.start()
+        net.run()
+        assert len(client.completion_times) == 5
+
+    def test_on_done_callback(self):
+        net = PacketNetwork([dumbbell()])
+        finished = []
+        client = RpcClient(
+            net, self.select, "h0", ["h2"], MTU, MTU,
+            on_done=lambda c: finished.append(c),
+        )
+        client.start()
+        net.run()
+        assert finished == [client]
+
+    def test_concurrent_chains_interleave(self):
+        net = PacketNetwork([dumbbell()])
+        clients = [
+            RpcClient(
+                net, self.select, "h0", ["h2"] * 4, int(100 * KB), MTU,
+                flow_id_base=1000 * i,
+            )
+            for i in range(3)
+        ]
+        for c in clients:
+            c.start()
+        net.run()
+        for c in clients:
+            assert len(c.completion_times) == 4
+
+    def test_empty_destinations_rejected(self):
+        net = PacketNetwork([dumbbell()])
+        with pytest.raises(ValueError):
+            RpcClient(net, self.select, "h0", [], MTU, MTU)

@@ -1,0 +1,94 @@
+"""Tests for the shuffle stage runner's concurrency enforcement."""
+
+import pytest
+
+from repro.core.path_selection import EcmpPolicy
+from repro.core.pnet import PNet
+from repro.exp import appendix
+from repro.exp.fig12 import _run_stage
+from repro.topology import build_jellyfish
+from repro.traffic.shuffle import ShuffleFlow
+from repro.units import MB
+
+
+@pytest.fixture(scope="module")
+def pnet():
+    return PNet.serial(build_jellyfish(8, 4, 2, seed=0))
+
+
+class TestRunStage:
+    def test_concurrency_one_serialises(self, pnet):
+        """conc=1: a worker's flows run back to back, so the finish time
+        is the sum of individual times; conc=4 overlaps them."""
+        policy = EcmpPolicy(pnet)
+        worker = "h0"
+        flows = [
+            ShuffleFlow(src=worker, dst=f"h{i}", size=int(100 * MB),
+                        worker=worker)
+            for i in range(4, 8)
+        ]
+        serial_finish = _run_stage(pnet, policy, list(flows), concurrency=1)
+        overlap_finish = _run_stage(pnet, policy, list(flows), concurrency=4)
+        # With one flow at a time the 4 transfers cannot overlap; the
+        # host uplink is the bottleneck either way, so times are close,
+        # but serial must never be faster.
+        assert serial_finish[worker] >= overlap_finish[worker] * 0.99
+
+    def test_concurrency_overlap_beats_serial_on_disjoint_paths(self, pnet):
+        """Flows to different destinations overlap under conc>1."""
+        policy = EcmpPolicy(pnet)
+        # Two workers, each one flow: finish independently.
+        flows = [
+            ShuffleFlow(src="h0", dst="h9", size=int(100 * MB), worker="h0"),
+            ShuffleFlow(src="h1", dst="h10", size=int(100 * MB), worker="h1"),
+        ]
+        finish = _run_stage(pnet, policy, flows, concurrency=4)
+        assert set(finish) == {"h0", "h1"}
+        for t in finish.values():
+            assert t > 0
+
+    def test_every_worker_finishes(self, pnet):
+        policy = EcmpPolicy(pnet)
+        flows = [
+            ShuffleFlow(src=f"h{i}", dst=f"h{(i + 5) % 16}", size=10 * 1000,
+                        worker=f"h{i}")
+            for i in range(6)
+        ]
+        finish = _run_stage(pnet, policy, flows, concurrency=2)
+        assert len(finish) == 6
+
+
+class TestAppendixTiny:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return appendix.run(scale="tiny")
+
+    def test_full_grid(self, result):
+        families = {k[0] for k in result.stats}
+        rates = {k[1] for k in result.stats}
+        traces = {k[2] for k in result.stats}
+        assert families == {"fattree", "jellyfish"}
+        assert len(rates) == 2
+        assert traces == {"datamining", "websearch"}
+
+    def test_fattree_has_no_heterogeneous(self, result):
+        labels = {
+            k[3] for k in result.stats if k[0] == "fattree"
+        }
+        assert "parallel-heterogeneous" not in labels
+        jf_labels = {
+            k[3] for k in result.stats if k[0] == "jellyfish"
+        }
+        assert "parallel-heterogeneous" in jf_labels
+
+    def test_pnet_no_worse_than_serial_low_mostly(self, result):
+        grid = {
+            (f, r, t) for (f, r, t, __) in result.stats
+        }
+        wins = sum(
+            1
+            for f, r, t in grid
+            if result.stats[(f, r, t, "parallel-homogeneous")].median
+            <= result.stats[(f, r, t, "serial-low")].median * 1.10
+        )
+        assert wins >= 0.75 * len(grid)

@@ -1,0 +1,209 @@
+"""Tests for fat tree, Jellyfish, Xpander, chassis, and parallel builders."""
+
+import random
+
+import pytest
+
+from repro.topology import (
+    ParallelTopology,
+    build_fat_tree,
+    build_jellyfish,
+    build_two_tier_fat_tree,
+    build_xpander,
+)
+from repro.topology.chassis import (
+    agg_chassis_spec,
+    build_chassis_fat_tree,
+    spine_chassis_spec,
+)
+from repro.topology.graph import CORE, HOST, TOR
+from repro.topology.jellyfish import jellyfish_dimensions, random_regular_edges
+from repro.topology.parallel import scale_capacity
+from repro.routing.shortest import shortest_path_length
+
+
+class TestFatTree:
+    def test_host_count(self):
+        for k in (4, 6, 8):
+            topo = build_fat_tree(k)
+            assert len(topo.hosts) == k**3 // 4
+
+    def test_switch_counts(self):
+        k = 4
+        topo = build_fat_tree(k)
+        assert len(topo.nodes_of_kind(TOR)) == k * k // 2
+        assert len(topo.nodes_of_kind(CORE)) == (k // 2) ** 2
+
+    def test_every_switch_uses_full_radix(self):
+        k = 4
+        topo = build_fat_tree(k)
+        for sw in topo.switches:
+            assert topo.degree(sw) == k
+
+    def test_hosts_named_contiguously(self):
+        topo = build_fat_tree(4)
+        assert sorted(topo.hosts, key=lambda h: int(h[1:])) == [
+            f"h{i}" for i in range(16)
+        ]
+
+    def test_connected_and_diameter(self):
+        topo = build_fat_tree(4)
+        assert topo.is_connected()
+        # Worst case host-to-host: 6 links (3 switch tiers up and down).
+        assert shortest_path_length(topo, "h0", "h15") == 6
+        # Same pod, different ToR: 4 links.
+        assert shortest_path_length(topo, "h0", "h2") == 4
+        # Same ToR: 2 links.
+        assert shortest_path_length(topo, "h0", "h1") == 2
+
+    def test_odd_radix_rejected(self):
+        with pytest.raises(ValueError):
+            build_fat_tree(5)
+
+
+class TestTwoTierFatTree:
+    def test_host_count(self):
+        topo = build_two_tier_fat_tree(8)
+        assert len(topo.hosts) == 8 * 8 // 2 * 1  # radix^2/2 = 32
+
+    def test_full_bisection_structure(self):
+        radix = 8
+        topo = build_two_tier_fat_tree(radix)
+        tors = topo.nodes_of_kind(TOR)
+        spines = topo.nodes_of_kind(CORE)
+        assert len(tors) == radix
+        assert len(spines) == radix // 2
+        for tor in tors:
+            assert topo.degree(tor) == radix
+        for spine in spines:
+            assert topo.degree(spine) == radix
+
+    def test_three_switch_hops_max(self):
+        topo = build_two_tier_fat_tree(8)
+        # Hosts under different ToRs: host-tor-spine-tor-host = 4 links.
+        assert shortest_path_length(topo, "h0", "h31") == 4
+
+
+class TestJellyfish:
+    def test_regular_graph_degree(self):
+        edges = random_regular_edges(20, 5, random.Random(3))
+        degree = {}
+        for u, v in edges:
+            assert u != v
+            degree[u] = degree.get(u, 0) + 1
+            degree[v] = degree.get(v, 0) + 1
+        assert all(d == 5 for d in degree.values())
+        assert len(set(edges)) == len(edges)
+
+    def test_regular_graph_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_regular_edges(5, 5, random.Random(0))
+        with pytest.raises(ValueError):
+            random_regular_edges(5, 3, random.Random(0))  # odd product
+
+    def test_builder_shape(self):
+        topo = build_jellyfish(16, 4, 3, seed=0)
+        assert len(topo.hosts) == 48
+        assert len(topo.nodes_of_kind(TOR)) == 16
+        for sw in topo.switches:
+            assert topo.degree(sw) == 4 + 3
+        assert topo.is_connected()
+
+    def test_seeds_give_different_instances(self):
+        a = build_jellyfish(16, 4, 1, seed=0)
+        b = build_jellyfish(16, 4, 1, seed=1)
+        edges_a = {l.key for l in a.links}
+        edges_b = {l.key for l in b.links}
+        assert edges_a != edges_b
+
+    def test_same_seed_is_deterministic(self):
+        a = build_jellyfish(16, 4, 1, seed=5)
+        b = build_jellyfish(16, 4, 1, seed=5)
+        assert {l.key for l in a.links} == {l.key for l in b.links}
+
+    def test_dimensions_helper(self):
+        n_sw, degree, per_sw = jellyfish_dimensions(686, 14)
+        assert n_sw * per_sw >= 686
+        assert degree + per_sw == 14
+        assert (n_sw * degree) % 2 == 0
+
+
+class TestXpander:
+    def test_shape_and_regularity(self):
+        topo = build_xpander(4, 2, 3, 2, seed=0)
+        # (d+1) * lift^n = 5 * 9 = 45 switches.
+        assert len(topo.nodes_of_kind(TOR)) == 45
+        assert len(topo.hosts) == 90
+        for sw in topo.switches:
+            assert topo.degree(sw) == 4 + 2
+
+    def test_connected(self):
+        assert build_xpander(4, 2, 3, 1, seed=1).is_connected()
+
+    def test_seed_variation(self):
+        a = build_xpander(4, 1, 4, 0, seed=0)
+        b = build_xpander(4, 1, 4, 0, seed=1)
+        assert {l.key for l in a.links} != {l.key for l in b.links}
+
+
+class TestChassis:
+    def test_specs_match_paper(self):
+        # 16-port chips -> 128-port chassis; 24 chips spine, 16 chips agg.
+        spine = spine_chassis_spec(16)
+        agg = agg_chassis_spec(16)
+        assert spine.external_ports == 128
+        assert spine.chips == 24
+        assert agg.external_ports == 128
+        assert agg.chips == 16
+        assert 2 * agg.internal_hops + spine.internal_hops == 7
+
+    def test_logical_network(self):
+        topo = build_chassis_fat_tree(4)  # 8-port chassis -> 32 hosts
+        assert len(topo.hosts) == 32
+
+
+class TestParallel:
+    def test_homogeneous_planes_identical(self):
+        pnet = ParallelTopology.homogeneous(lambda: build_fat_tree(4), 3)
+        assert pnet.n_planes == 3
+        keys = [{l.key for l in p.links} for p in pnet.planes]
+        assert keys[0] == keys[1] == keys[2]
+
+    def test_heterogeneous_planes_differ(self):
+        pnet = ParallelTopology.heterogeneous(
+            lambda s: build_jellyfish(16, 4, 1, seed=s), 4
+        )
+        keys = [{l.key for l in p.links} for p in pnet.planes]
+        assert keys[0] != keys[1]
+
+    def test_host_set_mismatch_rejected(self):
+        a = build_jellyfish(16, 4, 1, seed=0)
+        b = build_jellyfish(16, 4, 2, seed=0)  # different host count
+        with pytest.raises(ValueError):
+            ParallelTopology([a, b])
+
+    def test_plane_failures_are_independent(self):
+        pnet = ParallelTopology.homogeneous(lambda: build_fat_tree(4), 2)
+        link = next(iter(pnet.plane(0).neighbor_links("t0_0")))
+        pnet.plane(0).fail_link(link.u, link.v)
+        assert not pnet.plane(1).is_failed(link.u, link.v)
+
+    def test_serial_equivalent_scales_capacity(self):
+        pnet = ParallelTopology.homogeneous(lambda: build_fat_tree(4), 4)
+        serial = pnet.serial_equivalent()
+        for link in serial.links:
+            assert link.capacity == pytest.approx(4 * 100e9)
+
+    def test_total_host_uplink(self):
+        pnet = ParallelTopology.homogeneous(lambda: build_fat_tree(4), 4)
+        assert pnet.total_host_uplink("h0") == pytest.approx(400e9)
+
+    def test_scale_capacity_preserves_failures(self):
+        topo = build_fat_tree(4)
+        topo.fail_link("t0_0", "a0_0")
+        scaled = scale_capacity(topo, 2.0)
+        assert scaled.is_failed("t0_0", "a0_0")
+
+    def test_scale_capacity_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scale_capacity(build_fat_tree(4), 0)

@@ -1,0 +1,203 @@
+"""Tests for traffic patterns, trace CDFs, shuffle, and RPC workloads."""
+
+import random
+
+import pytest
+
+from repro.traffic.patterns import (
+    all_to_all,
+    host_pairs_by_rack,
+    permutation,
+    rack_level_all_to_all,
+    random_pairs,
+)
+from repro.traffic.rpc_workload import RpcWorkload
+from repro.traffic.shuffle import ShuffleJob
+from repro.traffic.traces import (
+    DATAMINING,
+    TRACES,
+    WEBSEARCH,
+    FlowSizeCDF,
+)
+from repro.units import GB, KB, MB
+
+HOSTS = [f"h{i}" for i in range(16)]
+
+
+class TestPatterns:
+    def test_all_to_all_counts(self):
+        pairs = all_to_all(HOSTS)
+        assert len(pairs) == 16 * 15
+        assert all(a != b for a, b in pairs)
+
+    def test_all_to_all_needs_two(self):
+        with pytest.raises(ValueError):
+            all_to_all(["h0"])
+
+    def test_permutation_is_derangement(self):
+        pairs = permutation(HOSTS, random.Random(0))
+        assert len(pairs) == 16
+        assert all(a != b for a, b in pairs)
+        assert sorted(a for a, __ in pairs) == sorted(HOSTS)
+        assert sorted(b for __, b in pairs) == sorted(HOSTS)
+
+    def test_permutation_varies_with_seed(self):
+        a = permutation(HOSTS, random.Random(1))
+        b = permutation(HOSTS, random.Random(2))
+        assert a != b
+
+    def test_rack_level(self):
+        racks = [f"r{i}" for i in range(4)]
+        assert len(rack_level_all_to_all(racks)) == 12
+
+    def test_host_pairs_by_rack(self):
+        racks = host_pairs_by_rack(HOSTS, 4)
+        assert len(racks) == 4
+        assert racks[0] == ["h0", "h1", "h2", "h3"]
+
+    def test_random_pairs(self):
+        pairs = random_pairs(HOSTS, 100, random.Random(0))
+        assert len(pairs) == 100
+        assert all(a != b for a, b in pairs)
+
+
+class TestTraces:
+    def test_all_traces_registered(self):
+        assert set(TRACES) == {
+            "websearch",
+            "datamining",
+            "webserver",
+            "cache",
+            "hadoop",
+        }
+
+    def test_quantile_monotone(self):
+        for cdf in TRACES.values():
+            sizes = [cdf.quantile(p / 100) for p in range(101)]
+            assert sizes == sorted(sizes)
+            assert sizes[0] >= 1
+
+    def test_sampling_within_support(self):
+        rng = random.Random(0)
+        for cdf in TRACES.values():
+            lo = cdf.points[0][0]
+            hi = cdf.points[-1][0]
+            for __ in range(200):
+                size = cdf.sample(rng)
+                assert lo * 0.99 <= size <= hi * 1.01
+
+    def test_datamining_heavier_tail_than_websearch(self):
+        # Datamining: most flows tiny, tail reaches 1 GB.
+        assert DATAMINING.quantile(0.5) < 2 * KB
+        assert DATAMINING.quantile(0.999) > 100 * MB
+        assert WEBSEARCH.quantile(0.5) < 100 * KB
+        assert WEBSEARCH.points[-1][0] <= 30 * MB
+
+    def test_cdf_at_inverts_quantile(self):
+        for cdf in TRACES.values():
+            for p in (0.1, 0.5, 0.9):
+                size = cdf.quantile(p)
+                assert cdf.cdf_at(size) == pytest.approx(p, abs=0.02)
+
+    def test_mean_is_positive_and_tail_dominated(self):
+        mean = DATAMINING.mean(samples=2001)
+        # Mean way above median indicates heavy tail.
+        assert mean > 100 * DATAMINING.quantile(0.5)
+
+    def test_invalid_cdfs_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSizeCDF("bad", ((100, 0.0),))
+        with pytest.raises(ValueError):
+            FlowSizeCDF("bad", ((100, 0.0), (50, 1.0)))  # sizes not increasing
+        with pytest.raises(ValueError):
+            FlowSizeCDF("bad", ((100, 0.5), (200, 0.4)))  # prob decreasing
+        with pytest.raises(ValueError):
+            FlowSizeCDF("bad", ((100, 0.0), (200, 0.9)))  # doesn't reach 1
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            WEBSEARCH.quantile(1.5)
+
+
+class TestShuffle:
+    def make_job(self):
+        hosts = [f"h{i}" for i in range(64)]
+        return ShuffleJob(
+            hosts,
+            total_bytes=10 * GB,
+            n_mappers=8,
+            n_reducers=8,
+            block_bytes=int(128 * MB),
+            seed=1,
+        )
+
+    def test_worker_placement_disjoint(self):
+        job = self.make_job()
+        assert len(set(job.mappers) & set(job.reducers)) == 0
+        assert len(job.mappers) == 8 and len(job.reducers) == 8
+
+    def test_read_stage_covers_input(self):
+        job = self.make_job()
+        flows = job.read_input_flows()
+        assert sum(f.size for f in flows) == 10 * GB // 8 * 8
+        for f in flows:
+            assert f.dst == f.worker
+            assert f.src != f.dst
+            assert f.size <= int(128 * MB)
+
+    def test_shuffle_stage_all_pairs(self):
+        job = self.make_job()
+        flows = job.shuffle_flows()
+        assert len(flows) == 64
+        bucket = 10 * GB // 64
+        assert all(f.size == bucket for f in flows)
+        pairs = {(f.src, f.dst) for f in flows}
+        assert len(pairs) == 64
+
+    def test_write_stage(self):
+        job = self.make_job()
+        flows = job.write_output_flows()
+        for f in flows:
+            assert f.src == f.worker
+            assert f.src in job.reducers
+            assert f.dst != f.src
+
+    def test_stage_ordering(self):
+        job = self.make_job()
+        assert list(job.stages()) == ["read_input", "shuffle", "write_output"]
+
+    def test_placement_validation(self):
+        with pytest.raises(ValueError):
+            ShuffleJob(["h0", "h1"], total_bytes=1, n_mappers=2, n_reducers=2)
+
+    def test_deterministic_given_seed(self):
+        a = self.make_job().shuffle_flows()
+        b = self.make_job().shuffle_flows()
+        assert a == b
+
+
+class TestRpcWorkload:
+    def test_chains(self):
+        wl = RpcWorkload(HOSTS, concurrency=3, rounds=10)
+        chains = wl.chains()
+        assert len(chains) == 48
+        assert ("h0", 2) in chains
+
+    def test_destination_sequence_excludes_self(self):
+        wl = RpcWorkload(HOSTS, rounds=50, seed=3)
+        seq = wl.destination_sequence("h5", 0)
+        assert len(seq) == 50
+        assert "h5" not in seq
+
+    def test_sequences_deterministic_but_distinct(self):
+        wl = RpcWorkload(HOSTS, rounds=20, seed=3)
+        assert wl.destination_sequence("h0", 0) == wl.destination_sequence("h0", 0)
+        assert wl.destination_sequence("h0", 0) != wl.destination_sequence("h0", 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RpcWorkload(["h0"])
+        with pytest.raises(ValueError):
+            RpcWorkload(HOSTS, rounds=0)
+        with pytest.raises(ValueError):
+            RpcWorkload(HOSTS, request_bytes=0)

@@ -1,0 +1,52 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    Gbps,
+    KB,
+    MB,
+    MTU,
+    MSS,
+    pretty_rate,
+    pretty_size,
+    transmit_time,
+)
+
+
+class TestTransmitTime:
+    def test_paper_example(self):
+        # "at 100G, MTU-sized packets only take 1500B/100Gb/s = 120ns"
+        assert transmit_time(MTU, 100 * Gbps) == pytest.approx(120e-9)
+
+    def test_scales_inversely_with_rate(self):
+        assert transmit_time(MTU, 400 * Gbps) == pytest.approx(30e-9)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            transmit_time(1500, 0)
+
+
+class TestPretty:
+    def test_rates(self):
+        assert pretty_rate(100 * Gbps) == "100G"
+        assert pretty_rate(400 * Gbps) == "400G"
+        assert pretty_rate(2.5 * Gbps) == "2.50G"
+        assert pretty_rate(10e6) == "10M"
+        assert pretty_rate(5e3) == "5K"
+        assert pretty_rate(12) == "12bps"
+
+    def test_sizes(self):
+        assert pretty_size(100 * MB) == "100MB"
+        assert pretty_size(1 * GB) == "1GB"
+        assert pretty_size(1500) == "1.50kB"
+        assert pretty_size(99) == "99B"
+
+
+class TestConstants:
+    def test_mss_accounts_for_headers(self):
+        assert MSS == MTU - 40
+
+    def test_decimal_units(self):
+        assert KB == 1000 and MB == 10**6 and GB == 10**9
