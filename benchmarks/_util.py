@@ -4,17 +4,54 @@ Every benchmark regenerates one table/figure of the paper at the current
 ``PNET_SCALE`` (default "small") and writes the rendered rows/series to
 ``benchmarks/results/<name>.txt`` so the regenerated data survives the
 run (pytest captures stdout by default).
+
+Each result block gets a trailing runner line (wall-clock, worker count,
+artifact-cache hit/miss counts) when the experiment ran through
+:mod:`repro.exp.runner`, so benchmark output doubles as a record of how
+much the cache and the process pool helped.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
+import tempfile
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def _runner_line() -> str:
+    """One-line wall-clock/cache summary of the last trial-grid run."""
+    from repro.exp.runner import last_stats
+
+    stats = last_stats()
+    if stats is None:
+        return ""
+    return f"[runner] {stats.summary()}"
+
+
 def emit(name: str, text: str) -> None:
-    """Print a rendered result block and persist it under results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    """Print a rendered result block and persist it under results/.
+
+    The write is atomic (temp file in the target directory + rename) so
+    a crashed or parallel benchmark run never leaves a half-written
+    result file behind.
+    """
+    runner = _runner_line()
+    if runner:
+        text = f"{text}\n{runner}"
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=RESULTS_DIR, prefix=f".{name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text + "\n")
+        os.replace(tmp, RESULTS_DIR / f"{name}.txt")
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     print(f"\n--- {name} ---\n{text}")

@@ -7,9 +7,15 @@ Usage::
     python -m repro fig10 --scale tiny
     python -m repro all --scale small --csv results/
     python -m repro fig6 --csv results/
+    python -m repro fig9 --jobs 8        # fan trials over 8 workers
+    python -m repro cache                # show artifact-cache stats
+    python -m repro cache --clear        # drop all cached artifacts
 
 Each experiment prints the same rows/series the paper reports; ``--csv``
-additionally writes the raw result (flattened) for plotting.
+additionally writes the raw result (flattened) for plotting.  Trials fan
+out over ``PNET_JOBS`` processes (``--jobs`` overrides) with expensive
+intermediates cached under ``PNET_CACHE_DIR``; results are identical at
+any job count.
 """
 
 from __future__ import annotations
@@ -51,8 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="experiment to run ('all' for everything, 'list' to enumerate)",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "cache"],
+        help=(
+            "experiment to run ('all' for everything, 'list' to enumerate, "
+            "'cache' for artifact-cache stats)"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -65,6 +74,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="also write flattened results as CSV into DIR",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="override PNET_JOBS (worker processes for trial grids)",
+    )
+    parser.add_argument(
+        "--clear",
+        action="store_true",
+        help="with 'cache': delete all cached artifacts",
     )
     return parser
 
@@ -99,7 +120,33 @@ def run_one(name: str, scale: Optional[str], csv_dir: Optional[str]) -> None:
             else:
                 rows = write_csv(pathlib.Path(csv_dir) / f"{name}.csv", result)
             print(f"[{name}] wrote {rows} CSV rows to {csv_dir}/")
+    from repro.exp.runner import last_stats
+
+    stats = last_stats()
+    if stats is not None:
+        print(f"[{name}] {stats.summary()}")
     print(f"[{name}] done in {time.time() - started:.1f}s\n")
+
+
+def cache_command(clear: bool) -> int:
+    """Print artifact-cache stats (or clear the cache)."""
+    from repro.exp.cache import cache_dir, cache_enabled, get_cache
+
+    root = cache_dir()
+    if not cache_enabled():
+        print(f"cache disabled (PNET_CACHE=0); dir would be {root}")
+        return 0
+    cache = get_cache()
+    n = sum(1 for _ in cache.entries())
+    size = cache.size_bytes()
+    if clear:
+        cache.clear()
+        print(f"cleared {n} entries ({size / 1e6:.1f} MB) from {root}")
+    else:
+        print(f"cache dir: {root}")
+        print(f"entries:   {n}")
+        print(f"size:      {size / 1e6:.1f} MB")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -108,6 +155,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name, module in sorted(EXPERIMENTS.items()):
             print(f"{name:<10} {module}")
         return 0
+    if args.experiment == "cache":
+        return cache_command(args.clear)
+    if args.jobs is not None:
+        import os
+
+        os.environ["PNET_JOBS"] = str(args.jobs)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         run_one(name, args.scale, args.csv)

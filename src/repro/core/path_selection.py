@@ -38,6 +38,12 @@ class PathSelectionPolicy:
         """Paths for one flow; empty list means unroutable (all planes cut)."""
         raise NotImplementedError
 
+    def fingerprint(self) -> Tuple:
+        """Content key for caching: everything ``select`` depends on
+        besides the network itself (the caller keys the network
+        separately via its content hash)."""
+        raise NotImplementedError
+
     @property
     def is_multipath(self) -> bool:
         return False
@@ -49,6 +55,9 @@ class EcmpPolicy(PathSelectionPolicy):
     def __init__(self, pnet: PNet, salt: int = 0):
         super().__init__(pnet)
         self.salt = salt
+
+    def fingerprint(self) -> Tuple:
+        return ("ecmp", self.salt)
 
     def select(self, src: str, dst: str, flow_id: int = 0) -> List[PlanePath]:
         plane_idx = flow_hash(src, dst, flow_id, self.salt) % self.pnet.n_planes
@@ -65,6 +74,9 @@ class RoundRobinPlanePolicy(PathSelectionPolicy):
     def __init__(self, pnet: PNet, salt: int = 0):
         super().__init__(pnet)
         self.salt = salt
+
+    def fingerprint(self) -> Tuple:
+        return ("round-robin", self.salt)
 
     def select(self, src: str, dst: str, flow_id: int = 0) -> List[PlanePath]:
         plane_idx = flow_id % self.pnet.n_planes
@@ -86,6 +98,9 @@ class MinHopPlanePolicy(PathSelectionPolicy):
     def __init__(self, pnet: PNet, salt: int = 0):
         super().__init__(pnet)
         self.salt = salt
+
+    def fingerprint(self) -> Tuple:
+        return ("min-hop", self.salt)
 
     def select(self, src: str, dst: str, flow_id: int = 0) -> List[PlanePath]:
         planes = self.pnet.min_hop_planes(src, dst)
@@ -124,6 +139,9 @@ class KspMultipathPolicy(PathSelectionPolicy):
         self.seed = seed
         self.path_pool = path_pool
         self._cache: Dict[Tuple[str, str], List[PlanePath]] = {}
+
+    def fingerprint(self) -> Tuple:
+        return ("ksp-multipath", self.k, self.seed, self.path_pool)
 
     @property
     def is_multipath(self) -> bool:

@@ -45,6 +45,9 @@ class PinnedPlaneKspPolicy(PathSelectionPolicy):
         self.k = k
         self.seed = seed
 
+    def fingerprint(self):
+        return ("pinned-plane-ksp", self.k, self.seed)
+
     def select(self, src: str, dst: str, flow_id: int = 0) -> List[PlanePath]:
         plane_idx = flow_id % self.pnet.n_planes
         view = PNet([self.pnet.plane(plane_idx)], name="pin-view")
@@ -60,6 +63,9 @@ class LexicographicKspPolicy(PathSelectionPolicy):
     def __init__(self, pnet: PNet, k: int):
         super().__init__(pnet)
         self.k = k
+
+    def fingerprint(self):
+        return ("lexicographic-ksp", self.k)
 
     def select(self, src: str, dst: str, flow_id: int = 0) -> List[PlanePath]:
         from repro.routing.ksp import k_shortest_paths_pooled

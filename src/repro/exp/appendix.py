@@ -22,11 +22,14 @@ from repro.analysis.stats import Summary, summarize
 from repro.exp.common import (
     FatTreeFamily,
     JellyfishFamily,
+    family_labels,
     format_table,
     get_scale,
+    network_for_label,
 )
 from repro.exp.fig10 import single_path_policy
 from repro.exp.fig13 import replay_trace
+from repro.exp.runner import TrialSpec, run_trials
 from repro.traffic.traces import TRACES
 from repro.units import Gbps
 
@@ -69,30 +72,71 @@ class AppendixResult:
     )
 
 
+def _make_family(family_name: str, rate: float, ft_k: int, jf: Dict):
+    if family_name == "fattree":
+        return FatTreeFamily(ft_k, link_rate=rate)
+    if family_name == "jellyfish":
+        return JellyfishFamily(link_rate=rate, **jf)
+    raise ValueError(f"unknown family {family_name!r}")
+
+
+def appendix_trial(
+    family_name: str,
+    rate: float,
+    ft_k: int,
+    jf: Dict,
+    n_planes: int,
+    label: str,
+    trace_name: str,
+    flows_per_host: int,
+    completions_per_host: int,
+) -> List[float]:
+    """FCTs of one (family, rate, trace, network) replay."""
+    family = _make_family(family_name, rate, ft_k, jf)
+    pnet = network_for_label(family, label, n_planes)
+    policy = single_path_policy(label, pnet)
+    return replay_trace(
+        pnet,
+        policy,
+        TRACES[trace_name],
+        flows_per_host,
+        completions_per_host,
+    )
+
+
 def run(scale: Optional[str] = None) -> AppendixResult:
     params = PRESETS[get_scale(scale)]
     result = AppendixResult()
+    grid = []
     for rate in params["rates"]:
-        families = {
-            "fattree": FatTreeFamily(params["ft_k"], link_rate=rate),
-            "jellyfish": JellyfishFamily(link_rate=rate, **params["jf"]),
-        }
-        for family_name, family in families.items():
-            networks = family.network_set(params["n_planes"])
+        for family_name in ("fattree", "jellyfish"):
+            family = _make_family(
+                family_name, rate, params["ft_k"], params["jf"]
+            )
             for trace_name in params["traces"]:
-                trace = TRACES[trace_name]
-                for label, pnet in networks.items():
-                    policy = single_path_policy(label, pnet)
-                    fcts = replay_trace(
-                        pnet,
-                        policy,
-                        trace,
-                        params["flows_per_host"],
-                        params["completions_per_host"],
-                    )
-                    result.stats[
-                        (family_name, rate, trace_name, label)
-                    ] = summarize(fcts)
+                for label in family_labels(family):
+                    grid.append((family_name, rate, trace_name, label))
+    specs = [
+        TrialSpec(
+            fn="repro.exp.appendix:appendix_trial",
+            key=cell,
+            kwargs=dict(
+                family_name=cell[0],
+                rate=cell[1],
+                trace_name=cell[2],
+                label=cell[3],
+                ft_k=params["ft_k"],
+                jf=params["jf"],
+                n_planes=params["n_planes"],
+                flows_per_host=params["flows_per_host"],
+                completions_per_host=params["completions_per_host"],
+            ),
+        )
+        for cell in grid
+    ]
+    trials = run_trials(specs)
+    for cell in grid:
+        result.stats[cell] = summarize(trials[cell])
     return result
 
 

@@ -1,0 +1,266 @@
+"""Content-keyed on-disk cache for expensive experiment artifacts.
+
+The experiment pipeline recomputes the same intermediate artifacts over
+and over: K-shortest-path route sets for a (topology, policy) pair, LP
+solutions for a (route set, demand matrix) pair, and whole trial results
+for a fixed parameter grid.  All of them are pure functions of their
+inputs (every random choice is seeded), so they can be cached on disk and
+shared across processes, runs, and experiments.
+
+Keys are *content* keys: :func:`stable_hash` canonically serialises the
+input structure (topology link/node/rate sets, policy fingerprints,
+traffic pairs, demands) so two logically identical inputs hit the same
+entry no matter which process computed it.  Values are pickles written
+atomically (temp file + ``os.replace``) so concurrent writers can never
+interleave partial entries; a corrupted or truncated entry is discarded
+and recomputed rather than crashing the run.
+
+Environment knobs:
+
+* ``PNET_CACHE_DIR`` -- cache root (default ``~/.cache/pnet``);
+* ``PNET_CACHE=0``   -- disable the cache entirely (every get misses,
+  every put is dropped).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.topology.graph import Topology
+
+#: Bump when the on-disk format or key semantics change; old entries are
+#: simply never hit again (they are keyed under the old version).
+CACHE_VERSION = 1
+
+_MISS = object()
+
+
+def cache_enabled() -> bool:
+    """Whether caching is active (``PNET_CACHE=0`` turns it off)."""
+    return os.environ.get("PNET_CACHE", "1") != "0"
+
+
+def cache_dir() -> pathlib.Path:
+    """Cache root: ``$PNET_CACHE_DIR`` or ``~/.cache/pnet``."""
+    override = os.environ.get("PNET_CACHE_DIR")
+    if override:
+        return pathlib.Path(override).expanduser()
+    return pathlib.Path.home() / ".cache" / "pnet"
+
+
+# --- canonical hashing -----------------------------------------------------
+
+
+def _canonical_bytes(obj: Any, out: "hashlib._Hash") -> None:
+    """Feed a canonical byte encoding of ``obj`` into a hash object.
+
+    Supports the closed set of types experiment keys are built from.
+    Floats use ``repr`` (shortest round-trip form), dicts are sorted by
+    their encoded keys, and every value is tagged with its type so e.g.
+    ``1`` and ``1.0`` and ``"1"`` hash differently.
+    """
+    if obj is None:
+        out.update(b"N")
+    elif isinstance(obj, bool):
+        out.update(b"b1" if obj else b"b0")
+    elif isinstance(obj, int):
+        out.update(b"i" + repr(obj).encode())
+    elif isinstance(obj, float):
+        out.update(b"f" + repr(obj).encode())
+    elif isinstance(obj, str):
+        encoded = obj.encode()
+        out.update(b"s" + str(len(encoded)).encode() + b":" + encoded)
+    elif isinstance(obj, bytes):
+        out.update(b"y" + str(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, (list, tuple)):
+        out.update(b"(")
+        for item in obj:
+            _canonical_bytes(item, out)
+        out.update(b")")
+    elif isinstance(obj, (set, frozenset)):
+        out.update(b"{")
+        for item in sorted(stable_hash(i) for i in obj):
+            out.update(item.encode())
+        out.update(b"}")
+    elif isinstance(obj, dict):
+        out.update(b"[")
+        entries = sorted(
+            (stable_hash(k), k, v) for k, v in obj.items()
+        )
+        for __, key, value in entries:
+            _canonical_bytes(key, out)
+            _canonical_bytes(value, out)
+        out.update(b"]")
+    else:
+        raise TypeError(
+            f"cannot canonically hash {type(obj).__name__!r} "
+            f"(build keys from primitives, tuples, lists, sets, dicts)"
+        )
+
+
+def stable_hash(obj: Any) -> str:
+    """Deterministic hex digest of a nested primitive structure.
+
+    Stable across processes and runs (unlike ``hash()``, which is
+    randomised per process for strings).
+    """
+    digest = hashlib.sha256()
+    _canonical_bytes(obj, digest)
+    return digest.hexdigest()
+
+
+def topology_hash(topo: Topology) -> str:
+    """Content hash of a topology.
+
+    Covers everything routing and LP solves can observe: the node set
+    with kinds, every link with its capacity and propagation delay, and
+    the set of currently-failed links.  The human-readable ``name`` is
+    deliberately excluded so identically-built topologies share cache
+    entries regardless of labelling.
+    """
+    return stable_hash(
+        (
+            "topology",
+            sorted((n, topo.kind(n)) for n in topo.nodes),
+            sorted(
+                (l.u, l.v, l.capacity, l.propagation) for l in topo.links
+            ),
+            sorted(topo.failed_links),
+        )
+    )
+
+
+def pnet_hash(pnet) -> str:
+    """Content hash of a parallel network: the ordered plane hashes."""
+    return stable_hash(("pnet", [topology_hash(p) for p in pnet.planes]))
+
+
+# --- the cache -------------------------------------------------------------
+
+
+class ArtifactCache:
+    """A content-keyed pickle store under one root directory.
+
+    Entries live at ``<root>/v<version>/<kind>/<keyhash>.pkl``.  ``kind``
+    namespaces artifact types ("routes", "lp", "trial", ...) so stats and
+    selective clearing stay possible.
+    """
+
+    def __init__(self, root: Optional[pathlib.Path] = None):
+        self.root = pathlib.Path(root) if root is not None else cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, kind: str, key: Any) -> pathlib.Path:
+        return (
+            self.root
+            / f"v{CACHE_VERSION}"
+            / kind
+            / f"{stable_hash(key)}.pkl"
+        )
+
+    def get(self, kind: str, key: Any, default: Any = None) -> Any:
+        """Cached value, or ``default`` on a miss.
+
+        A corrupted entry (truncated write, wrong format, unpicklable
+        payload) is deleted and reported as a miss.
+        """
+        if not cache_enabled():
+            self.misses += 1
+            return default
+        path = self._path(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return default
+        except Exception:
+            # Corrupted entry: discard and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return default
+        self.hits += 1
+        return value
+
+    def put(self, kind: str, key: Any, value: Any) -> None:
+        """Store ``value`` atomically (temp file + rename)."""
+        if not cache_enabled():
+            return
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get_or_compute(self, kind: str, key: Any, compute) -> Any:
+        """``get`` falling back to ``compute()`` (whose result is stored)."""
+        value = self.get(kind, key, _MISS)
+        if value is not _MISS:
+            return value
+        value = compute()
+        self.put(kind, key, value)
+        return value
+
+    # --- maintenance ------------------------------------------------------
+
+    def entries(self) -> Iterable[pathlib.Path]:
+        if not self.root.exists():
+            return
+        yield from self.root.rglob("*.pkl")
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self.entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+
+# Per-root instances so PNET_CACHE_DIR changes (e.g. in tests) take
+# effect without restarting the process.
+_instances: Dict[pathlib.Path, ArtifactCache] = {}
+
+
+def get_cache() -> ArtifactCache:
+    """The process-wide cache for the currently configured root."""
+    root = cache_dir()
+    cache = _instances.get(root)
+    if cache is None:
+        cache = _instances[root] = ArtifactCache(root)
+    return cache
+
+
+def cache_stats() -> Tuple[int, int]:
+    """(hits, misses) accumulated across every root used this process."""
+    hits = sum(c.hits for c in _instances.values())
+    misses = sum(c.misses for c in _instances.values())
+    return hits, misses

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.pnet import PNet
 from repro.topology.fattree import build_fat_tree
@@ -97,6 +97,9 @@ class FatTreeFamily:
         )
         return PNet(pnet, name=f"parallel-fattree-x{n_planes}")
 
+    # Uniform name across families (see network_for_label).
+    parallel_homogeneous = parallel
+
     def network_set(self, n_planes: int, seed: int = 0) -> NetworkSet:
         return NetworkSet(
             serial_low=self.serial_low(seed),
@@ -166,6 +169,44 @@ class JellyfishFamily:
             parallel_homogeneous=self.parallel_homogeneous(n_planes, seed),
             parallel_heterogeneous=self.parallel_heterogeneous(n_planes, seed),
         )
+
+
+def network_for_label(family, label: str, n_planes: int, seed: int = 0) -> PNet:
+    """Build exactly one of the four comparison networks.
+
+    Trial functions run in worker processes and only need the one network
+    their trial measures; this avoids building the whole
+    :class:`NetworkSet` per trial.  Families are plain objects with
+    primitive attributes, so they pickle into :class:`TrialSpec` kwargs
+    directly.
+    """
+    if label == SERIAL_LOW:
+        return family.serial_low(seed)
+    if label == SERIAL_HIGH:
+        return family.serial_high(n_planes, seed)
+    if label == PARALLEL_HOMOGENEOUS:
+        return family.parallel_homogeneous(n_planes, seed)
+    if label == PARALLEL_HETEROGENEOUS:
+        builder = getattr(family, "parallel_heterogeneous", None)
+        if builder is None:
+            raise ValueError(
+                f"{type(family).__name__} has no heterogeneous variant"
+            )
+        return builder(n_planes, seed)
+    raise ValueError(f"unknown network label {label!r}")
+
+
+def family_labels(family) -> Tuple[str, ...]:
+    """The labels :meth:`network_set` would produce, in plotting order.
+
+    Lets trial grids enumerate a family's networks without building any
+    of them (fat trees have no heterogeneous variant).
+    """
+    labels = [SERIAL_LOW, PARALLEL_HOMOGENEOUS]
+    if getattr(family, "parallel_heterogeneous", None) is not None:
+        labels.append(PARALLEL_HETEROGENEOUS)
+    labels.append(SERIAL_HIGH)
+    return tuple(labels)
 
 
 def format_table(headers: List[str], rows: List[List]) -> str:

@@ -14,7 +14,7 @@ gains only the serialisation delay (~98%), which shrinks as links speed up.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.stats import Summary, cdf_points, summarize
 from repro.core.path_selection import EcmpPolicy, MinHopPlanePolicy
@@ -22,15 +22,26 @@ from repro.core.pnet import PNet
 from repro.exp.common import (
     JellyfishFamily,
     PARALLEL_HETEROGENEOUS,
+    PARALLEL_HOMOGENEOUS,
     SERIAL_HIGH,
     SERIAL_LOW,
     format_table,
     get_scale,
+    network_for_label,
 )
+from repro.exp.runner import TrialSpec, run_trials
 from repro.sim.network import PacketNetwork
 from repro.sim.rpc import RpcClient
 from repro.traffic.rpc_workload import RpcWorkload
 from repro.units import MTU
+
+#: Plotting order (matches NetworkSet.items()).
+LABELS = (
+    SERIAL_LOW,
+    PARALLEL_HOMOGENEOUS,
+    PARALLEL_HETEROGENEOUS,
+    SERIAL_HIGH,
+)
 
 PRESETS = {
     "tiny": dict(switches=12, degree=5, hosts_per=2, n_planes=4, rounds=20),
@@ -73,6 +84,47 @@ def single_path_policy(label: str, pnet: PNet, seed: int = 0):
     return EcmpPolicy(pnet, salt=seed)
 
 
+def run_rpc_network(
+    label: str,
+    pnet: PNet,
+    request_bytes: int,
+    response_bytes: int,
+    rounds: int,
+    concurrency: int = 1,
+    seed: int = 0,
+) -> Tuple[List[float], int]:
+    """Closed-loop RPC workload on one network.
+
+    Returns (request completion times, total retransmits).
+    """
+    workload = RpcWorkload(
+        pnet.hosts,
+        request_bytes=request_bytes,
+        response_bytes=response_bytes,
+        rounds=rounds,
+        concurrency=concurrency,
+        seed=seed,
+    )
+    policy = single_path_policy(label, pnet, seed)
+    net = PacketNetwork(pnet.planes)
+    clients = []
+    for chain_idx, (client_host, chain) in enumerate(workload.chains()):
+        client = RpcClient(
+            net,
+            policy.select,
+            client_host,
+            workload.destination_sequence(client_host, chain),
+            request_bytes=request_bytes,
+            response_bytes=response_bytes,
+            flow_id_base=chain_idx * 100_003,
+        )
+        client.start()
+        clients.append(client)
+    net.run()
+    times = [t for c in clients for t in c.completion_times]
+    return times, sum(c.retransmits for c in clients)
+
+
 def run_rpc_experiment(
     networks,
     request_bytes: int,
@@ -81,42 +133,49 @@ def run_rpc_experiment(
     concurrency: int = 1,
     seed: int = 0,
 ):
-    """Run the closed-loop RPC workload on each network.
+    """Run the closed-loop RPC workload on each network (serial helper).
 
     Returns (completion times per label, retransmit counts per label).
     """
     times: Dict[str, List[float]] = {}
     retx: Dict[str, int] = {}
     for label, pnet in networks.items():
-        workload = RpcWorkload(
-            pnet.hosts,
+        times[label], retx[label] = run_rpc_network(
+            label,
+            pnet,
             request_bytes=request_bytes,
             response_bytes=response_bytes,
             rounds=rounds,
             concurrency=concurrency,
             seed=seed,
         )
-        policy = single_path_policy(label, pnet, seed)
-        net = PacketNetwork(pnet.planes)
-        clients = []
-        for chain_idx, (client_host, chain) in enumerate(workload.chains()):
-            client = RpcClient(
-                net,
-                policy.select,
-                client_host,
-                workload.destination_sequence(client_host, chain),
-                request_bytes=request_bytes,
-                response_bytes=response_bytes,
-                flow_id_base=chain_idx * 100_003,
-            )
-            client.start()
-            clients.append(client)
-        net.run()
-        times[label] = [
-            t for c in clients for t in c.completion_times
-        ]
-        retx[label] = sum(c.retransmits for c in clients)
     return times, retx
+
+
+def rpc_trial(
+    switches: int,
+    degree: int,
+    hosts_per: int,
+    n_planes: int,
+    label: str,
+    request_bytes: int,
+    response_bytes: int,
+    rounds: int,
+    concurrency: int = 1,
+    seed: int = 0,
+) -> Tuple[List[float], int]:
+    """One network's RPC run, built from primitives (picklable trial)."""
+    family = JellyfishFamily(switches, degree, hosts_per)
+    pnet = network_for_label(family, label, n_planes)
+    return run_rpc_network(
+        label,
+        pnet,
+        request_bytes=request_bytes,
+        response_bytes=response_bytes,
+        rounds=rounds,
+        concurrency=concurrency,
+        seed=seed,
+    )
 
 
 def run(scale: Optional[str] = None) -> Fig10Result:
@@ -124,15 +183,28 @@ def run(scale: Optional[str] = None) -> Fig10Result:
     family = JellyfishFamily(
         params["switches"], params["degree"], params["hosts_per"]
     )
-    networks = family.network_set(params["n_planes"])
-    times, __ = run_rpc_experiment(
-        networks,
-        request_bytes=MTU,
-        response_bytes=MTU,
-        rounds=params["rounds"],
-    )
+    specs = [
+        TrialSpec(
+            fn="repro.exp.fig10:rpc_trial",
+            key=(label,),
+            kwargs=dict(
+                switches=params["switches"],
+                degree=params["degree"],
+                hosts_per=params["hosts_per"],
+                n_planes=params["n_planes"],
+                label=label,
+                request_bytes=MTU,
+                response_bytes=MTU,
+                rounds=params["rounds"],
+            ),
+        )
+        for label in LABELS
+    ]
+    trials = run_trials(specs)
     result = Fig10Result(n_hosts=family.n_hosts, rounds=params["rounds"])
-    result.completion_times = times
+    result.completion_times = {
+        label: trials[(label,)][0] for label in LABELS
+    }
     return result
 
 

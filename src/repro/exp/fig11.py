@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.stats import Summary, summarize
 from repro.exp.common import JellyfishFamily, format_table, get_scale
-from repro.exp.fig10 import run_rpc_experiment
+from repro.exp.fig10 import LABELS
+from repro.exp.runner import TrialSpec, run_trials
 from repro.units import KB, MTU
 
 PRESETS = {
@@ -44,23 +45,37 @@ class Fig11Result:
 
 
 def run(scale: Optional[str] = None) -> Fig11Result:
+    """The (concurrency x network) grid, one trial per cell."""
     params = PRESETS[get_scale(scale)]
     family = JellyfishFamily(
         params["switches"], params["degree"], params["hosts_per"]
     )
-    networks = family.network_set(params["n_planes"])
     result = Fig11Result(n_hosts=family.n_hosts)
-    for concurrency in params["concurrency"]:
-        times, retx = run_rpc_experiment(
-            networks,
-            request_bytes=int(100 * KB),
-            response_bytes=MTU,
-            rounds=params["rounds"],
-            concurrency=concurrency,
+    specs = [
+        TrialSpec(
+            fn="repro.exp.fig10:rpc_trial",
+            key=(concurrency, label),
+            kwargs=dict(
+                switches=params["switches"],
+                degree=params["degree"],
+                hosts_per=params["hosts_per"],
+                n_planes=params["n_planes"],
+                label=label,
+                request_bytes=int(100 * KB),
+                response_bytes=MTU,
+                rounds=params["rounds"],
+                concurrency=concurrency,
+            ),
         )
-        for label, values in times.items():
-            result.stats[(label, concurrency)] = summarize(values)
-            result.retransmits[(label, concurrency)] = retx[label]
+        for concurrency in params["concurrency"]
+        for label in LABELS
+    ]
+    trials = run_trials(specs)
+    for concurrency in params["concurrency"]:
+        for label in LABELS:
+            times, retx = trials[(concurrency, label)]
+            result.stats[(label, concurrency)] = summarize(times)
+            result.retransmits[(label, concurrency)] = retx
     return result
 
 

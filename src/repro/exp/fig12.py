@@ -20,8 +20,14 @@ from typing import Dict, List, Optional
 
 from repro.analysis.stats import Summary, summarize
 from repro.core.pnet import PNet
-from repro.exp.common import JellyfishFamily, format_table, get_scale
-from repro.exp.fig10 import single_path_policy
+from repro.exp.common import (
+    JellyfishFamily,
+    format_table,
+    get_scale,
+    network_for_label,
+)
+from repro.exp.fig10 import LABELS, single_path_policy
+from repro.exp.runner import TrialSpec, run_trials
 from repro.fluid.flowsim import FluidSimulator
 from repro.traffic.shuffle import ShuffleFlow, ShuffleJob
 from repro.units import GB, MB
@@ -102,29 +108,65 @@ def _run_stage(
     return finish
 
 
+def stage_trial(
+    switches: int,
+    degree: int,
+    hosts_per: int,
+    n_planes: int,
+    label: str,
+    stage: str,
+    total: int,
+    mappers: int,
+    reducers: int,
+    block: int,
+) -> List[float]:
+    """Per-worker completion times of one (network, stage) pair."""
+    family = JellyfishFamily(switches, degree, hosts_per)
+    pnet = network_for_label(family, label, n_planes)
+    job = ShuffleJob(
+        pnet.hosts,
+        total_bytes=total,
+        n_mappers=mappers,
+        n_reducers=reducers,
+        block_bytes=block,
+        seed=0,
+    )
+    policy = single_path_policy(label, pnet)
+    finish = _run_stage(pnet, policy, job.stages()[stage], job.concurrency)
+    return sorted(finish.values())
+
+
 def run(scale: Optional[str] = None) -> Fig12Result:
     params = PRESETS[get_scale(scale)]
     family = JellyfishFamily(
         params["switches"], params["degree"], params["hosts_per"]
     )
-    networks = family.network_set(params["n_planes"])
     result = Fig12Result(n_hosts=family.n_hosts)
-
-    for label, pnet in networks.items():
-        job = ShuffleJob(
-            pnet.hosts,
-            total_bytes=params["total"],
-            n_mappers=params["mappers"],
-            n_reducers=params["reducers"],
-            block_bytes=params["block"],
-            seed=0,
+    specs = [
+        TrialSpec(
+            fn="repro.exp.fig12:stage_trial",
+            key=(label, stage),
+            kwargs=dict(
+                switches=params["switches"],
+                degree=params["degree"],
+                hosts_per=params["hosts_per"],
+                n_planes=params["n_planes"],
+                label=label,
+                stage=stage,
+                total=params["total"],
+                mappers=params["mappers"],
+                reducers=params["reducers"],
+                block=params["block"],
+            ),
         )
-        policy = single_path_policy(label, pnet)
-        per_stage: Dict[str, List[float]] = {}
-        for stage, flows in job.stages().items():
-            finish = _run_stage(pnet, policy, flows, job.concurrency)
-            per_stage[stage] = sorted(finish.values())
-        result.worker_times[label] = per_stage
+        for label in LABELS
+        for stage in STAGES
+    ]
+    trials = run_trials(specs)
+    for label in LABELS:
+        result.worker_times[label] = {
+            stage: trials[(label, stage)] for stage in STAGES
+        }
     return result
 
 

@@ -19,8 +19,14 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.stats import Summary, summarize
 from repro.core.pnet import PNet
-from repro.exp.common import JellyfishFamily, format_table, get_scale
-from repro.exp.fig10 import single_path_policy
+from repro.exp.common import (
+    JellyfishFamily,
+    format_table,
+    get_scale,
+    network_for_label,
+)
+from repro.exp.fig10 import LABELS, single_path_policy
+from repro.exp.runner import TrialSpec, run_trials
 from repro.fluid.flowsim import FluidSimulator
 from repro.traffic.traces import TRACES, FlowSizeCDF
 
@@ -101,26 +107,60 @@ def replay_trace(
     return fcts
 
 
+def trace_trial(
+    switches: int,
+    degree: int,
+    hosts_per: int,
+    n_planes: int,
+    label: str,
+    trace_name: str,
+    flows_per_host: int,
+    completions_per_host: int,
+    seed: int = 0,
+) -> List[float]:
+    """FCTs of one (trace, network) closed-loop replay."""
+    family = JellyfishFamily(switches, degree, hosts_per)
+    pnet = network_for_label(family, label, n_planes)
+    policy = single_path_policy(label, pnet)
+    return replay_trace(
+        pnet,
+        policy,
+        TRACES[trace_name],
+        flows_per_host,
+        completions_per_host,
+        seed=seed,
+    )
+
+
 def run(scale: Optional[str] = None) -> Fig13Result:
     params = PRESETS[get_scale(scale)]
     family = JellyfishFamily(
         params["switches"], params["degree"], params["hosts_per"]
     )
-    networks = family.network_set(params["n_planes"])
     result = Fig13Result(n_hosts=family.n_hosts)
+    specs = [
+        TrialSpec(
+            fn="repro.exp.fig13:trace_trial",
+            key=(trace_name, label),
+            kwargs=dict(
+                switches=params["switches"],
+                degree=params["degree"],
+                hosts_per=params["hosts_per"],
+                n_planes=params["n_planes"],
+                label=label,
+                trace_name=trace_name,
+                flows_per_host=params["flows_per_host"],
+                completions_per_host=params["completions_per_host"],
+            ),
+        )
+        for trace_name in params["traces"]
+        for label in LABELS
+    ]
+    trials = run_trials(specs)
     for trace_name in params["traces"]:
-        trace = TRACES[trace_name]
-        per_net: Dict[str, List[float]] = {}
-        for label, pnet in networks.items():
-            policy = single_path_policy(label, pnet)
-            per_net[label] = replay_trace(
-                pnet,
-                policy,
-                trace,
-                params["flows_per_host"],
-                params["completions_per_host"],
-            )
-        result.fcts[trace_name] = per_net
+        result.fcts[trace_name] = {
+            label: trials[(trace_name, label)] for label in LABELS
+        }
     return result
 
 

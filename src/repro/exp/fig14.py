@@ -15,7 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.hops import failure_sweep
+import random
+
+from repro.analysis.hops import average_min_hop_count
 from repro.exp.common import (
     JellyfishFamily,
     PARALLEL_HETEROGENEOUS,
@@ -23,7 +25,11 @@ from repro.exp.common import (
     SERIAL_LOW,
     format_table,
     get_scale,
+    network_for_label,
 )
+from repro.exp.runner import TrialSpec, run_trials
+
+LABELS = (SERIAL_LOW, PARALLEL_HOMOGENEOUS, PARALLEL_HETEROGENEOUS)
 
 PRESETS = {
     "tiny": dict(
@@ -54,28 +60,63 @@ class Fig14Result:
         return series[max(series)] / series[0.0] - 1.0
 
 
+def failure_trial(
+    switches: int,
+    degree: int,
+    hosts_per: int,
+    n_planes: int,
+    label: str,
+    fraction: float,
+    seed: int,
+) -> float:
+    """Average best-path hop count of one (network, fraction, seed) cell.
+
+    A fresh network is built per repetition (re-instantiating random
+    topologies, as the paper does) and the failure RNG keys match
+    :func:`repro.analysis.hops.failure_sweep` exactly.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"failure fraction must be in [0,1), got {fraction}")
+    family = JellyfishFamily(switches, degree, hosts_per)
+    pnet = network_for_label(family, label, n_planes)
+    rng = random.Random(f"failures-{seed}-{fraction}")
+    for plane in pnet.planes:
+        plane.fail_random_links(fraction, rng, switch_only=True)
+    pnet.invalidate_routing()
+    return average_min_hop_count(pnet)
+
+
 def run(scale: Optional[str] = None) -> Fig14Result:
     params = PRESETS[get_scale(scale)]
     family = JellyfishFamily(
         params["switches"], params["degree"], params["hosts_per"]
     )
-    builders = {
-        SERIAL_LOW: lambda: family.serial_low(),
-        PARALLEL_HOMOGENEOUS: lambda: family.parallel_homogeneous(
-            params["n_planes"]
-        ),
-        PARALLEL_HETEROGENEOUS: lambda: family.parallel_heterogeneous(
-            params["n_planes"]
-        ),
-    }
     result = Fig14Result(n_hosts=family.n_hosts)
-    for label, make in builders.items():
-        sweep = failure_sweep(
-            make, fractions=params["fractions"], seeds=params["seeds"]
+    specs = [
+        TrialSpec(
+            fn="repro.exp.fig14:failure_trial",
+            key=(label, fraction, seed),
+            kwargs=dict(
+                switches=params["switches"],
+                degree=params["degree"],
+                hosts_per=params["hosts_per"],
+                n_planes=params["n_planes"],
+                label=label,
+                fraction=fraction,
+                seed=seed,
+            ),
         )
+        for label in LABELS
+        for fraction in params["fractions"]
+        for seed in params["seeds"]
+    ]
+    trials = run_trials(specs)
+    for label in LABELS:
         result.hop_counts[label] = {
-            fraction: sum(values) / len(values)
-            for fraction, values in sweep.items()
+            fraction: sum(
+                trials[(label, fraction, seed)] for seed in params["seeds"]
+            ) / len(params["seeds"])
+            for fraction in params["fractions"]
         }
     return result
 

@@ -16,16 +16,22 @@ The serial high-bandwidth network is the same topology with N-times link
 capacity, so its LP optimum is exactly N times the serial-low value for
 any fixed route set (LP scaling); we report it that way rather than
 re-solving.
+
+The trial grid -- (panel, plane count, seed) -- is expressed as
+:class:`~repro.exp.runner.TrialSpec` items and executed by
+:func:`~repro.exp.runner.run_trials` (``PNET_JOBS`` workers, merged by
+trial key so results are identical at any job count).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.path_selection import EcmpPolicy, KspMultipathPolicy
 from repro.exp.common import FatTreeFamily, format_table, get_scale
+from repro.exp.runner import TrialSpec, run_trials
 from repro.exp.throughput import routed_total_throughput
 from repro.traffic.patterns import all_to_all, permutation
 
@@ -52,55 +58,98 @@ def _mean(values: Sequence[float]) -> float:
     return sum(values) / len(values)
 
 
+def _pattern_pairs(pattern: str, hosts: List[str], seed: int):
+    if pattern == "all_to_all":
+        return all_to_all(hosts)
+    return permutation(hosts, random.Random(f"fig6-{seed}"))
+
+
+def ecmp_trial(k: int, pattern: str, n_planes: int, seed: int) -> float:
+    """Panels a/b: one network's ECMP total, normalised vs serial-low."""
+    family = FatTreeFamily(k)
+    hosts = family.serial_low().hosts
+    pairs = _pattern_pairs(pattern, hosts, seed)
+    base = family.serial_low()
+    pnet = family.parallel(n_planes)
+    total_base = routed_total_throughput(
+        base, pairs, EcmpPolicy(base, salt=seed)
+    )
+    total = routed_total_throughput(pnet, pairs, EcmpPolicy(pnet, salt=seed))
+    return total / total_base
+
+
+def multipath_trial(
+    k: int, n_planes: int, seed: int, ks: Tuple[int, ...]
+) -> Dict[int, float]:
+    """Panel c: the K sweep for one (plane count, seed).
+
+    The whole sweep is one trial so the KSP cache computed at the largest
+    K (descending order) answers the smaller Ks.
+    """
+    family = FatTreeFamily(k)
+    hosts = family.serial_low().hosts
+    pnet = family.parallel(n_planes)
+    serial_capacity = family.link_rate * len(hosts)
+    series: Dict[int, float] = {}
+    for k_paths in sorted(ks, reverse=True):
+        pairs = permutation(hosts, random.Random(f"fig6c-{seed}"))
+        policy = KspMultipathPolicy(pnet, k=k_paths, seed=seed)
+        total = routed_total_throughput(pnet, pairs, policy)
+        series[k_paths] = total / serial_capacity
+    return series
+
+
 def run(scale: Optional[str] = None) -> Fig6Result:
     params = PRESETS[get_scale(scale)]
-    family = FatTreeFamily(params["k"])
     result = Fig6Result(k=params["k"])
-    hosts = family.serial_low().hosts
-    a2a_pairs = all_to_all(hosts)
 
-    # Panels a & b: ECMP total throughput, normalised against the
-    # serial-low ECMP total (the paper's y-axis).
-    for pattern_name, store in (
+    specs = [
+        TrialSpec(
+            fn="repro.exp.fig6:ecmp_trial",
+            key=("ecmp", pattern, n_planes, seed),
+            kwargs=dict(
+                k=params["k"], pattern=pattern, n_planes=n_planes, seed=seed
+            ),
+        )
+        for pattern in ("all_to_all", "permutation")
+        for n_planes in params["planes"]
+        for seed in params["seeds"]
+    ] + [
+        TrialSpec(
+            fn="repro.exp.fig6:multipath_trial",
+            key=("multipath", n_planes, seed),
+            kwargs=dict(
+                k=params["k"],
+                n_planes=n_planes,
+                seed=seed,
+                ks=tuple(params["ks"]),
+            ),
+        )
+        for n_planes in params["planes"]
+        for seed in params["seeds"]
+    ]
+    trials = run_trials(specs)
+
+    for pattern, store in (
         ("all_to_all", result.ecmp_all_to_all),
         ("permutation", result.ecmp_permutation),
     ):
         for n_planes in params["planes"]:
-            samples = []
-            for seed in params["seeds"]:
-                pnet = family.parallel(n_planes)
-                if pattern_name == "all_to_all":
-                    pairs = a2a_pairs
-                else:
-                    pairs = permutation(hosts, random.Random(f"fig6-{seed}"))
-                base = family.serial_low()
-                total_base = routed_total_throughput(
-                    base, pairs, EcmpPolicy(base, salt=seed)
-                )
-                total = routed_total_throughput(
-                    pnet, pairs, EcmpPolicy(pnet, salt=seed)
-                )
-                samples.append(total / total_base)
-            store[n_planes] = _mean(samples)
+            store[n_planes] = _mean(
+                [
+                    trials[("ecmp", pattern, n_planes, seed)]
+                    for seed in params["seeds"]
+                ]
+            )
 
-    # Panel c: permutation with K-way multipath, normalised to the
-    # serial-low total capacity (n_hosts * line rate); a value of N means
-    # the P-Net's combined capacity is saturated.
-    serial_capacity = family.link_rate * len(hosts)
     for n_planes in params["planes"]:
-        series: Dict[int, float] = {}
-        # One PNet per seed, shared across the K sweep; descending K so
-        # the KSP cache computed at the largest K answers the rest.
-        pnets = {seed: family.parallel(n_planes) for seed in params["seeds"]}
-        for k_paths in sorted(params["ks"], reverse=True):
-            samples = []
-            for seed in params["seeds"]:
-                pnet = pnets[seed]
-                pairs = permutation(hosts, random.Random(f"fig6c-{seed}"))
-                policy = KspMultipathPolicy(pnet, k=k_paths, seed=seed)
-                total = routed_total_throughput(pnet, pairs, policy)
-                samples.append(total / serial_capacity)
-            series[k_paths] = _mean(samples)
+        per_seed = [
+            trials[("multipath", n_planes, seed)] for seed in params["seeds"]
+        ]
+        series: Dict[int, float] = {
+            k_paths: _mean([s[k_paths] for s in per_seed])
+            for k_paths in sorted(params["ks"], reverse=True)
+        }
         result.multipath[n_planes] = series
         result.saturation_k[n_planes] = next(
             (

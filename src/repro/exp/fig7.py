@@ -10,6 +10,11 @@ Homogeneous P-Nets (and serial high-bandwidth) are exactly N x the serial
 low-bandwidth value by LP scaling, so only heterogeneous instantiations
 need fresh solves; we solve the homogeneous case at the smallest N as a
 consistency check.
+
+Each LP solve -- serial baseline per seed, heterogeneous per (plane
+count, seed), plus the homogeneous check -- is an independent
+:class:`~repro.exp.runner.TrialSpec` fanned out by
+:func:`~repro.exp.runner.run_trials`.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.exp.common import JellyfishFamily, format_table, get_scale
+from repro.exp.runner import TrialSpec, run_trials
 from repro.lp.ideal import ideal_throughput, merge_parallel_with_rack_sources
 from repro.traffic.patterns import rack_level_all_to_all
 
@@ -60,32 +66,74 @@ def _std(values: Sequence[float]) -> float:
     return (sum((v - m) ** 2 for v in values) / (len(values) - 1)) ** 0.5
 
 
+def base_trial(racks: int, degree: int, seed: int) -> float:
+    """Serial-low ideal throughput for one seed (the normaliser)."""
+    family = JellyfishFamily(racks, degree, 1)
+    return _rack_alpha([family.base_plane(seed * 1000)], racks)
+
+
+def hetero_trial(racks: int, degree: int, n_planes: int, seed: int) -> float:
+    """Heterogeneous P-Net ideal throughput (unnormalised alpha)."""
+    family = JellyfishFamily(racks, degree, 1)
+    pnet = family.parallel_heterogeneous(n_planes, seed=seed)
+    return _rack_alpha(pnet.planes, racks)
+
+
+def homo_check_trial(racks: int, degree: int, n_planes: int, seed: int) -> float:
+    """Homogeneous P-Net alpha (consistency check: N x serial-low)."""
+    family = JellyfishFamily(racks, degree, 1)
+    pnet = family.parallel_homogeneous(n_planes, seed=seed * 1000)
+    return _rack_alpha(pnet.planes, racks)
+
+
 def run(scale: Optional[str] = None) -> Fig7Result:
     params = PRESETS[get_scale(scale)]
-    family = JellyfishFamily(params["racks"], params["degree"], 1)
     result = Fig7Result(racks=params["racks"])
+    base_kwargs = dict(racks=params["racks"], degree=params["degree"])
+    check_n = params["planes"][1]
+    check_seed = params["seeds"][0]
 
-    base_alphas = {
-        seed: _rack_alpha([family.base_plane(seed * 1000)], params["racks"])
-        for seed in params["seeds"]
-    }
+    specs = (
+        [
+            TrialSpec(
+                fn="repro.exp.fig7:base_trial",
+                key=("base", seed),
+                kwargs=dict(seed=seed, **base_kwargs),
+            )
+            for seed in params["seeds"]
+        ]
+        + [
+            TrialSpec(
+                fn="repro.exp.fig7:hetero_trial",
+                key=("hetero", n_planes, seed),
+                kwargs=dict(n_planes=n_planes, seed=seed, **base_kwargs),
+            )
+            for n_planes in params["planes"]
+            for seed in params["seeds"]
+        ]
+        + [
+            TrialSpec(
+                fn="repro.exp.fig7:homo_check_trial",
+                key=("homo-check",),
+                kwargs=dict(n_planes=check_n, seed=check_seed, **base_kwargs),
+            )
+        ]
+    )
+    trials = run_trials(specs)
 
+    base_alphas = {seed: trials[("base", seed)] for seed in params["seeds"]}
     for n_planes in params["planes"]:
         result.serial_high[n_planes] = float(n_planes)
-        samples = []
-        for seed in params["seeds"]:
-            pnet = family.parallel_heterogeneous(n_planes, seed=seed)
-            alpha = _rack_alpha(pnet.planes, params["racks"])
-            samples.append(alpha / base_alphas[seed])
+        samples = [
+            trials[("hetero", n_planes, seed)] / base_alphas[seed]
+            for seed in params["seeds"]
+        ]
         result.heterogeneous[n_planes] = _mean(samples)
         result.heterogeneous_std[n_planes] = _std(samples)
 
     # Consistency check: homogeneous planes give exactly N x serial-low.
-    check_n = params["planes"][1]
-    seed = params["seeds"][0]
-    homo = family.parallel_homogeneous(check_n, seed=seed * 1000)
     result.homogeneous_check = (
-        _rack_alpha(homo.planes, params["racks"]) / base_alphas[seed]
+        trials[("homo-check",)] / base_alphas[check_seed]
     )
     return result
 

@@ -10,6 +10,12 @@
 
 Heterogeneous and homogeneous parallel Jellyfish behave near-identically
 for throughput (the paper plots both); we report both.
+
+Trials: panels a/b run one (plane count, seed) per trial (the serial
+baseline and both variants share KSP policies inside it, exactly like the
+serial code path); panel c runs one (variant, plane count, seed) K sweep
+per trial.  :func:`~repro.exp.runner.run_trials` fans them out over
+``PNET_JOBS`` workers and merges by key.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.core.path_selection import KspMultipathPolicy
 from repro.core.pnet import PNet
 from repro.exp.common import JellyfishFamily, format_table, get_scale
+from repro.exp.runner import TrialSpec, run_trials
 from repro.exp.throughput import routed_total_throughput
 from repro.traffic.patterns import all_to_all, permutation
 
@@ -41,6 +48,8 @@ PRESETS = {
 
 DEFAULT_KSP = 8  # Jellyfish's recommended serial setting
 
+VARIANTS = ("homogeneous", "heterogeneous")
+
 
 @dataclass
 class Fig8Result:
@@ -57,6 +66,12 @@ def _mean(values: Sequence[float]) -> float:
     return sum(values) / len(values)
 
 
+def _family(params: Dict) -> JellyfishFamily:
+    return JellyfishFamily(
+        params["switches"], params["degree"], params["hosts_per"]
+    )
+
+
 def _variants(family: JellyfishFamily, n_planes: int, seed: int):
     return (
         ("homogeneous", family.parallel_homogeneous(n_planes, seed=seed)),
@@ -64,71 +79,125 @@ def _variants(family: JellyfishFamily, n_planes: int, seed: int):
     )
 
 
+def panel_ab_trial(
+    switches: int, degree: int, hosts_per: int, n_planes: int, seed: int
+) -> Dict[Tuple[str, str], float]:
+    """Panels a/b totals for one seed: {(label, pattern) -> total bits/s}.
+
+    One trial covers the serial baseline and both parallel variants so
+    each network's KSP policy is shared across the two patterns, as in
+    the serial implementation.
+    """
+    family = JellyfishFamily(switches, degree, hosts_per)
+    hosts = family.serial_low().hosts
+    base = family.serial_low(seed=seed * 1000)
+    nets = [("serial", base)] + list(_variants(family, n_planes, seed))
+    patterns = (
+        ("all_to_all", all_to_all(hosts)),
+        ("permutation", permutation(hosts, random.Random(f"fig8-{seed}"))),
+    )
+    totals: Dict[Tuple[str, str], float] = {}
+    for label, pnet in nets:
+        policy = KspMultipathPolicy(pnet, k=DEFAULT_KSP, seed=seed)
+        for pattern_name, pairs in patterns:
+            totals[(label, pattern_name)] = routed_total_throughput(
+                pnet, pairs, policy
+            )
+    return totals
+
+
+def panel_c_trial(
+    switches: int,
+    degree: int,
+    hosts_per: int,
+    variant: str,
+    n_planes: int,
+    seed: int,
+    ks: Tuple[int, ...],
+) -> Dict[int, float]:
+    """Panel c: one (variant, plane count, seed) K sweep.
+
+    Descending K keeps the KSP cache computed at the largest K serving
+    all smaller Ks, mirroring the serial implementation.
+    """
+    family = JellyfishFamily(switches, degree, hosts_per)
+    hosts = family.serial_low().hosts
+    serial_capacity = family.link_rate * len(hosts)
+    pnet = dict(_variants(family, n_planes, seed))[variant]
+    series: Dict[int, float] = {}
+    for k_paths in sorted(ks, reverse=True):
+        pairs = permutation(hosts, random.Random(f"fig8c-{seed}"))
+        total = routed_total_throughput(
+            pnet, pairs, KspMultipathPolicy(pnet, k=k_paths, seed=seed)
+        )
+        series[k_paths] = total / serial_capacity
+    return series
+
+
 def run(scale: Optional[str] = None) -> Fig8Result:
     params = PRESETS[get_scale(scale)]
-    family = JellyfishFamily(
-        params["switches"], params["degree"], params["hosts_per"]
+    family = _family(params)
+    n_hosts = family.n_hosts
+    result = Fig8Result(n_hosts=n_hosts)
+    net_kwargs = dict(
+        switches=params["switches"],
+        degree=params["degree"],
+        hosts_per=params["hosts_per"],
     )
-    hosts = family.serial_low().hosts
-    result = Fig8Result(n_hosts=len(hosts))
-    a2a_pairs = all_to_all(hosts)
 
-    # Panels a & b: default 8-way KSP, normalised vs serial-low same-K.
-    # PNets (and their KSP caches) are shared across the two patterns.
-    for n_planes in params["planes"]:
-        samples: Dict[Tuple[str, str], list] = {}
-        for seed in params["seeds"]:
-            base = family.serial_low(seed=seed * 1000)
-            nets = [("serial", base)] + list(
-                _variants(family, n_planes, seed)
-            )
-            patterns = (
-                ("all_to_all", a2a_pairs),
-                ("permutation", permutation(hosts, random.Random(f"fig8-{seed}"))),
-            )
-            totals: Dict[Tuple[str, str], float] = {}
-            for label, pnet in nets:
-                policy = KspMultipathPolicy(pnet, k=DEFAULT_KSP, seed=seed)
-                for pattern_name, pairs in patterns:
-                    totals[(label, pattern_name)] = routed_total_throughput(
-                        pnet, pairs, policy
-                    )
-            for variant in ("homogeneous", "heterogeneous"):
-                for pattern_name in ("all_to_all", "permutation"):
-                    samples.setdefault((variant, pattern_name), []).append(
-                        totals[(variant, pattern_name)]
-                        / totals[("serial", pattern_name)]
-                    )
-        for (variant, pattern_name), values in samples.items():
-            store = (
-                result.ksp8_all_to_all
-                if pattern_name == "all_to_all"
-                else result.ksp8_permutation
-            )
-            store[(variant, n_planes)] = _mean(values)
+    specs = [
+        TrialSpec(
+            fn="repro.exp.fig8:panel_ab_trial",
+            key=("ab", n_planes, seed),
+            kwargs=dict(n_planes=n_planes, seed=seed, **net_kwargs),
+        )
+        for n_planes in params["planes"]
+        for seed in params["seeds"]
+    ] + [
+        TrialSpec(
+            fn="repro.exp.fig8:panel_c_trial",
+            key=("c", variant, n_planes, seed),
+            kwargs=dict(
+                variant=variant,
+                n_planes=n_planes,
+                seed=seed,
+                ks=tuple(params["ks"]),
+                **net_kwargs,
+            ),
+        )
+        for n_planes in params["planes"]
+        for variant in VARIANTS
+        for seed in params["seeds"]
+    ]
+    trials = run_trials(specs)
 
-    # Panel c: K sweep on permutation, normalised to serial-low capacity.
-    serial_capacity = family.link_rate * len(hosts)
+    # Panels a & b: normalise each variant against the same-seed serial
+    # baseline, then average over seeds.
     for n_planes in params["planes"]:
-        for variant in ("homogeneous", "heterogeneous"):
-            series: Dict[int, float] = {}
-            # One PNet per seed across the K sweep, descending K, so the
-            # KSP cache computed at the largest K serves all smaller Ks.
-            pnets = {
-                seed: dict(_variants(family, n_planes, seed))[variant]
+        for variant in VARIANTS:
+            for pattern_name, store in (
+                ("all_to_all", result.ksp8_all_to_all),
+                ("permutation", result.ksp8_permutation),
+            ):
+                store[(variant, n_planes)] = _mean(
+                    [
+                        trials[("ab", n_planes, seed)][(variant, pattern_name)]
+                        / trials[("ab", n_planes, seed)][("serial", pattern_name)]
+                        for seed in params["seeds"]
+                    ]
+                )
+
+    # Panel c: K sweep means over seeds.
+    for n_planes in params["planes"]:
+        for variant in VARIANTS:
+            per_seed = [
+                trials[("c", variant, n_planes, seed)]
                 for seed in params["seeds"]
+            ]
+            series: Dict[int, float] = {
+                k_paths: _mean([s[k_paths] for s in per_seed])
+                for k_paths in sorted(params["ks"], reverse=True)
             }
-            for k_paths in sorted(params["ks"], reverse=True):
-                samples = []
-                for seed in params["seeds"]:
-                    pnet = pnets[seed]
-                    pairs = permutation(hosts, random.Random(f"fig8c-{seed}"))
-                    total = routed_total_throughput(
-                        pnet, pairs,
-                        KspMultipathPolicy(pnet, k=k_paths, seed=seed),
-                    )
-                    samples.append(total / serial_capacity)
-                series[k_paths] = _mean(samples)
             key = (variant, n_planes)
             result.multipath[key] = series
             result.saturation_k[key] = next(

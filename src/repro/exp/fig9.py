@@ -9,6 +9,12 @@ finish before steady state, where parallel networks win by ramping more
 subflows concurrently (even beating serial high-bandwidth); mid-size
 flows (~100 MB) gain the least; 1 GB flows approach the full multipath
 capacity.
+
+The (network label x flow size x seed) grid is fanned out as
+:class:`~repro.exp.runner.TrialSpec` items over ``PNET_JOBS`` workers;
+each trial builds only its own network and simulates one configuration,
+and results are merged by trial key (seed order), so output is identical
+at any job count.
 """
 
 from __future__ import annotations
@@ -32,7 +38,9 @@ from repro.exp.common import (
     SERIAL_LOW,
     format_table,
     get_scale,
+    network_for_label,
 )
+from repro.exp.runner import TrialSpec, run_trials
 from repro.fluid.flowsim import FluidSimulator
 from repro.traffic.patterns import permutation
 from repro.units import GB, KB, MB
@@ -53,6 +61,14 @@ PRESETS = {
     ),
 }
 
+#: Plotting order (matches NetworkSet.items()).
+LABELS = (
+    SERIAL_LOW,
+    PARALLEL_HOMOGENEOUS,
+    PARALLEL_HETEROGENEOUS,
+    SERIAL_HIGH,
+)
+
 
 @dataclass
 class Fig9Result:
@@ -72,34 +88,85 @@ def _best_policy(label: str, pnet: PNet, seed: int):
     return KspMultipathPolicy(pnet, k=pnet.n_planes, seed=seed)
 
 
+def fct_trial(
+    switches: int,
+    degree: int,
+    hosts_per: int,
+    n_planes: int,
+    label: str,
+    size: int,
+    seed: int,
+) -> List[float]:
+    """All FCTs of one (network, flow size, seed) fluid simulation."""
+    family = JellyfishFamily(switches, degree, hosts_per)
+    pnet = network_for_label(family, label, n_planes)
+    pairs = permutation(pnet.hosts, random.Random(f"fig9-{seed}"))
+    policy = _best_policy(label, pnet, seed)
+    sim = FluidSimulator(pnet.planes, slow_start=True)
+    for flow_id, (src, dst) in enumerate(pairs):
+        paths = policy.select(src, dst, flow_id)
+        sim.add_flow(src, dst, size, paths)
+    return [rec.fct for rec in sim.run()]
+
+
 def run(scale: Optional[str] = None) -> Fig9Result:
     params = PRESETS[get_scale(scale)]
     family = JellyfishFamily(
         params["switches"], params["degree"], params["hosts_per"]
     )
-    networks = family.network_set(params["n_planes"])
     result = Fig9Result(
         n_hosts=family.n_hosts, n_planes=params["n_planes"]
     )
 
-    for label, pnet in networks.items():
+    net_kwargs = dict(
+        switches=params["switches"],
+        degree=params["degree"],
+        hosts_per=params["hosts_per"],
+        n_planes=params["n_planes"],
+    )
+    specs = [
+        TrialSpec(
+            fn="repro.exp.fig9:fct_trial",
+            key=(label, size, seed),
+            kwargs=dict(label=label, size=size, seed=seed, **net_kwargs),
+        )
+        for label in LABELS
+        for size in params["sizes"]
+        for seed in params["seeds"]
+    ]
+    trials = run_trials(specs)
+
+    for label in LABELS:
         per_size: Dict[int, float] = {}
         for size in params["sizes"]:
             fcts: List[float] = []
             for seed in params["seeds"]:
-                pairs = permutation(
-                    pnet.hosts, random.Random(f"fig9-{seed}")
-                )
-                policy = _best_policy(label, pnet, seed)
-                sim = FluidSimulator(pnet.planes, slow_start=True)
-                for flow_id, (src, dst) in enumerate(pairs):
-                    paths = policy.select(src, dst, flow_id)
-                    sim.add_flow(src, dst, size, paths)
-                records = sim.run()
-                fcts.extend(rec.fct for rec in records)
+                fcts.extend(trials[(label, size, seed)])
             per_size[size] = summarize(fcts).mean
         result.mean_fct[label] = per_size
     return result
+
+
+def packet_trial(
+    switches: int,
+    degree: int,
+    hosts_per: int,
+    n_planes: int,
+    label: str,
+    size: int,
+) -> float:
+    """Mean FCT of one network on the packet-level simulator."""
+    from repro.sim.network import PacketNetwork
+
+    family = JellyfishFamily(switches, degree, hosts_per)
+    pnet = network_for_label(family, label, n_planes)
+    pairs = permutation(pnet.hosts, random.Random("fig9-pkt"))
+    policy = _best_policy(label, pnet, seed=0)
+    net = PacketNetwork(pnet.planes)
+    for flow_id, (src, dst) in enumerate(pairs):
+        net.add_flow(src, dst, size, policy.select(src, dst, flow_id))
+    net.run()
+    return summarize([r.fct for r in net.records]).mean
 
 
 def packet_sim_validation(
@@ -113,25 +180,24 @@ def packet_sim_validation(
     real TCP/MPTCP, returning mean FCT per network type so benches can
     assert both simulators agree on *who wins*.
     """
-    from repro.sim.network import PacketNetwork
-
     params = PRESETS[get_scale(scale)]
-    family = JellyfishFamily(
-        params["switches"], params["degree"], params["hosts_per"]
-    )
-    networks = family.network_set(params["n_planes"])
-    means: Dict[str, float] = {}
-    for label, pnet in networks.items():
-        pairs = permutation(pnet.hosts, random.Random("fig9-pkt"))
-        policy = _best_policy(label, pnet, seed=0)
-        net = PacketNetwork(pnet.planes)
-        for flow_id, (src, dst) in enumerate(pairs):
-            net.add_flow(
-                src, dst, size, policy.select(src, dst, flow_id)
-            )
-        net.run()
-        means[label] = summarize([r.fct for r in net.records]).mean
-    return means
+    specs = [
+        TrialSpec(
+            fn="repro.exp.fig9:packet_trial",
+            key=(label,),
+            kwargs=dict(
+                switches=params["switches"],
+                degree=params["degree"],
+                hosts_per=params["hosts_per"],
+                n_planes=params["n_planes"],
+                label=label,
+                size=size,
+            ),
+        )
+        for label in LABELS
+    ]
+    trials = run_trials(specs)
+    return {label: trials[(label,)] for label in LABELS}
 
 
 def main() -> None:

@@ -1,0 +1,218 @@
+"""Process-pool experiment runner over picklable trial specs.
+
+Every experiment module expresses its parameter grid -- network family x
+scale x plane count x seed -- as a list of :class:`TrialSpec` and hands it
+to :func:`run_trials`.  The runner fans the trials out over
+``multiprocessing`` workers (``PNET_JOBS``; 1 = today's serial in-process
+path, exactly), consults the on-disk artifact cache for whole trial
+results, and merges everything **by trial key, never by completion
+order** -- the :class:`~repro.sim.events.EventLoop` and every topology
+builder are deterministic given their seeds, so results are independent
+of worker scheduling, and ``tests/test_determinism.py`` locks that in.
+
+A trial function must be a module-level callable (referenced as
+``"package.module:function"`` so it pickles by name) taking only
+picklable keyword arguments and returning picklable data; it must not
+depend on process-global mutable state.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import importlib
+import inspect
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exp import cache as _cache
+
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent unit of experiment work.
+
+    Attributes:
+        fn: dotted reference ``"repro.exp.fig6:ecmp_trial"`` to a
+            module-level trial function.
+        key: hashable identifier, unique within one :func:`run_trials`
+            call; results are merged and ordered by it.
+        kwargs: picklable keyword arguments for the trial function.
+    """
+
+    fn: str
+    key: Tuple
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RunStats:
+    """What one :func:`run_trials` call cost.
+
+    ``cache_hits``/``cache_misses`` aggregate the artifact cache counters
+    across the parent and every worker (trial results, route sets, and
+    LP solutions all count).
+    """
+
+    n_trials: int = 0
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    trial_cache_hits: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_trials} trials, jobs={self.jobs}, "
+            f"wall={self.wall_seconds:.2f}s, cache {self.cache_hits} hits / "
+            f"{self.cache_misses} misses "
+            f"({self.trial_cache_hits} whole-trial hits)"
+        )
+
+
+#: Stats of the most recent run_trials call in this process (for CLI and
+#: benchmark reporting).
+_last_stats: Optional[RunStats] = None
+
+
+def last_stats() -> Optional[RunStats]:
+    return _last_stats
+
+
+def get_jobs(override: Optional[int] = None) -> int:
+    """Resolve the worker count (arg > $PNET_JOBS > 1)."""
+    if override is None:
+        raw = os.environ.get("PNET_JOBS", "1")
+        try:
+            override = int(raw)
+        except ValueError:
+            raise ValueError(f"PNET_JOBS must be an integer, got {raw!r}")
+    if override < 1:
+        raise ValueError(f"job count must be >= 1, got {override}")
+    return override
+
+
+def resolve_fn(ref: str) -> Callable:
+    """Import ``"package.module:function"`` and return the callable."""
+    module_name, sep, fn_name = ref.partition(":")
+    if not sep or not fn_name:
+        raise ValueError(
+            f"trial fn must look like 'package.module:function', got {ref!r}"
+        )
+    module = importlib.import_module(module_name)
+    fn = getattr(module, fn_name, None)
+    if not callable(fn):
+        raise ValueError(f"{ref!r} does not name a callable")
+    return fn
+
+
+@functools.lru_cache(maxsize=None)
+def _module_source_hash(module_name: str) -> str:
+    """Hash of a module's source, so trial-result cache entries die when
+    the code that produced them changes."""
+    module = importlib.import_module(module_name)
+    try:
+        source = inspect.getsource(module)
+    except (OSError, TypeError):
+        return "nosource"
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def _trial_cache_key(spec: TrialSpec) -> Tuple:
+    module_name = spec.fn.partition(":")[0]
+    return (spec.fn, _module_source_hash(module_name), spec.kwargs)
+
+
+def _execute(spec: TrialSpec) -> Tuple[Tuple, Any, int, int]:
+    """Run one trial (worker side); returns (key, value, hits, misses).
+
+    The hit/miss counts are this trial's *delta* on the artifact cache,
+    so the parent can aggregate across forked workers whose counters
+    start from a copy of the parent's.
+    """
+    cache = _cache.get_cache()
+    hits0, misses0 = cache.hits, cache.misses
+    value = resolve_fn(spec.fn)(**spec.kwargs)
+    cache.put("trial", _trial_cache_key(spec), value)
+    return (
+        spec.key,
+        value,
+        cache.hits - hits0,
+        cache.misses - misses0,
+    )
+
+
+def _check_specs(specs: Sequence[TrialSpec]) -> None:
+    seen = set()
+    for spec in specs:
+        if spec.key in seen:
+            raise ValueError(f"duplicate trial key {spec.key!r}")
+        seen.add(spec.key)
+
+
+def _pool_context():
+    """Fork where available (cheap, Linux); spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_trials(
+    specs: Sequence[TrialSpec],
+    jobs: Optional[int] = None,
+) -> Dict[Tuple, Any]:
+    """Run every trial and return ``{spec.key: result}`` in spec order.
+
+    ``jobs`` defaults to ``$PNET_JOBS`` (1 = serial, in-process).  The
+    returned mapping's iteration order is the order of ``specs``
+    regardless of which worker finished first, and the values are
+    identical across job counts; per-run cost is recorded in
+    :func:`last_stats`.
+    """
+    global _last_stats
+    _check_specs(specs)
+    jobs = get_jobs(jobs)
+    stats = RunStats(n_trials=len(specs), jobs=jobs)
+    started = time.perf_counter()
+    cache = _cache.get_cache()
+    parent_hits0, parent_misses0 = cache.hits, cache.misses
+    results: Dict[Tuple, Any] = {}
+
+    # Whole-trial cache first: anything already computed (by any prior
+    # run or process) never reaches the pool.
+    pending: List[TrialSpec] = []
+    for spec in specs:
+        value = cache.get("trial", _trial_cache_key(spec), _MISS)
+        if value is _MISS:
+            pending.append(spec)
+        else:
+            results[spec.key] = value
+            stats.trial_cache_hits += 1
+
+    if jobs == 1 or len(pending) <= 1:
+        for spec in pending:
+            key, value, __, __ = _execute(spec)
+            results[key] = value
+    else:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+            for key, value, hits, misses in pool.imap_unordered(
+                _execute, pending
+            ):
+                results[key] = value
+                stats.cache_hits += hits
+                stats.cache_misses += misses
+
+    # Parent-side delta (trial-cache probes, and serial-path artifact
+    # traffic); worker deltas were added as results streamed in.
+    stats.cache_hits += cache.hits - parent_hits0
+    stats.cache_misses += cache.misses - parent_misses0
+    stats.wall_seconds = time.perf_counter() - started
+    _last_stats = stats
+    return {spec.key: results[spec.key] for spec in specs}

@@ -3,15 +3,59 @@
 Builds LP commodities by asking a path-selection policy for each flow's
 allowed paths, then solves the max-concurrent-flow LP -- exactly the
 paper's "ideal throughput with computed routes" methodology.
+
+Both expensive stages are transparently memoised in the on-disk artifact
+cache (:mod:`repro.exp.cache`):
+
+* **route sets** -- keyed by the network content hash, the policy
+  fingerprint, and the enumerated pair list (KSP enumeration dominates
+  large sweeps);
+* **LP solutions** -- keyed by the network hash (capacities), the exact
+  route set, the demand matrix, and the objective.
+
+Identical inputs therefore never re-solve, across processes and runs;
+``PNET_CACHE=0`` disables all of it.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.path_selection import PathSelectionPolicy
-from repro.core.pnet import PNet
+from repro.core.pnet import PlanePath, PNet
+from repro.exp.cache import get_cache, pnet_hash
 from repro.lp.mcf import Commodity, max_concurrent_flow
+
+
+def select_routes(
+    pnet: PNet,
+    pairs: Sequence[Tuple[str, str]],
+    policy: PathSelectionPolicy,
+) -> List[List[PlanePath]]:
+    """Per-flow (plane, path) lists for an enumerated pair list, cached.
+
+    Flow ids are the pair indices (matching every LP experiment's
+    enumeration).  Policies that do not implement ``fingerprint()`` are
+    computed directly, uncached.
+    """
+    try:
+        fingerprint = policy.fingerprint()
+    except NotImplementedError:
+        return [
+            policy.select(src, dst, flow_id)
+            for flow_id, (src, dst) in enumerate(pairs)
+        ]
+    key = (pnet_hash(pnet), fingerprint, [list(p) for p in pairs])
+    routes = get_cache().get_or_compute(
+        "routes",
+        key,
+        lambda: [
+            policy.select(src, dst, flow_id)
+            for flow_id, (src, dst) in enumerate(pairs)
+        ],
+    )
+    # Normalise pickled shapes back to the in-memory convention.
+    return [[(int(p), list(path)) for p, path in flow] for flow in routes]
 
 
 def routed_throughput(
@@ -27,9 +71,9 @@ def routed_throughput(
     Raises:
         RuntimeError: if the policy returns no path for some pair.
     """
-    commodities = _commodities(pairs, policy)
-    result = max_concurrent_flow(pnet.planes, commodities)
-    return result.alpha
+    commodities = _commodities(pnet, pairs, policy)
+    alpha, __ = _cached_solve(pnet, commodities, "concurrent")
+    return alpha
 
 
 def routed_total_throughput(
@@ -43,18 +87,49 @@ def routed_total_throughput(
     metric (it may starve badly-routed flows, which is precisely how ECMP
     collisions show up as lost capacity).
     """
-    commodities = _commodities(pairs, policy)
-    result = max_concurrent_flow(pnet.planes, commodities, objective="total")
-    return result.total_throughput
+    commodities = _commodities(pnet, pairs, policy)
+    __, total = _cached_solve(pnet, commodities, "total")
+    return total
 
 
 def _commodities(
-    pairs: Sequence[Tuple[str, str]], policy: PathSelectionPolicy
+    pnet: PNet,
+    pairs: Sequence[Tuple[str, str]],
+    policy: PathSelectionPolicy,
 ) -> List[Commodity]:
     commodities: List[Commodity] = []
-    for flow_id, (src, dst) in enumerate(pairs):
-        paths = policy.select(src, dst, flow_id)
+    routes = select_routes(pnet, pairs, policy)
+    for (src, dst), paths in zip(pairs, routes):
         if not paths:
             raise RuntimeError(f"policy found no path for {src}->{dst}")
         commodities.append(Commodity(src=src, dst=dst, paths=paths))
     return commodities
+
+
+def _cached_solve(
+    pnet: PNet,
+    commodities: Sequence[Commodity],
+    objective: str,
+) -> Tuple[float, float]:
+    """(alpha, total_throughput) of the LP, memoised on disk.
+
+    Only the two scalars are cached (per-path rates are large and no
+    experiment consumes them through this helper).
+    """
+    key = (
+        pnet_hash(pnet),
+        [
+            (c.src, c.dst, c.demand, [(p, list(path)) for p, path in c.paths])
+            for c in commodities
+        ],
+        objective,
+    )
+
+    def solve() -> Tuple[float, float]:
+        result = max_concurrent_flow(
+            pnet.planes, commodities, objective=objective
+        )
+        return (result.alpha, result.total_throughput)
+
+    alpha, total = get_cache().get_or_compute("lp", key, solve)
+    return float(alpha), float(total)

@@ -1,0 +1,45 @@
+"""Shared pytest configuration for the reproduction test suite.
+
+* ``--update-golden`` rewrites the fixtures under ``tests/golden/`` from
+  the current code's tiny-scale results (see ``test_golden.py``).
+* Every test session gets a private artifact-cache directory so tests
+  never read or pollute the user's ``~/.cache/pnet``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ fixtures from current results",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point PNET_CACHE_DIR at a per-session temp dir.
+
+    Session-scoped so repeated tiny-scale runs within one test session
+    still share trial results, while runs never touch (or depend on) the
+    developer's real cache.
+    """
+    root = tmp_path_factory.mktemp("pnet-cache")
+    old = os.environ.get("PNET_CACHE_DIR")
+    os.environ["PNET_CACHE_DIR"] = str(root)
+    yield root
+    if old is None:
+        os.environ.pop("PNET_CACHE_DIR", None)
+    else:
+        os.environ["PNET_CACHE_DIR"] = old

@@ -97,3 +97,30 @@ class TestExperimentDeterminism:
         a = DATAMINING.sample_many(100, random.Random(3))
         b = DATAMINING.sample_many(100, random.Random(3))
         assert a == b
+
+
+class TestJobCountDeterminism:
+    """Worker count must never change results.
+
+    Each figure is run twice -- PNET_JOBS=1 (the serial in-process path)
+    and PNET_JOBS=4 (a real process pool) -- with *separate, fresh*
+    cache directories so every trial genuinely recomputes, and the two
+    result objects are compared pickled, i.e. byte-identical rows.
+    """
+
+    @pytest.mark.parametrize("name", ["fig6", "fig9"])
+    def test_tiny_results_byte_identical_across_job_counts(
+        self, name, tmp_path, monkeypatch
+    ):
+        import importlib
+        import pickle
+
+        module = importlib.import_module(f"repro.exp.{name}")
+        blobs = []
+        for jobs in (1, 4):
+            monkeypatch.setenv(
+                "PNET_CACHE_DIR", str(tmp_path / f"cache-jobs{jobs}")
+            )
+            monkeypatch.setenv("PNET_JOBS", str(jobs))
+            blobs.append(pickle.dumps(module.run(scale="tiny")))
+        assert blobs[0] == blobs[1]

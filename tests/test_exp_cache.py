@@ -1,0 +1,226 @@
+"""Property tests for the experiment artifact cache.
+
+Covers the three promises the cache makes:
+
+* content keys -- :func:`topology_hash` reacts to every observable
+  change (nodes, links, capacities, delays, failures) and to nothing
+  cosmetic (the name);
+* lossless storage -- a route set (or any picklable artifact) read back
+  from the cache equals what was stored;
+* resilience -- corrupted or truncated entries are discarded and
+  recomputed, never crashing the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pnet import PNet
+from repro.exp.cache import (
+    ArtifactCache,
+    pnet_hash,
+    stable_hash,
+    topology_hash,
+)
+from repro.topology import ParallelTopology, build_jellyfish
+from repro.topology.graph import TOR, Topology
+
+# --- stable_hash -----------------------------------------------------------
+
+# The closed set of types cache keys are built from.
+primitives = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+keys = st.recursive(
+    primitives,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.lists(inner, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestStableHash:
+    @given(keys)
+    def test_deterministic(self, value):
+        assert stable_hash(value) == stable_hash(value)
+
+    @given(st.dictionaries(st.text(max_size=8), st.integers(), max_size=6))
+    def test_dict_order_independent(self, mapping):
+        reordered = dict(reversed(list(mapping.items())))
+        assert stable_hash(mapping) == stable_hash(reordered)
+
+    def test_type_tags_distinguish(self):
+        distinct = [None, True, False, 1, 1.0, "1", b"1", (1,), [1]]
+        hashes = [stable_hash(v) for v in distinct]
+        # (1,) and [1] deliberately hash alike (both sequences); all the
+        # scalar forms must differ.
+        assert len(set(hashes[:7])) == 7
+
+    def test_rejects_unhashable_types(self):
+        with pytest.raises(TypeError):
+            stable_hash(object())
+
+
+# --- topology_hash ---------------------------------------------------------
+
+
+def _small_topo(capacity: float = 1e9, delay: float = 1e-6) -> Topology:
+    topo = Topology(name="t")
+    for n in ("a", "b", "c"):
+        topo.add_node(n, TOR)
+    topo.add_link("a", "b", capacity, delay)
+    topo.add_link("b", "c", capacity, delay)
+    return topo
+
+
+class TestTopologyHash:
+    def test_name_is_cosmetic(self):
+        t1, t2 = _small_topo(), _small_topo()
+        t2.name = "completely-different"
+        assert topology_hash(t1) == topology_hash(t2)
+
+    def test_equal_builds_equal_hash(self):
+        a = build_jellyfish(10, 4, 2, seed=7)
+        b = build_jellyfish(10, 4, 2, seed=7)
+        assert topology_hash(a) == topology_hash(b)
+
+    def test_seed_changes_hash(self):
+        a = build_jellyfish(10, 4, 2, seed=7)
+        b = build_jellyfish(10, 4, 2, seed=8)
+        assert topology_hash(a) != topology_hash(b)
+
+    def test_extra_node_changes_hash(self):
+        t1, t2 = _small_topo(), _small_topo()
+        t2.add_node("d", TOR)
+        assert topology_hash(t1) != topology_hash(t2)
+
+    def test_extra_link_changes_hash(self):
+        t1, t2 = _small_topo(), _small_topo()
+        t2.add_link("a", "c", 1e9, 1e-6)
+        assert topology_hash(t1) != topology_hash(t2)
+
+    @given(st.floats(min_value=1.0, max_value=1e12))
+    @settings(max_examples=25)
+    def test_capacity_changes_hash(self, capacity):
+        base = _small_topo()
+        other = _small_topo(capacity=capacity)
+        assert (topology_hash(base) == topology_hash(other)) == (
+            capacity == 1e9
+        )
+
+    @given(st.floats(min_value=1e-9, max_value=1e-3))
+    @settings(max_examples=25)
+    def test_delay_changes_hash(self, delay):
+        base = _small_topo()
+        other = _small_topo(delay=delay)
+        assert (topology_hash(base) == topology_hash(other)) == (
+            delay == 1e-6
+        )
+
+    def test_failed_link_changes_hash(self):
+        t1, t2 = _small_topo(), _small_topo()
+        before = topology_hash(t2)
+        t2.fail_link("a", "b")
+        assert topology_hash(t2) != before
+        t2.restore_link("a", "b")
+        assert topology_hash(t2) == before
+        assert topology_hash(t1) == before
+
+    def test_pnet_hash_depends_on_plane_order_and_count(self):
+        p1 = build_jellyfish(10, 4, 2, seed=1)
+        p2 = build_jellyfish(10, 4, 2, seed=2)
+        a = PNet(ParallelTopology([p1, p2]))
+        b = PNet(ParallelTopology([p2, p1]))
+        c = PNet(ParallelTopology([p1, p2, p2]))
+        assert pnet_hash(a) != pnet_hash(b)
+        assert pnet_hash(a) != pnet_hash(c)
+
+
+# --- the store -------------------------------------------------------------
+
+route_sets = st.lists(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.lists(st.text(min_size=1, max_size=6), min_size=2, max_size=5),
+        ),
+        max_size=4,
+    ),
+    max_size=4,
+)
+
+
+class TestArtifactCache:
+    @given(route_sets)
+    @settings(max_examples=25)
+    def test_round_trip_lossless(self, routes):
+        # hypothesis forbids function-scoped fixtures; make our own dirs.
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as root:
+            cache = ArtifactCache(pathlib.Path(root))
+            cache.put("routes", ("k", 1), routes)
+            assert cache.get("routes", ("k", 1)) == routes
+
+    def test_miss_returns_default(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        sentinel = object()
+        assert cache.get("routes", ("absent",), sentinel) is sentinel
+        assert cache.stats() == {"hits": 0, "misses": 1}
+
+    def test_corrupted_entry_discarded(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("lp", ("key",), (0.5, 42.0))
+        path = cache._path("lp", ("key",))
+        path.write_bytes(b"\x80\x04 this is not a pickle")
+        assert cache.get("lp", ("key",), "fallback") == "fallback"
+        assert not path.exists()  # bad entry removed
+        # get_or_compute recomputes and repopulates.
+        assert cache.get_or_compute("lp", ("key",), lambda: (0.5, 42.0)) == (
+            0.5,
+            42.0,
+        )
+        assert cache.get("lp", ("key",)) == (0.5, 42.0)
+
+    def test_truncated_entry_discarded(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("trial", ("t",), list(range(100)))
+        path = cache._path("trial", ("t",))
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get("trial", ("t",), None) is None
+        assert cache.get_or_compute("trial", ("t",), lambda: "fresh") == "fresh"
+
+    def test_equal_keys_share_entries(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("routes", {"k": 4, "seed": 0}, "value")
+        # Same content, different construction order.
+        assert cache.get("routes", {"seed": 0, "k": 4}) == "value"
+
+    def test_disabled_cache_never_stores(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("PNET_CACHE", "0")
+        cache = ArtifactCache(tmp_path)
+        cache.put("routes", ("k",), "value")
+        assert cache.get("routes", ("k",), "miss") == "miss"
+        assert list(cache.entries()) == []
+
+    def test_clear_and_size(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i in range(5):
+            cache.put("routes", (i,), [i] * 10)
+        assert sum(1 for _ in cache.entries()) == 5
+        assert cache.size_bytes() > 0
+        assert cache.clear() == 5
+        assert list(cache.entries()) == []

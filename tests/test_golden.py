@@ -1,0 +1,73 @@
+"""Golden-regression tests: tiny-scale results must match stored fixtures.
+
+Every figure module's ``run(scale="tiny")`` result is flattened (via
+:func:`repro.exp.export.flatten`) and rendered with ``repr`` floats --
+the shortest exact round-trip form -- then compared byte-for-byte with
+``tests/golden/<module>.csv``.  Any change to topology builders, routing,
+the LP formulation, the simulators, or the experiment grids shows up as
+a golden diff.
+
+After an *intentional* behaviour change, regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+
+and commit the updated fixtures alongside the change.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+
+import pytest
+
+from repro.exp.export import flatten
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: Every figure module with a tiny-scale run() that returns a dataclass.
+MODULES = (
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "appendix",
+)
+
+
+def render(result) -> str:
+    """Stable text form of a result dataclass: one CSV-ish row per leaf."""
+    lines = []
+    for row in flatten(result):
+        lines.append(
+            ",".join(
+                repr(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_golden(name: str, update_golden: bool):
+    module = importlib.import_module(f"repro.exp.{name}")
+    text = render(module.run(scale="tiny"))
+    path = GOLDEN_DIR / f"{name}.csv"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        return
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        f"pytest tests/test_golden.py --update-golden"
+    )
+    expected = path.read_text()
+    assert text == expected, (
+        f"{name} tiny-scale result diverged from {path}; if the change "
+        f"is intentional, rerun with --update-golden and commit the diff"
+    )

@@ -1,0 +1,120 @@
+"""Tests for the process-pool experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exp.runner import (
+    TrialSpec,
+    get_jobs,
+    last_stats,
+    resolve_fn,
+    run_trials,
+)
+
+
+def echo_trial(value):
+    """Module-level so worker processes can resolve it by name."""
+    return value * value
+
+
+def failing_trial():
+    raise RuntimeError("boom")
+
+
+class TestGetJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("PNET_JOBS", raising=False)
+        assert get_jobs() == 1
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv("PNET_JOBS", "6")
+        assert get_jobs() == 6
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("PNET_JOBS", "6")
+        assert get_jobs(2) == 2
+
+    def test_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("PNET_JOBS", "many")
+        with pytest.raises(ValueError):
+            get_jobs()
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            get_jobs(0)
+
+
+class TestResolveFn:
+    def test_resolves(self):
+        assert resolve_fn("tests.test_runner:echo_trial") is echo_trial
+
+    @pytest.mark.parametrize(
+        "ref", ["tests.test_runner", "tests.test_runner:missing", "no-colon"]
+    )
+    def test_bad_refs(self, ref):
+        with pytest.raises(ValueError):
+            resolve_fn(ref)
+
+
+def _specs(values):
+    return [
+        TrialSpec(
+            fn="tests.test_runner:echo_trial",
+            key=(v,),
+            kwargs={"value": v},
+        )
+        for v in values
+    ]
+
+
+class TestRunTrials:
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_trials(_specs([1, 1]))
+
+    def test_merge_is_spec_order_not_completion_order(self, monkeypatch):
+        values = [9, 2, 7, 1, 5]
+        for jobs in (1, 4):
+            out = run_trials(_specs(values), jobs=jobs)
+            assert list(out) == [(v,) for v in values]
+            assert out == {(v,): v * v for v in values}
+
+    def test_serial_and_parallel_agree(self):
+        assert run_trials(_specs([3, 4]), jobs=1) == run_trials(
+            _specs([3, 4]), jobs=4
+        )
+
+    def test_whole_trial_cache_hit_on_rerun(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("PNET_CACHE_DIR", str(tmp_path))
+        specs = _specs([10, 11, 12])
+        run_trials(specs, jobs=1)
+        assert last_stats().trial_cache_hits == 0
+        out = run_trials(specs, jobs=1)
+        assert last_stats().trial_cache_hits == 3
+        assert out == {(v,): v * v for v in (10, 11, 12)}
+
+    def test_cache_disabled_never_hits(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("PNET_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("PNET_CACHE", "0")
+        specs = _specs([20, 21])
+        run_trials(specs, jobs=1)
+        run_trials(specs, jobs=1)
+        assert last_stats().trial_cache_hits == 0
+
+    def test_trial_exception_propagates(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("PNET_CACHE_DIR", str(tmp_path))
+        specs = [
+            TrialSpec(fn="tests.test_runner:failing_trial", key=("f",))
+        ]
+        with pytest.raises(RuntimeError, match="boom"):
+            run_trials(specs, jobs=1)
+
+    def test_stats_recorded(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("PNET_CACHE_DIR", str(tmp_path))
+        run_trials(_specs([30, 31]), jobs=2)
+        stats = last_stats()
+        assert stats.n_trials == 2
+        assert stats.jobs == 2
+        assert stats.wall_seconds >= 0.0
+        assert "2 trials" in stats.summary()
