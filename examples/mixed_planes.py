@@ -16,7 +16,7 @@ never share a queue.
 Run:  python examples/mixed_planes.py
 """
 
-from repro.core import PNet
+from repro.core import FlowSpec, PNet
 from repro.fluid.flowsim import FluidSimulator
 from repro.topology import build_fat_tree, build_jellyfish
 from repro.units import GB, MB
@@ -63,8 +63,10 @@ def main() -> None:
     rpc_paths = isolated_paths(pnet, src, dst, JF_PLANES)[:1]
     bulk_paths = isolated_paths(pnet, src, dst, FT_PLANES)
 
-    sim.add_flow(src, dst, 100 * 1000, rpc_paths, tag="latency-class")
-    sim.add_flow(src, dst, 2 * GB, bulk_paths, tag="bulk-class")
+    sim.add_flow(spec=FlowSpec(src=src, dst=dst, size=100 * 1000,
+                                paths=rpc_paths, tag="latency-class"))
+    sim.add_flow(spec=FlowSpec(src=src, dst=dst, size=2 * GB,
+                                paths=bulk_paths, tag="bulk-class"))
     records = {r.tag: r for r in sim.run()}
 
     rpc = records["latency-class"]

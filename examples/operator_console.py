@@ -14,7 +14,7 @@ Plays the role of the paper's future-work operator tooling:
 Run:  python examples/operator_console.py
 """
 
-from repro.core import PNet
+from repro.core import FlowSpec, PNet
 from repro.core.isolation import PlaneAllocator
 from repro.core.monitoring import NetworkMonitor
 from repro.core.path_selection import EcmpPolicy, MinHopPlanePolicy
@@ -42,11 +42,11 @@ def run_workload(pnet: PNet, monitor: NetworkMonitor) -> None:
 
     def launch(policy, src, dst, size, flow_id):
         paths = policy.select(src, dst, flow_id)
-        net.add_flow(
-            src, dst, size, paths,
+        net.add_flow(spec=FlowSpec(
+            src=src, dst=dst, size=size, paths=paths,
             on_complete=lambda rec, planes=[p for p, __ in paths]:
                 monitor.record_flow(planes, rec.size, rec.fct),
-        )
+        ))
 
     for i in range(0, len(hosts) - 1, 2):
         launch(frontend, hosts[i], hosts[i + 1], MTU, i)
@@ -70,12 +70,12 @@ def run_probes(pnet: PNet, monitor: NetworkMonitor) -> None:
             plane = flow_id % pnet.n_planes
             options = pnet.shortest_paths(plane, src, dst)
             if options:
-                net.add_flow(
-                    src, dst, MTU, [(plane, options[0])],
+                net.add_flow(spec=FlowSpec(
+                    src=src, dst=dst, size=MTU, paths=[(plane, options[0])],
                     on_complete=lambda rec, plane=plane: monitor.record_flow(
                         [plane], rec.size, rec.fct
                     ),
-                )
+                ))
             flow_id += 1
     net.run()
     monitor.ingest_queue_counters(net)

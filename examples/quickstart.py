@@ -12,7 +12,7 @@ Walks the public API end to end:
 Run:  python examples/quickstart.py
 """
 
-from repro.core import EndHost, PNet, TrafficClass
+from repro.core import EndHost, FlowSpec, PNet, TrafficClass
 from repro.fluid.flowsim import FluidSimulator
 from repro.topology import ParallelTopology, build_jellyfish
 from repro.units import GB, Gbps, pretty_rate, pretty_size
@@ -61,7 +61,8 @@ def main() -> None:
     # -- 3. a quick simulation ----------------------------------------------
     print("\nsimulating the 2 GB transfer...")
     sim = FluidSimulator(pnet.planes)
-    sim.add_flow(src, dst, bulk.size, bulk.paths)
+    sim.add_flow(spec=FlowSpec(src=src, dst=dst, size=bulk.size,
+                                paths=bulk.paths))
     record = sim.run()[0]
     rate = record.size * 8 / record.fct
     print(
@@ -71,7 +72,8 @@ def main() -> None:
 
     sim = FluidSimulator(serial_high.planes)
     single = serial_high.shortest_paths(0, src, dst)[0]
-    sim.add_flow(src, dst, bulk.size, [(0, single)])
+    sim.add_flow(spec=FlowSpec(src=src, dst=dst, size=bulk.size,
+                                paths=[(0, single)]))
     record = sim.run()[0]
     rate = record.size * 8 / record.fct
     print(

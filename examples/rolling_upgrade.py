@@ -16,7 +16,7 @@ Run:  python examples/rolling_upgrade.py
 
 import random
 
-from repro.core import EndHost, PNet
+from repro.core import EndHost, FlowSpec, PNet
 from repro.core.path_selection import KspMultipathPolicy
 from repro.fluid.flowsim import FluidSimulator
 from repro.topology import ParallelTopology, build_jellyfish
@@ -33,7 +33,7 @@ def measure_transfer(pnet: PNet, src: str, dst: str) -> float:
         pp for pp in policy.select(src, dst, 0)
     ]
     sim = FluidSimulator(pnet.planes, slow_start=False)
-    sim.add_flow(src, dst, 1 * GB, paths)
+    sim.add_flow(spec=FlowSpec(src=src, dst=dst, size=1 * GB, paths=paths))
     record = sim.run()[0]
     return record.size * 8 / record.fct
 

@@ -29,6 +29,9 @@ from repro.topology import (
     build_two_tier_fat_tree,
     build_xpander,
 )
+from repro import api
+from repro.api import TrialResult, attach_telemetry, build_network, run_trial
+from repro.core.flowspec import FlowSpec
 
 __version__ = "1.0.0"
 
@@ -40,5 +43,11 @@ __all__ = [
     "build_two_tier_fat_tree",
     "build_jellyfish",
     "build_xpander",
+    "api",
+    "FlowSpec",
+    "TrialResult",
+    "attach_telemetry",
+    "build_network",
+    "run_trial",
     "__version__",
 ]

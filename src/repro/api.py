@@ -1,0 +1,175 @@
+"""Stable high-level facade over the P-Net stack.
+
+Three calls cover the common workflow -- build a network, attach
+telemetry, run a batch of flows -- without importing simulator modules
+directly::
+
+    from repro import FlowSpec, api
+
+    obs = api.attach_telemetry(trace=True, metrics_path="metrics.jsonl")
+    net = api.build_network(pnet.planes, kind="packet")
+    result = api.run_trial(net, [
+        FlowSpec(src="h0", dst="h1", size=10**6, paths=paths),
+    ])
+    print(result.monitor.report())
+    obs.close()
+
+The facade is intentionally small and **stable**: experiment code and
+external users should prefer it over the underlying constructors, whose
+signatures may still evolve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.flowspec import FlowSpec
+from repro.core.monitoring import NetworkMonitor
+from repro.core.pnet import PNet
+from repro.fluid.flowsim import FluidSimulator
+from repro.obs import (
+    CsvSink,
+    JsonlSink,
+    Registry,
+    Tracer,
+    set_registry,
+)
+from repro.sim.network import PacketNetwork
+from repro.topology import ParallelTopology, Topology
+
+#: Anything that names a set of dataplanes.
+PlanesLike = Union[PNet, ParallelTopology, Sequence[Topology], Topology]
+
+Network = Union[PacketNetwork, FluidSimulator]
+
+
+def _as_planes(planes: PlanesLike) -> List[Topology]:
+    if isinstance(planes, PNet):
+        return list(planes.planes)
+    if isinstance(planes, ParallelTopology):
+        return list(planes.planes)
+    if isinstance(planes, Topology):
+        return [planes]
+    return list(planes)
+
+
+def attach_telemetry(
+    trace: bool = False,
+    trace_capacity: Optional[int] = None,
+    verbose: bool = False,
+    metrics_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
+    csv: bool = False,
+    install: bool = True,
+) -> Registry:
+    """Create (and by default install) a live telemetry registry.
+
+    Args:
+        trace: attach a bounded event :class:`~repro.obs.Tracer`.
+        trace_capacity: tracer ring size (default
+            :data:`repro.obs.DEFAULT_CAPACITY`).
+        verbose: also trace per-packet queue-depth samples (expensive).
+        metrics_path: write the metric snapshot here on ``close()``.
+        trace_path: write trace events here on ``close()``.
+        csv: emit CSV instead of JSONL for the paths above.
+        install: make this the process-default registry
+            (:func:`repro.obs.set_registry`), so components built
+            without an explicit ``obs=`` pick it up.
+
+    Returns:
+        The :class:`repro.obs.Registry`.  Call ``close()`` when done to
+        flush sinks; call ``repro.obs.set_registry(None)`` (or use
+        :func:`repro.obs.use_registry`) to detach.
+    """
+    tracer = None
+    if trace or trace_path is not None or verbose:
+        kwargs: Dict[str, Any] = {"verbose": verbose}
+        if trace_capacity is not None:
+            kwargs["capacity"] = trace_capacity
+        tracer = Tracer(**kwargs)
+    sink_cls = CsvSink if csv else JsonlSink
+    metric_sinks = [sink_cls(metrics_path)] if metrics_path else []
+    trace_sinks = [sink_cls(trace_path)] if trace_path else []
+    registry = Registry(
+        tracer=tracer, metric_sinks=metric_sinks, trace_sinks=trace_sinks
+    )
+    if install:
+        set_registry(registry)
+    return registry
+
+
+def build_network(
+    planes: PlanesLike,
+    kind: str = "packet",
+    obs: Optional[Registry] = None,
+    **kwargs: Any,
+) -> Network:
+    """Build a simulator over the given dataplanes.
+
+    Args:
+        planes: a :class:`PNet`, :class:`ParallelTopology`, single
+            :class:`Topology`, or sequence of topologies.
+        kind: ``"packet"`` (:class:`PacketNetwork`) or ``"fluid"``
+            (:class:`FluidSimulator`).
+        obs: telemetry registry; defaults to the process-wide one.
+        **kwargs: forwarded to the simulator constructor
+            (``queue_packets``, ``ecn_threshold``, ``slow_start``, ...).
+    """
+    plane_list = _as_planes(planes)
+    if kind == "packet":
+        return PacketNetwork(plane_list, obs=obs, **kwargs)
+    if kind == "fluid":
+        return FluidSimulator(plane_list, obs=obs, **kwargs)
+    raise ValueError(f"unknown network kind {kind!r} (packet|fluid)")
+
+
+@dataclass
+class TrialResult:
+    """What one :func:`run_trial` produced.
+
+    Attributes:
+        records: per-flow completion records, in completion order
+            (``SimFlowRecord`` or ``FlowRecord`` depending on the
+            simulator).
+        monitor: merged per-plane view of the trial.
+        metrics: the registry's deterministic snapshot rows (empty when
+            telemetry is disabled).
+    """
+
+    records: List[Any]
+    monitor: NetworkMonitor
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def run_trial(
+    network: Network,
+    flows: Iterable[FlowSpec],
+    until: float = math.inf,
+) -> TrialResult:
+    """Launch ``flows`` on ``network``, run it, and merge the results.
+
+    Works with either simulator: every spec is submitted via the
+    keyword-only ``add_flow(spec=...)`` API, the simulation runs to
+    completion (or ``until``), and the per-plane statistics are merged
+    into a :class:`NetworkMonitor`.
+    """
+    for spec in flows:
+        network.add_flow(spec=spec)
+    if isinstance(network, PacketNetwork):
+        network.run(until=until)
+        monitor = NetworkMonitor.from_network(network)
+    else:
+        network.run(until=None if math.isinf(until) else until)
+        monitor = NetworkMonitor(len(network.planes))
+        for record in network.records:
+            monitor.record_flow(record.planes, record.size, record.fct)
+    metrics = (
+        network.obs.snapshot(include_wallclock=False)
+        if network.obs.enabled
+        else []
+    )
+    return TrialResult(
+        records=list(network.records), monitor=monitor, metrics=metrics
+    )

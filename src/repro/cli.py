@@ -10,6 +10,9 @@ Usage::
     python -m repro fig9 --jobs 8        # fan trials over 8 workers
     python -m repro cache                # show artifact-cache stats
     python -m repro cache --clear        # drop all cached artifacts
+    python -m repro fig9 --scale tiny --metrics-out metrics.jsonl
+    python -m repro fig9 --scale tiny --trace trace.jsonl
+    python -m repro obs summarize metrics.jsonl trace.jsonl
 
 Each experiment prints the same rows/series the paper reports; ``--csv``
 additionally writes the raw result (flattened) for plotting.  Trials fan
@@ -60,7 +63,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(EXPERIMENTS) + ["all", "list", "cache"],
         help=(
             "experiment to run ('all' for everything, 'list' to enumerate, "
-            "'cache' for artifact-cache stats)"
+            "'cache' for artifact-cache stats; see also 'obs summarize FILE' "
+            "for telemetry files)"
         ),
     )
     parser.add_argument(
@@ -86,6 +90,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear",
         action="store_true",
         help="with 'cache': delete all cached artifacts",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="attach telemetry and write the metric snapshot (JSONL) here",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="attach an event tracer and write trace events (JSONL) here",
     )
     return parser
 
@@ -149,7 +165,26 @@ def cache_command(clear: bool) -> int:
     return 0
 
 
+def obs_command(argv: List[str]) -> int:
+    """``python -m repro obs summarize FILE [FILE ...]``"""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="inspect exported telemetry (JSONL metric/trace files)",
+    )
+    parser.add_argument("action", choices=["summarize"])
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    args = parser.parse_args(argv)
+    from repro.obs import summarize_files
+
+    print(summarize_files(args.files))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "obs":
+        return obs_command(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, module in sorted(EXPERIMENTS.items()):
@@ -161,9 +196,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         import os
 
         os.environ["PNET_JOBS"] = str(args.jobs)
+    registry = None
+    if args.metrics_out is not None or args.trace is not None:
+        from repro.api import attach_telemetry
+
+        registry = attach_telemetry(
+            trace=args.trace is not None,
+            metrics_path=args.metrics_out,
+            trace_path=args.trace,
+        )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        run_one(name, args.scale, args.csv)
+    try:
+        for name in names:
+            run_one(name, args.scale, args.csv)
+    finally:
+        if registry is not None:
+            from repro.obs import set_registry
+
+            registry.close()
+            set_registry(None)
+            if args.metrics_out is not None:
+                print(f"[obs] wrote metric snapshot to {args.metrics_out}")
+            if args.trace is not None:
+                print(f"[obs] wrote trace events to {args.trace}")
     return 0
 
 

@@ -16,6 +16,7 @@ each flow uses.
   and graceful fail-over.
 """
 
+from repro.core.flowspec import FlowSpec
 from repro.core.pnet import PNet
 from repro.core.path_selection import (
     EcmpPolicy,
@@ -28,6 +29,7 @@ from repro.core.flow_policy import SizeThresholdPolicy
 from repro.core.failures import FailureAwareSelector
 
 __all__ = [
+    "FlowSpec",
     "PNet",
     "EcmpPolicy",
     "KspMultipathPolicy",

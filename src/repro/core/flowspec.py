@@ -1,0 +1,112 @@
+"""The one flow-launch vocabulary shared by both simulators.
+
+:class:`FlowSpec` describes a flow independently of which engine runs it:
+``PacketNetwork.add_flow(spec=...)`` and ``FluidSimulator.add_flow(
+spec=...)`` both take it, so workloads, policies, and the ``repro.api``
+facade can hand the same object to either simulator.
+
+Construction is **keyword-only** (works down to Python 3.9, unlike
+``dataclass(kw_only=True)``): a flow description has too many
+same-typed fields for positional calls to stay readable.  The legacy
+positional ``add_flow(src, dst, size, paths, ...)`` forms still work
+through a deprecation shim in each simulator (see
+:func:`warn_positional_add_flow`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+#: A path tagged with the dataplane it lives on (re-exported for
+#: convenience; canonical home is :mod:`repro.core.pnet`).
+PlanePath = Tuple[int, List[str]]
+
+
+class FlowSpec:
+    """One flow to launch: endpoints, size, subflow paths, scheduling.
+
+    Args (keyword-only):
+        src / dst: endpoint host names.
+        size: bytes to transfer (>= 0).
+        paths: subflow paths as ``(plane_idx, node_list)`` tuples; one
+            path means single-path transport, several mean MPTCP (packet
+            sim) / multi-subflow allocation (fluid sim).
+        at: launch time in simulated seconds; ``None`` means "now"
+            (time 0 for a not-yet-started packet sim).
+        tag: free-form label copied onto the resulting flow record.
+        transport: ``"tcp"`` or ``"dctcp"`` (packet simulator only; the
+            fluid model has no transport knob and ignores it).
+        on_complete: callback fired with the flow record at completion.
+    """
+
+    __slots__ = ("src", "dst", "size", "paths", "at", "tag", "transport",
+                 "on_complete")
+
+    def __init__(
+        self,
+        *,
+        src: str,
+        dst: str,
+        size: float,
+        paths: Sequence[PlanePath],
+        at: Optional[float] = None,
+        tag: Optional[str] = None,
+        transport: str = "tcp",
+        on_complete: Optional[Callable[[Any], None]] = None,
+    ):
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        if not paths:
+            raise ValueError("need at least one path")
+        for plane_idx, path in paths:
+            if path[0] != src or path[-1] != dst:
+                raise ValueError(
+                    f"path {path} does not connect {src}->{dst}"
+                )
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.paths = list(paths)
+        self.at = at
+        self.tag = tag
+        self.transport = transport
+        self.on_complete = on_complete
+
+    @property
+    def planes(self) -> Tuple[int, ...]:
+        """The plane of each subflow path, in path order."""
+        return tuple(plane for plane, __ in self.paths)
+
+    def replace(self, **changes: Any) -> "FlowSpec":
+        """A copy with the given fields replaced."""
+        kwargs = {name: getattr(self, name) for name in self.__slots__}
+        kwargs.update(changes)
+        return FlowSpec(**kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowSpec(src={self.src!r}, dst={self.dst!r}, "
+            f"size={self.size!r}, paths={len(self.paths)} path(s), "
+            f"at={self.at!r}, tag={self.tag!r}, "
+            f"transport={self.transport!r})"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, FlowSpec):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self.__slots__
+        )
+
+
+def warn_positional_add_flow(entry: str) -> None:
+    """Emit the shared deprecation warning for legacy add_flow calls."""
+    warnings.warn(
+        f"positional {entry}(src, dst, size, paths, ...) is deprecated; "
+        f"pass {entry}(spec=FlowSpec(src=..., dst=..., size=..., "
+        f"paths=...)) instead (see repro.core.flowspec)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

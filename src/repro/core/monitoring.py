@@ -50,7 +50,50 @@ class NetworkMonitor:
             raise ValueError("need at least one plane")
         self.stats = {i: PlaneStats(plane=i) for i in range(n_planes)}
 
+    # --- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_network(
+        cls, network: PacketNetwork, n_planes: Optional[int] = None
+    ) -> "NetworkMonitor":
+        """Monitor built from a finished packet simulation.
+
+        Flow records carry their plane usage (``SimFlowRecord.planes``),
+        so no manual per-flow registration is needed: this ingests every
+        completed flow plus the per-queue counters in one call.
+        """
+        monitor = cls(n_planes if n_planes is not None else len(network.planes))
+        monitor.ingest_network(network)
+        return monitor
+
+    @classmethod
+    def from_registry(cls, registry, n_planes: int) -> "NetworkMonitor":
+        """Monitor built from a :class:`repro.obs.Registry`'s per-plane
+        series (``net.flows``, ``net.flow.bytes``, ``net.fct_seconds``,
+        ``sim.plane.*``) -- the merge the paper's section 7 asks for,
+        from telemetry alone."""
+        monitor = cls(n_planes)
+        monitor.ingest_registry(registry)
+        return monitor
+
     # --- ingestion ----------------------------------------------------------
+
+    def ingest_network(self, network: PacketNetwork) -> None:
+        """Ingest all flow records and queue counters of a simulation."""
+        for record in network.records:
+            self.record_flow(record.planes, record.size, record.fct)
+        self.ingest_queue_counters(network)
+
+    def ingest_registry(self, registry) -> None:
+        """Merge a registry's per-plane series into this monitor."""
+        for plane, stats in self.stats.items():
+            stats.flows += int(registry.value("net.flows", plane=plane))
+            stats.bytes_carried += registry.value("net.flow.bytes", plane=plane)
+            stats.packets_forwarded += int(
+                registry.value("sim.plane.packets_forwarded", plane=plane)
+            )
+            stats.drops += int(registry.value("sim.plane.drops", plane=plane))
+            stats.fcts.extend(registry.samples("net.fct_seconds", plane=plane))
 
     def record_flow(
         self,

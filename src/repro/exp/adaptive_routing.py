@@ -26,6 +26,7 @@ from typing import Dict, Optional
 
 from repro.analysis.stats import summarize
 from repro.core.adaptive import AdaptiveRouter
+from repro.core.flowspec import FlowSpec
 from repro.core.path_selection import EcmpPolicy, KspMultipathPolicy
 from repro.exp.common import JellyfishFamily, format_table, get_scale
 from repro.fluid.flowsim import FluidSimulator
@@ -84,7 +85,10 @@ def run(scale: Optional[str] = None) -> AdaptiveResult:
                     paths = ksp.select(src, dst, flow_id)
                 else:
                     paths = ecmp.select(src, dst, flow_id)
-                fid = sim.add_flow(src, dst, params["flow_bytes"], paths)
+                fid = sim.add_flow(spec=FlowSpec(
+                    src=src, dst=dst, size=params["flow_bytes"],
+                    paths=paths,
+                ))
                 if router is not None:
                     router.track(fid, src, dst, paths[0])
             if router is not None:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.stats import Summary, summarize
+from repro.core.flowspec import FlowSpec
 from repro.core.pnet import PNet
 from repro.exp.common import (
     JellyfishFamily,
@@ -88,14 +89,14 @@ def _run_stage(
             flow = queues[worker].pop(0)
             outstanding[worker] += 1
             paths = policy.select(flow.src, flow.dst, next(flow_ids))
-            sim.add_flow(
-                flow.src,
-                flow.dst,
-                flow.size,
-                paths,
+            sim.add_flow(spec=FlowSpec(
+                src=flow.src,
+                dst=flow.dst,
+                size=flow.size,
+                paths=paths,
                 on_complete=lambda rec, worker=worker: done(worker),
                 tag=worker,
-            )
+            ))
 
     def done(worker: str) -> None:
         outstanding[worker] -= 1

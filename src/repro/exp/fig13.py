@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.stats import Summary, summarize
+from repro.core.flowspec import FlowSpec
 from repro.core.pnet import PNet
 from repro.exp.common import (
     JellyfishFamily,
@@ -93,12 +94,12 @@ def replay_trace(
             dst = rng.choice(hosts)
         size = trace.sample(rng)
         paths = policy.select(host, dst, next(flow_ids))
-        sim.add_flow(
-            host, dst, size, paths,
+        sim.add_flow(spec=FlowSpec(
+            src=host, dst=dst, size=size, paths=paths,
             on_complete=lambda rec: (
                 fcts.append(rec.fct), launch(host, rng)
             ),
-        )
+        ))
 
     for host in hosts:
         for chain in range(flows_per_host):

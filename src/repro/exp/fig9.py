@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import summarize
+from repro.core.flowspec import FlowSpec
 from repro.core.path_selection import (
     EcmpPolicy,
     KspMultipathPolicy,
@@ -105,7 +106,7 @@ def fct_trial(
     sim = FluidSimulator(pnet.planes, slow_start=True)
     for flow_id, (src, dst) in enumerate(pairs):
         paths = policy.select(src, dst, flow_id)
-        sim.add_flow(src, dst, size, paths)
+        sim.add_flow(spec=FlowSpec(src=src, dst=dst, size=size, paths=paths))
     return [rec.fct for rec in sim.run()]
 
 
@@ -164,7 +165,10 @@ def packet_trial(
     policy = _best_policy(label, pnet, seed=0)
     net = PacketNetwork(pnet.planes)
     for flow_id, (src, dst) in enumerate(pairs):
-        net.add_flow(src, dst, size, policy.select(src, dst, flow_id))
+        net.add_flow(spec=FlowSpec(
+            src=src, dst=dst, size=size,
+            paths=policy.select(src, dst, flow_id),
+        ))
     net.run()
     return summarize([r.fct for r in net.records]).mean
 

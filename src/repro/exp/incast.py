@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.stats import summarize
+from repro.core.flowspec import FlowSpec
 from repro.exp.common import JellyfishFamily, format_table, get_scale
 from repro.exp.fig10 import single_path_policy
 from repro.sim.network import PacketNetwork
@@ -81,10 +82,10 @@ def run(scale: Optional[str] = None) -> IncastResult:
             net = PacketNetwork(pnet.planes, ecn_threshold=ecn)
             for i, sender in enumerate(senders):
                 paths = policy.select(sender, receiver, i)
-                net.add_flow(
-                    sender, receiver, params["block"], paths, at=0.0,
-                    transport=transport,
-                )
+                net.add_flow(spec=FlowSpec(
+                    src=sender, dst=receiver, size=params["block"],
+                    paths=paths, at=0.0, transport=transport,
+                ))
             net.run()
             fcts = [rec.fct for rec in net.records]
             result.stats[(label, fan_in)] = summarize(fcts)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exp import cache as _cache
+from repro.obs import get_registry
 
 _MISS = object()
 
@@ -215,4 +216,13 @@ def run_trials(
     stats.cache_misses += cache.misses - parent_misses0
     stats.wall_seconds = time.perf_counter() - started
     _last_stats = stats
+    obs = get_registry()
+    if obs.enabled:
+        obs.counter("runner.trials").inc(stats.n_trials)
+        obs.counter("runner.trial_cache_hits").inc(stats.trial_cache_hits)
+        obs.counter("runner.artifact_cache_hits").inc(stats.cache_hits)
+        obs.counter("runner.artifact_cache_misses").inc(stats.cache_misses)
+        obs.histogram("runner.run_seconds", wallclock=True).observe(
+            stats.wall_seconds
+        )
     return {spec.key: results[spec.key] for spec in specs}

@@ -26,18 +26,23 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.flowspec import FlowSpec, warn_positional_add_flow
 from repro.core.pnet import PlanePath
 from repro.fluid.maxmin import max_min_rates
+from repro.obs import get_registry
 from repro.topology.graph import Topology
 from repro.units import MSS, MTU
 
 #: Relative tolerance for byte/rate comparisons.
 _EPS = 1e-9
+
+_UNSET = object()
 
 
 @dataclass
@@ -52,6 +57,8 @@ class FlowRecord:
     completion: float
     n_subflows: int
     tag: Optional[str] = None
+    #: Planes the flow's subflows used, in subflow order.
+    planes: Tuple[int, ...] = field(default=())
 
     @property
     def fct(self) -> float:
@@ -73,11 +80,11 @@ class _Subflow:
 class _Flow:
     __slots__ = (
         "flow_id", "src", "dst", "size", "size_bits", "arrival",
-        "delivered", "subflows", "on_complete", "tag", "min_rtt",
+        "delivered", "subflows", "on_complete", "tag", "min_rtt", "planes",
     )
 
     def __init__(self, flow_id, src, dst, size, arrival, subflows,
-                 on_complete, tag):
+                 on_complete, tag, planes=()):
         self.flow_id = flow_id
         self.src = src
         self.dst = dst
@@ -88,6 +95,7 @@ class _Flow:
         self.subflows = subflows
         self.on_complete = on_complete
         self.tag = tag
+        self.planes = planes
         self.min_rtt = min(sf.rtt for sf in subflows)
 
     @property
@@ -104,6 +112,9 @@ class FluidSimulator:
         initial_window: slow-start initial window in segments (RFC 6928's
             10 is today's datacenter default).
         mss: segment size in bytes for the ramp model.
+        obs: telemetry registry; defaults to the process-wide registry
+            (a no-op unless one was attached).  Iteration counts and
+            high-water marks are published after each :meth:`run`.
     """
 
     def __init__(
@@ -112,6 +123,7 @@ class FluidSimulator:
         slow_start: bool = True,
         initial_window: int = 10,
         mss: int = MSS,
+        obs=None,
     ):
         if not planes:
             raise ValueError("need at least one plane")
@@ -119,6 +131,12 @@ class FluidSimulator:
         self.slow_start = slow_start
         self.initial_window = initial_window
         self.mss = mss
+        self.obs = obs if obs is not None else get_registry()
+        #: Cumulative engine iteration counters (cheap plain ints, kept
+        #: whether or not telemetry is attached).
+        self.events_processed = 0
+        self.rate_recomputations = 0
+        self.max_active_flows = 0
 
         self._link_index: Dict[Tuple[int, str, str], int] = {}
         caps: List[float] = []
@@ -166,36 +184,68 @@ class FluidSimulator:
 
     def add_flow(
         self,
-        src: str,
-        dst: str,
-        size: float,
-        paths: Sequence[PlanePath],
+        src=_UNSET,
+        dst: Optional[str] = None,
+        size: Optional[float] = None,
+        paths: Optional[Sequence[PlanePath]] = None,
         at: Optional[float] = None,
         on_complete: Optional[Callable[[FlowRecord], None]] = None,
         tag: Optional[str] = None,
+        *,
+        spec: Optional[FlowSpec] = None,
     ) -> int:
-        """Schedule a flow of ``size`` bytes over the given subflow paths.
+        """Schedule a flow described by a :class:`FlowSpec`.
+
+        Preferred form::
+
+            sim.add_flow(spec=FlowSpec(src="h0", dst="h1", size=1e6,
+                                       paths=paths))
 
         Returns the flow id.  ``on_complete`` fires (during :meth:`run`)
         when the last byte is delivered, and may call :meth:`add_flow`
-        again for closed-loop workloads.
+        again for closed-loop workloads.  ``spec.transport`` is ignored
+        (the fluid model has no transport knob).
+
+        The legacy positional form ``add_flow(src, dst, size, paths,
+        ...)`` still works but emits a :class:`DeprecationWarning`.
         """
-        if size < 0:
-            raise ValueError(f"size must be >= 0, got {size}")
-        if not paths:
-            raise ValueError("need at least one path")
-        start = self.now if at is None else float(at)
+        if spec is None and isinstance(src, FlowSpec):
+            spec, src = src, _UNSET
+        if spec is not None:
+            if src is not _UNSET or dst is not None or size is not None \
+                    or paths is not None:
+                raise TypeError(
+                    "pass either a FlowSpec or the legacy positional "
+                    "arguments, not both"
+                )
+        else:
+            if src is _UNSET or dst is None or size is None or paths is None:
+                raise TypeError(
+                    "add_flow requires spec=FlowSpec(...) (or the "
+                    "deprecated src, dst, size, paths arguments)"
+                )
+            warn_positional_add_flow("add_flow")
+            spec = FlowSpec(
+                src=src, dst=dst, size=size, paths=paths, at=at,
+                tag=tag, on_complete=on_complete,
+            )
+        return self._submit(spec)
+
+    def _submit(self, spec: FlowSpec) -> int:
+        start = self.now if spec.at is None else float(spec.at)
         if start < self.now - _EPS:
-            raise ValueError(f"cannot schedule in the past ({start} < {self.now})")
+            raise ValueError(
+                f"cannot schedule in the past ({start} < {self.now})"
+            )
         subflows = []
-        for plane_path in paths:
+        for plane_path in spec.paths:
             links, rtt, line_rate = self._path_to_links(plane_path)
             if not links:
                 raise ValueError("subflow path must traverse at least one link")
             subflows.append(_Subflow(links, rtt, line_rate))
         flow_id = next(self._ids)
-        flow = _Flow(flow_id, src, dst, float(size), start, subflows,
-                     on_complete, tag)
+        flow = _Flow(flow_id, spec.src, spec.dst, float(spec.size), start,
+                     subflows, spec.on_complete, spec.tag, spec.planes)
         heapq.heappush(self._arrivals, (start, next(self._seq), flow))
         return flow_id
 
@@ -300,6 +350,8 @@ class FluidSimulator:
     def _activate(self, flow: _Flow) -> None:
         self._start_ramp(flow)
         self._active.append(flow)
+        if len(self._active) > self.max_active_flows:
+            self.max_active_flows = len(self._active)
 
     def _recompute_rates(self) -> None:
         subflows: List[_Subflow] = [
@@ -307,6 +359,7 @@ class FluidSimulator:
         ]
         if not subflows:
             return
+        self.rate_recomputations += 1
         rates = max_min_rates(
             self._capacities,
             [sf.links for sf in subflows],
@@ -342,8 +395,16 @@ class FluidSimulator:
             completion=self.now + flow.min_rtt / 2,
             n_subflows=len(flow.subflows),
             tag=flow.tag,
+            planes=tuple(flow.planes),
         )
         self.records.append(record)
+        if self.obs.enabled:
+            self.obs.trace(
+                "fluid.flow.complete", record.completion,
+                flow_id=record.flow_id, src=record.src, dst=record.dst,
+                size=record.size, fct=record.fct,
+                planes=list(record.planes),
+            )
         if flow.on_complete is not None:
             flow.on_complete(record)
 
@@ -354,6 +415,9 @@ class FluidSimulator:
     ) -> List[FlowRecord]:
         """Run to completion (or ``until``); returns all flow records."""
         events = 0
+        recomputes_before = self.rate_recomputations
+        timing = self.obs.enabled
+        t0 = time.perf_counter() if timing else 0.0
         while self._active or self._arrivals or self._timers:
             events += 1
             if events > max_events:
@@ -420,4 +484,15 @@ class FluidSimulator:
                             sf.next_double = math.inf
                         else:
                             sf.next_double += sf.rtt
+        self.events_processed += events
+        if timing:
+            obs = self.obs
+            obs.counter("fluid.events").inc(events)
+            obs.counter("fluid.rate_recomputations").inc(
+                self.rate_recomputations - recomputes_before
+            )
+            obs.gauge("fluid.max_active_flows").max(self.max_active_flows)
+            obs.histogram("fluid.run_seconds", wallclock=True).observe(
+                time.perf_counter() - t0
+            )
         return self.records

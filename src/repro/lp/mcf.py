@@ -31,6 +31,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+from repro.obs import get_registry
 from repro.topology.graph import Topology
 
 #: A path tagged with the dataplane it lives on: (plane_index, node list).
@@ -190,15 +191,23 @@ def max_concurrent_flow(
         a_eq = None
         b_eq = None
 
-    result = linprog(
-        c,
-        A_ub=a_ub,
-        b_ub=capacities / cap_scale,
-        A_eq=a_eq,
-        b_eq=b_eq,
-        bounds=(0, None),
-        method="highs",
-    )
+    obs = get_registry()
+    with obs.timer("lp.solve_seconds", objective=objective):
+        result = linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=capacities / cap_scale,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=(0, None),
+            method="highs",
+        )
+    if obs.enabled:
+        obs.counter("lp.solves", objective=objective).inc()
+        obs.gauge("lp.variables").max(n_vars)
+        obs.gauge("lp.constraints").max(
+            len(used_links) + (len(commodities) if has_alpha else 0)
+        )
     if not result.success:
         raise RuntimeError(f"LP solve failed: {result.message}")
 

@@ -1,0 +1,391 @@
+"""Label-aware metrics registry: counters, gauges, histograms, timers.
+
+The registry is the one stat surface every layer of the stack reports
+into (paper section 7: operators "merge flow statistics from multiple
+dataplanes to accurately describe the network state").  Instruments are
+identified by a name plus a label set -- ``counter("sim.queue.drops",
+plane=2)`` and ``plane=3`` are distinct series, exactly like Prometheus
+labels -- so per-plane, per-experiment, and per-stage series coexist in
+one namespace.
+
+Design constraints, in priority order:
+
+1. **Disabled must be free.**  The process-wide default registry is a
+   :class:`NullRegistry`; its instruments are shared no-op singletons
+   and its ``enabled`` flag lets hot paths skip instrumentation with a
+   single attribute check.  Simulation results never depend on whether
+   telemetry is on.
+2. **Deterministic exports.**  Snapshots are sorted by (name, labels)
+   and simulated-time metrics are kept separate from wall-clock timers
+   (``wallclock=True`` histograms), so ``snapshot(include_wallclock=
+   False)`` is byte-stable across runs and worker counts.
+3. **Explicit injection beats globals.**  Every instrumented component
+   takes an ``obs`` argument; the module-level default (see
+   :func:`get_registry` / :func:`set_registry`) is only the fallback.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.sinks import Sink
+from repro.obs.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.stats import Summary
+
+LabelsKey = Tuple[Tuple[str, Any], ...]
+
+
+def _labels_key(labels: Dict[str, Any]) -> LabelsKey:
+    """Canonical hashable form of a label set (sorted by label name)."""
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value (events, bytes, drops)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Dict[str, Any]):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (queue depth, heap size, active flows)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Dict[str, Any]):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def max(self, value: float) -> None:
+        """High-water update: keep the larger of current and ``value``."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Sample distribution summarised at export time.
+
+    Values are retained so percentiles come from
+    :func:`repro.analysis.stats.summarize` -- the same estimator the
+    experiment tables use -- rather than from fixed buckets.
+
+    ``wallclock=True`` marks host-time measurements (profiling timers)
+    that are excluded from deterministic snapshots.
+    """
+
+    __slots__ = ("name", "labels", "values", "wallclock")
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, labels: Dict[str, Any], wallclock: bool = False
+    ):
+        self.name = name
+        self.labels = labels
+        self.values: List[float] = []
+        self.wallclock = wallclock
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    def summary(self) -> Optional["Summary"]:
+        # Imported here (export time, never the hot path) to keep
+        # repro.obs importable from low-level modules like routing.ksp
+        # without a circular package import through repro.analysis.
+        from repro.analysis.stats import summarize
+
+        return summarize(self.values) if self.values else None
+
+
+class _Timer:
+    """Context manager observing elapsed wall seconds into a histogram."""
+
+    __slots__ = ("_hist", "_t0")
+
+    def __init__(self, hist: Histogram):
+        self._hist = hist
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._hist.observe(time.perf_counter() - self._t0)
+
+
+class Registry:
+    """Process-wide (but explicitly injectable) telemetry registry.
+
+    Args:
+        tracer: optional bounded event tracer shared by instrumented
+            components; ``registry.trace(...)`` routes to it.
+        metric_sinks: sinks receiving metric snapshot rows on
+            :meth:`flush`.
+        trace_sinks: sinks receiving trace event rows on :meth:`flush`.
+        enabled: master switch; hot paths check this once per run (or
+            hold no-op instruments) so a disabled registry costs ~0.
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metric_sinks: Optional[List[Sink]] = None,
+        trace_sinks: Optional[List[Sink]] = None,
+        enabled: bool = True,
+    ):
+        self.enabled = enabled
+        self.tracer = tracer
+        self.metric_sinks: List[Sink] = list(metric_sinks or [])
+        self.trace_sinks: List[Sink] = list(trace_sinks or [])
+        self._metrics: Dict[Tuple[str, str, LabelsKey], Any] = {}
+
+    # --- instruments --------------------------------------------------------
+
+    def _get(self, cls, name: str, labels: Dict[str, Any], **extra):
+        key = (cls.kind, name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels, **extra)
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, wallclock: bool = False, **labels: Any
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, wallclock=wallclock)
+
+    def timer(self, name: str, **labels: Any) -> _Timer:
+        """Scoped wall-clock timer: ``with obs.timer("lp.solve"): ...``.
+
+        Observations land in a ``wallclock`` histogram, which keeps them
+        out of deterministic snapshots.
+        """
+        return _Timer(self.histogram(name, wallclock=True, **labels))
+
+    def trace(self, kind: str, t: float, **fields: Any) -> None:
+        """Emit a trace event if a tracer is attached (else a no-op)."""
+        if self.tracer is not None:
+            self.tracer.emit(kind, t, **fields)
+
+    # --- introspection ------------------------------------------------------
+
+    def metrics(self) -> Iterator[Any]:
+        """All instruments, sorted by (name, labels, kind)."""
+        for key in sorted(
+            self._metrics, key=lambda k: (k[1], k[2], k[0])
+        ):
+            yield self._metrics[key]
+
+    def value(self, name: str, default: float = 0, **labels: Any) -> float:
+        """Current value of a counter/gauge, without creating it."""
+        for kind in ("counter", "gauge"):
+            metric = self._metrics.get((kind, name, _labels_key(labels)))
+            if metric is not None:
+                return metric.value
+        return default
+
+    def samples(self, name: str, **labels: Any) -> List[float]:
+        """Recorded observations of a histogram (empty if absent)."""
+        metric = self._metrics.get(("histogram", name, _labels_key(labels)))
+        return list(metric.values) if metric is not None else []
+
+    def snapshot(self, include_wallclock: bool = True) -> List[Dict[str, Any]]:
+        """Flat, deterministic rows for every instrument.
+
+        With ``include_wallclock=False`` the rows contain only
+        simulation-derived data and are byte-identical (once JSON
+        encoded) for identical seeds at any worker count.
+        """
+        rows: List[Dict[str, Any]] = []
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                if metric.wallclock and not include_wallclock:
+                    continue
+                row: Dict[str, Any] = {
+                    "type": "metric",
+                    "kind": metric.kind,
+                    "name": metric.name,
+                    "labels": dict(metric.labels),
+                    "count": metric.count,
+                    "sum": metric.total,
+                }
+                summary = metric.summary()
+                if summary is not None:
+                    row.update(
+                        mean=summary.mean,
+                        p50=summary.median,
+                        p90=summary.p90,
+                        p99=summary.p99,
+                        min=summary.minimum,
+                        max=summary.maximum,
+                    )
+                rows.append(row)
+            else:
+                rows.append(
+                    {
+                        "type": "metric",
+                        "kind": metric.kind,
+                        "name": metric.name,
+                        "labels": dict(metric.labels),
+                        "value": metric.value,
+                    }
+                )
+        return rows
+
+    # --- export -------------------------------------------------------------
+
+    def flush(self, include_wallclock: bool = True) -> None:
+        """Push the current snapshot / trace to every attached sink."""
+        if self.metric_sinks:
+            rows = self.snapshot(include_wallclock=include_wallclock)
+            for sink in self.metric_sinks:
+                for row in rows:
+                    sink.write(row)
+        if self.trace_sinks and self.tracer is not None:
+            for event in self.tracer.events():
+                row = {"type": "trace"}
+                row.update(event.as_dict())
+                for sink in self.trace_sinks:
+                    sink.write(row)
+
+    def close(self, include_wallclock: bool = True) -> None:
+        """Flush then close every sink."""
+        self.flush(include_wallclock=include_wallclock)
+        for sink in self.metric_sinks + self.trace_sinks:
+            sink.close()
+
+    def clear(self) -> None:
+        """Drop all instruments (and trace events, if any)."""
+        self._metrics.clear()
+        if self.tracer is not None:
+            self.tracer.clear()
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind."""
+
+    __slots__ = ()
+    kind = "null"
+    name = ""
+    labels: Dict[str, Any] = {}
+    value = 0
+    values: List[float] = []
+    wallclock = False
+    count = 0
+    total = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def max(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def summary(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(Registry):
+    """Disabled registry: every instrument is one shared no-op object.
+
+    This is the process default, so un-configured code pays only for an
+    ``enabled`` check (or a no-op method call) per instrumentation site.
+    """
+
+    def __init__(self):
+        super().__init__(enabled=False)
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, wallclock: bool = False, **labels: Any
+    ) -> Histogram:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def timer(self, name: str, **labels: Any) -> _Timer:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def trace(self, kind: str, t: float, **fields: Any) -> None:
+        pass
+
+
+#: The process-wide default: telemetry off until someone attaches it.
+NULL_REGISTRY = NullRegistry()
+_default_registry: Registry = NULL_REGISTRY
+
+
+def get_registry() -> Registry:
+    """The process-wide default registry (a no-op unless configured)."""
+    return _default_registry
+
+
+def set_registry(registry: Optional[Registry]) -> Registry:
+    """Install ``registry`` as the process default; returns the previous.
+
+    Passing ``None`` restores the disabled :data:`NULL_REGISTRY`.
+    """
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(registry: Registry) -> Iterator[Registry]:
+    """Temporarily install a default registry (tests, scoped profiling)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,94 @@
+"""Summarise exported telemetry files (``python -m repro obs summarize``).
+
+Reads the JSONL rows a :class:`~repro.obs.sinks.JsonlSink` wrote --
+metrics and trace events may share one file or live in separate ones --
+and renders the operator-facing digest: counter/gauge tables, histogram
+percentiles, and trace-event counts by kind.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _CounterDict
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.obs.sinks import read_jsonl
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _labels_str(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def summarize_rows(rows: Sequence[Dict[str, Any]]) -> str:
+    """Human-readable digest of exported metric/trace rows."""
+    counters: List[Dict[str, Any]] = []
+    gauges: List[Dict[str, Any]] = []
+    histograms: List[Dict[str, Any]] = []
+    trace_kinds: _CounterDict = _CounterDict()
+    for row in rows:
+        if row.get("type") == "trace":
+            trace_kinds[row.get("kind", "?")] += 1
+        elif row.get("kind") == "counter":
+            counters.append(row)
+        elif row.get("kind") == "gauge":
+            gauges.append(row)
+        elif row.get("kind") == "histogram":
+            histograms.append(row)
+
+    lines: List[str] = []
+    for title, group in (("counters", counters), ("gauges", gauges)):
+        if not group:
+            continue
+        lines.append(f"== {title} ==")
+        width = max(len(r["name"]) for r in group)
+        for row in sorted(
+            group, key=lambda r: (r["name"], _labels_str(r["labels"]))
+        ):
+            lines.append(
+                f"{row['name']:<{width}}  "
+                f"{_labels_str(row['labels']):<20}  {_fmt(row['value'])}"
+            )
+        lines.append("")
+    if histograms:
+        lines.append("== histograms ==")
+        width = max(len(r["name"]) for r in histograms)
+        for row in sorted(
+            histograms, key=lambda r: (r["name"], _labels_str(r["labels"]))
+        ):
+            if row.get("count"):
+                detail = (
+                    f"count={row['count']} mean={_fmt(row.get('mean'))} "
+                    f"p50={_fmt(row.get('p50'))} p90={_fmt(row.get('p90'))} "
+                    f"p99={_fmt(row.get('p99'))} max={_fmt(row.get('max'))}"
+                )
+            else:
+                detail = "count=0"
+            lines.append(
+                f"{row['name']:<{width}}  "
+                f"{_labels_str(row['labels']):<20}  {detail}"
+            )
+        lines.append("")
+    if trace_kinds:
+        lines.append("== trace events ==")
+        width = max(len(k) for k in trace_kinds)
+        for kind, count in sorted(trace_kinds.items()):
+            lines.append(f"{kind:<{width}}  {count}")
+        lines.append("")
+    if not lines:
+        return "no telemetry rows found"
+    return "\n".join(lines).rstrip()
+
+
+def summarize_files(paths: Iterable[str]) -> str:
+    """Digest of one or more JSONL telemetry files, concatenated."""
+    rows: List[Dict[str, Any]] = []
+    for path in paths:
+        rows.extend(read_jsonl(path))
+    return summarize_rows(rows)

@@ -1,0 +1,89 @@
+"""Bounded per-flow/per-queue event tracer.
+
+A :class:`Tracer` is a fixed-capacity ring of :class:`TraceEvent`
+records stamped with *simulated* time, so traces are deterministic for a
+given seed and byte-identical across worker counts.  When the ring is
+full the oldest events are discarded (the ``emitted`` counter keeps the
+true total) -- a long simulation can therefore run with tracing on
+without unbounded memory growth.
+
+High-frequency series (per-packet queue depth) are only emitted when
+``verbose`` is set; rare events (drops, ECN marks, RTOs, completions)
+are always traced.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List
+
+#: Default ring capacity (events).
+DEFAULT_CAPACITY = 65536
+
+
+class TraceEvent:
+    """One traced occurrence: a kind, a simulated timestamp, and fields."""
+
+    __slots__ = ("kind", "t", "fields")
+
+    def __init__(self, kind: str, t: float, fields: Dict[str, Any]):
+        self.kind = kind
+        self.t = t
+        self.fields = fields
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat JSON-able form (``kind``/``t`` first, then the fields)."""
+        row: Dict[str, Any] = {"kind": self.kind, "t": self.t}
+        row.update(self.fields)
+        return row
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"TraceEvent({self.kind!r}, t={self.t!r}, {inner})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TraceEvent)
+            and self.kind == other.kind
+            and self.t == other.t
+            and self.fields == other.fields
+        )
+
+
+class Tracer:
+    """Fixed-capacity event ring shared by every instrumented component.
+
+    Args:
+        capacity: maximum retained events (oldest evicted first).
+        verbose: also emit high-frequency series (e.g. per-packet queue
+            depth) that instrumented components gate on this flag.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, verbose: bool = False):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.verbose = verbose
+        self.emitted = 0
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+
+    def emit(self, kind: str, t: float, **fields: Any) -> None:
+        """Record one event (evicting the oldest if at capacity)."""
+        self.emitted += 1
+        self._ring.append(TraceEvent(kind, t, fields))
+
+    def events(self) -> List[TraceEvent]:
+        """Retained events, oldest first."""
+        return list(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted because the ring was full."""
+        return self.emitted - len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.emitted = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)

@@ -19,6 +19,7 @@ import heapq
 from collections import deque
 from typing import List, Optional, Sequence, Set, Tuple
 
+from repro.obs import get_registry
 from repro.routing.shortest import all_shortest_paths
 from repro.topology.graph import Topology, link_key
 
@@ -62,7 +63,23 @@ def k_shortest_paths(
 
     Returns paths sorted by (length, node sequence).  Fewer than ``k``
     paths are returned if the graph does not contain that many.
+
+    When a :mod:`repro.obs` registry is attached, each enumeration is
+    timed (``ksp.enumerate_seconds``) and counted.
     """
+    obs = get_registry()
+    if obs.enabled:
+        with obs.timer("ksp.enumerate_seconds"):
+            paths = _k_shortest_paths(topo, src, dst, k)
+        obs.counter("ksp.enumerations").inc()
+        obs.counter("ksp.paths_found").inc(len(paths))
+        return paths
+    return _k_shortest_paths(topo, src, dst, k)
+
+
+def _k_shortest_paths(
+    topo: Topology, src: str, dst: str, k: int
+) -> List[List[str]]:
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if src == dst:

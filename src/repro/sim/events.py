@@ -5,6 +5,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from typing import Callable, List, Optional, Tuple
 
 
@@ -28,13 +29,23 @@ class EventLoop:
 
     Ties are broken by insertion order, so runs are reproducible given
     the same schedule of calls.
+
+    Args:
+        obs: optional :class:`repro.obs.Registry`; when enabled, each
+            :meth:`run` records the event count, wall-clock duration,
+            and heap high-water mark.  The per-event hot loop is never
+            instrumented -- telemetry costs one check per ``run`` call,
+            not per event.
     """
 
-    def __init__(self):
+    def __init__(self, obs=None):
         self.now = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self.events_processed = 0
+        #: Deepest the heap has ever been (cancelled events included).
+        self.max_heap_depth = 0
+        self._obs = obs
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
         """Run ``fn`` after ``delay`` seconds; returns a cancellable handle."""
@@ -49,6 +60,8 @@ class EventLoop:
             )
         event = Event(time, fn)
         heapq.heappush(self._heap, (time, next(self._seq), event))
+        if len(self._heap) > self.max_heap_depth:
+            self.max_heap_depth = len(self._heap)
         return event
 
     def run(
@@ -57,16 +70,20 @@ class EventLoop:
         max_events: int = 500_000_000,
     ) -> None:
         """Process events in time order until the queue drains or ``until``."""
+        obs = self._obs
+        timing = obs is not None and obs.enabled
+        if timing:
+            t0 = time.perf_counter()
         heap = self._heap
         processed = 0
         while heap:
-            time, __, event = heap[0]
-            if time > until:
+            event_time, __, event = heap[0]
+            if event_time > until:
                 break
             heapq.heappop(heap)
             if event.cancelled:
                 continue
-            self.now = time
+            self.now = event_time
             event.fn()
             processed += 1
             if processed > max_events:
@@ -74,6 +91,12 @@ class EventLoop:
         if math.isfinite(until) and until > self.now:
             self.now = until
         self.events_processed += processed
+        if timing:
+            obs.counter("sim.events.processed").inc(processed)
+            obs.gauge("sim.events.max_heap_depth").max(self.max_heap_depth)
+            obs.histogram("sim.events.run_seconds", wallclock=True).observe(
+                time.perf_counter() - t0
+            )
 
     @property
     def pending(self) -> int:

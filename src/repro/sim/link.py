@@ -44,7 +44,7 @@ class Queue:
     __slots__ = (
         "loop", "rate", "max_packets", "name", "ecn_threshold",
         "_buffer", "_busy", "drops", "packets_forwarded", "bytes_forwarded",
-        "ecn_marks", "down",
+        "ecn_marks", "down", "_trace", "plane",
     )
 
     def __init__(
@@ -54,6 +54,8 @@ class Queue:
         max_packets: int = 100,
         name: str = "",
         ecn_threshold: Optional[int] = None,
+        tracer=None,
+        plane: Optional[int] = None,
     ):
         """See class docstring.
 
@@ -62,6 +64,10 @@ class Queue:
                 the instantaneous queue depth is at or above this many
                 packets on arrival (DCTCP's step marking at K).  None
                 disables marking.
+            tracer: optional :class:`repro.obs.Tracer`; drops and ECN
+                marks are always traced, per-packet depth samples only
+                when the tracer is ``verbose``.
+            plane: dataplane index stamped on trace events.
         """
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
@@ -85,6 +91,8 @@ class Queue:
         #: Mid-run failure flag: a down link black-holes everything
         #: (buffered packets are lost too, like a cut fiber).
         self.down = False
+        self._trace = tracer
+        self.plane = plane
 
     @property
     def depth(self) -> int:
@@ -95,6 +103,11 @@ class Queue:
         """Cut the link: drop the buffer and every future arrival."""
         self.down = True
         self.drops += len(self._buffer)
+        if self._trace is not None and self._buffer:
+            self._trace.emit(
+                "queue.fail", self.loop.now, queue=self.name,
+                plane=self.plane, lost=len(self._buffer),
+            )
         self._buffer.clear()
 
     def restore(self) -> None:
@@ -103,6 +116,11 @@ class Queue:
     def receive(self, packet: Packet) -> None:
         if self.down:
             self.drops += 1
+            if self._trace is not None:
+                self._trace.emit(
+                    "queue.drop", self.loop.now, queue=self.name,
+                    plane=self.plane, reason="down", depth=len(self._buffer),
+                )
             return
         if (
             self.ecn_threshold is not None
@@ -112,13 +130,29 @@ class Queue:
         ):
             packet.ecn_ce = True
             self.ecn_marks += 1
+            if self._trace is not None:
+                self._trace.emit(
+                    "queue.ecn", self.loop.now, queue=self.name,
+                    plane=self.plane, depth=len(self._buffer),
+                )
         if not self._busy:
             self._busy = True
             self._serve(packet)
         elif len(self._buffer) < self.max_packets:
             self._buffer.append(packet)
+            if self._trace is not None and self._trace.verbose:
+                self._trace.emit(
+                    "queue.depth", self.loop.now, queue=self.name,
+                    plane=self.plane, depth=len(self._buffer),
+                )
         else:
             self.drops += 1
+            if self._trace is not None:
+                self._trace.emit(
+                    "queue.drop", self.loop.now, queue=self.name,
+                    plane=self.plane, reason="overflow",
+                    depth=len(self._buffer),
+                )
 
     def _serve(self, packet: Packet) -> None:
         service_time = packet.size * 8 / self.rate

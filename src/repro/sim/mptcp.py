@@ -76,6 +76,7 @@ class MptcpSource:
         min_rto: float = DEFAULT_MIN_RTO,
         on_complete: Optional[Callable[["MptcpSource"], None]] = None,
         name: str = "mptcp",
+        tracer=None,
     ):
         if size < 0:
             raise ValueError(f"size must be >= 0, got {size}")
@@ -86,6 +87,7 @@ class MptcpSource:
         self.remaining = size  # unassigned bytes (the shared send buffer)
         self.on_complete = on_complete
         self.name = name
+        self.tracer = tracer
         self.start_time: Optional[float] = None
         self.finish_time: Optional[float] = None
         self._completed = False
@@ -99,6 +101,7 @@ class MptcpSource:
                 min_rto=min_rto,
                 on_ack=self._on_subflow_ack,
                 name=f"{name}/sub{i}",
+                tracer=tracer,
             )
             for i in range(n_subflows)
         ]
@@ -148,5 +151,12 @@ class MptcpSource:
             return
         self._completed = True
         self.finish_time = self.loop.now
+        if self.tracer is not None:
+            # Subflow balance: how many bytes each subflow carried --
+            # the per-subflow visibility MPTCP-aware monitoring needs.
+            self.tracer.emit(
+                "mptcp.balance", self.loop.now, flow=self.name,
+                subflow_bytes=[sf.snd_una for sf in self.subflows],
+            )
         if self.on_complete is not None:
             self.on_complete(self)

@@ -4,22 +4,34 @@
 :class:`~repro.sim.link.Queue` + :class:`~repro.sim.link.Pipe` pair for
 every directed link a flow actually crosses, wires TCP/MPTCP sources and
 sinks onto source routes, and records per-flow results.
+
+Telemetry: pass a :class:`repro.obs.Registry` as ``obs`` (or install a
+process default via :func:`repro.obs.set_registry`) and the network
+publishes per-plane flow counters at completion time and per-plane
+queue counters after every :meth:`run`; with a tracer attached, queue
+drops/ECN marks, TCP congestion events, and flow completions are traced
+with simulated timestamps.  With the default disabled registry the
+simulation's hot paths are untouched.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.flowspec import FlowSpec, warn_positional_add_flow
 from repro.core.pnet import PlanePath
+from repro.obs import get_registry
 from repro.sim.events import EventLoop
 from repro.sim.link import Pipe, Queue
 from repro.sim.mptcp import MptcpSource
 from repro.sim.tcp import TcpSink, TcpSource
 from repro.topology.graph import Topology
 from repro.units import DEFAULT_MIN_RTO, DEFAULT_QUEUE_PACKETS, MSS
+
+_UNSET = object()
 
 
 @dataclass
@@ -36,6 +48,9 @@ class SimFlowRecord:
     retransmits: int
     packets_sent: int
     tag: Optional[str] = None
+    #: Planes the flow's subflows used, in subflow order (one entry per
+    #: subflow, so per-plane accounting can split bytes exactly).
+    planes: Tuple[int, ...] = field(default=())
 
     @property
     def fct(self) -> float:
@@ -50,6 +65,9 @@ class PacketNetwork:
         queue_packets: per-port output buffer in packets.
         mss: TCP segment payload size.
         min_rto: minimum retransmission timeout (paper: 10 ms).
+        obs: telemetry registry; defaults to the process-wide registry
+            from :func:`repro.obs.get_registry` (a no-op unless the
+            caller attached one).
     """
 
     def __init__(
@@ -60,6 +78,7 @@ class PacketNetwork:
         min_rto: float = DEFAULT_MIN_RTO,
         ecn_threshold: Optional[int] = None,
         loop: Optional[EventLoop] = None,
+        obs=None,
     ):
         if not planes:
             raise ValueError("need at least one plane")
@@ -68,7 +87,11 @@ class PacketNetwork:
         self.mss = mss
         self.min_rto = min_rto
         self.ecn_threshold = ecn_threshold
-        self.loop = loop if loop is not None else EventLoop()
+        self.obs = obs if obs is not None else get_registry()
+        self._tracer = self.obs.tracer if self.obs.enabled else None
+        self.loop = loop if loop is not None else EventLoop(
+            obs=self.obs if self.obs.enabled else None
+        )
         self._elements: Dict[Tuple[int, str, str], Tuple[Queue, Pipe]] = {}
         self._flow_ids = itertools.count()
         self.records: List[SimFlowRecord] = []
@@ -91,6 +114,8 @@ class PacketNetwork:
                 max_packets=self.queue_packets,
                 name=f"p{plane_idx}:{u}->{v}",
                 ecn_threshold=self.ecn_threshold,
+                tracer=self._tracer,
+                plane=plane_idx,
             )
             pipe = Pipe(self.loop, link.propagation, name=f"p{plane_idx}:{u}->{v}")
             pair = (queue, pipe)
@@ -111,34 +136,66 @@ class PacketNetwork:
 
     def add_flow(
         self,
-        src: str,
-        dst: str,
-        size: int,
-        paths: Sequence[PlanePath],
+        src=_UNSET,
+        dst: Optional[str] = None,
+        size: Optional[int] = None,
+        paths: Optional[Sequence[PlanePath]] = None,
         at: float = 0.0,
         on_complete: Optional[Callable[[SimFlowRecord], None]] = None,
         tag: Optional[str] = None,
         transport: str = "tcp",
+        *,
+        spec: Optional[FlowSpec] = None,
     ):
-        """Launch a flow at time ``at`` over the given subflow paths.
+        """Launch a flow described by a :class:`FlowSpec`.
+
+        Preferred form::
+
+            net.add_flow(spec=FlowSpec(src="h0", dst="h1", size=1_000_000,
+                                       paths=policy.select("h0", "h1", 0)))
 
         One path -> plain TCP (or DCTCP with ``transport="dctcp"``, which
         requires the network's queues to have an ``ecn_threshold``);
         several paths -> MPTCP with one subflow each.
         Returns the source object (a TcpSource or MptcpSource).
+
+        The legacy positional form ``add_flow(src, dst, size, paths,
+        ...)`` still works but emits a :class:`DeprecationWarning`.
         """
-        if transport not in ("tcp", "dctcp"):
-            raise ValueError(f"unknown transport {transport!r}")
-        if transport == "dctcp" and len(paths) > 1:
+        if spec is None and isinstance(src, FlowSpec):
+            spec, src = src, _UNSET
+        if spec is not None:
+            if src is not _UNSET or dst is not None or size is not None \
+                    or paths is not None:
+                raise TypeError(
+                    "pass either a FlowSpec or the legacy positional "
+                    "arguments, not both"
+                )
+        else:
+            if src is _UNSET or dst is None or size is None or paths is None:
+                raise TypeError(
+                    "add_flow requires spec=FlowSpec(...) (or the "
+                    "deprecated src, dst, size, paths arguments)"
+                )
+            warn_positional_add_flow("add_flow")
+            spec = FlowSpec(
+                src=src, dst=dst, size=size, paths=paths, at=at,
+                tag=tag, transport=transport, on_complete=on_complete,
+            )
+        return self._launch(spec)
+
+    def _launch(self, spec: FlowSpec):
+        if spec.transport not in ("tcp", "dctcp"):
+            raise ValueError(f"unknown transport {spec.transport!r}")
+        if spec.transport == "dctcp" and len(spec.paths) > 1:
             raise ValueError("DCTCP is single-path; use one path")
-        if not paths:
-            raise ValueError("need at least one path")
-        if size < 0:
-            raise ValueError(f"size must be >= 0, got {size}")
-        for plane_idx, path in paths:
-            if path[0] != src or path[-1] != dst:
-                raise ValueError(f"path {path} does not connect {src}->{dst}")
+        src, dst, size = spec.src, spec.dst, spec.size
+        paths = spec.paths
+        planes = spec.planes
+        on_complete = spec.on_complete
+        at = 0.0 if spec.at is None else spec.at
         flow_id = next(self._flow_ids)
+        obs = self.obs if self.obs.enabled else None
 
         def finish(source) -> None:
             record = SimFlowRecord(
@@ -151,23 +208,41 @@ class PacketNetwork:
                 n_subflows=len(paths),
                 retransmits=source.retransmits,
                 packets_sent=source.packets_sent,
-                tag=tag,
+                tag=spec.tag,
+                planes=planes,
             )
             self.records.append(record)
+            if obs is not None:
+                # Even byte split across planes -- the same attribution
+                # NetworkMonitor.record_flow applies, so the two views
+                # agree exactly.
+                share = size / len(planes)
+                for plane in planes:
+                    obs.counter("net.flow.bytes", plane=plane).inc(share)
+                    obs.counter("net.flows", plane=plane).inc()
+                    obs.histogram("net.fct_seconds", plane=plane).observe(
+                        record.fct
+                    )
+                obs.trace(
+                    "flow.complete", self.loop.now, flow_id=flow_id,
+                    src=src, dst=dst, size=size, fct=record.fct,
+                    planes=list(planes), retransmits=record.retransmits,
+                )
             if on_complete is not None:
                 on_complete(record)
 
         if len(paths) == 1:
             from repro.sim.dctcp import DctcpSource
 
-            source_cls = DctcpSource if transport == "dctcp" else TcpSource
+            source_cls = DctcpSource if spec.transport == "dctcp" else TcpSource
             source = source_cls(
                 self.loop,
                 size=size,
                 mss=self.mss,
                 min_rto=self.min_rto,
                 on_complete=finish,
-                name=f"{transport}-{flow_id}",
+                name=f"{spec.transport}-{flow_id}",
+                tracer=self._tracer,
             )
             self._wire(source, paths[0])
         else:
@@ -179,6 +254,7 @@ class PacketNetwork:
                 min_rto=self.min_rto,
                 on_complete=finish,
                 name=f"mptcp-{flow_id}",
+                tracer=self._tracer,
             )
             for subflow, plane_path in zip(source.subflows, paths):
                 self._wire(subflow, plane_path)
@@ -222,6 +298,8 @@ class PacketNetwork:
 
     def run(self, until: float = math.inf, max_events: int = 500_000_000) -> None:
         self.loop.run(until=until, max_events=max_events)
+        if self.obs.enabled:
+            self.publish_queue_stats()
 
     # --- statistics -------------------------------------------------------------------
 
@@ -243,3 +321,31 @@ class PacketNetwork:
             q.name: (q.packets_forwarded, q.drops)
             for q, __ in self._elements.values()
         }
+
+    def plane_queue_totals(self) -> Dict[int, Dict[str, int]]:
+        """Per-plane queue counter sums (forwarded/drops/bytes/ECN)."""
+        totals: Dict[int, Dict[str, int]] = {
+            idx: {
+                "packets_forwarded": 0, "drops": 0,
+                "bytes_forwarded": 0, "ecn_marks": 0,
+            }
+            for idx in range(len(self.planes))
+        }
+        for (plane_idx, __, ___), (queue, ____) in self._elements.items():
+            plane = totals[plane_idx]
+            plane["packets_forwarded"] += queue.packets_forwarded
+            plane["drops"] += queue.drops
+            plane["bytes_forwarded"] += queue.bytes_forwarded
+            plane["ecn_marks"] += queue.ecn_marks
+        return totals
+
+    def publish_queue_stats(self) -> None:
+        """Publish per-plane queue counters to the obs registry as gauges.
+
+        Gauges are set to the current totals, so calling this after
+        every :meth:`run` is idempotent.
+        """
+        obs = self.obs
+        for plane_idx, totals in self.plane_queue_totals().items():
+            for stat, value in totals.items():
+                obs.gauge(f"sim.plane.{stat}", plane=plane_idx).set(value)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+from repro.core.flowspec import FlowSpec
 from repro.core.pnet import PlanePath
 from repro.sim.network import PacketNetwork, SimFlowRecord
 
@@ -82,17 +83,17 @@ class RpcClient:
         paths = self.select_paths(self.client, server, flow_id)
         if not paths:
             raise RuntimeError(f"no path for RPC {self.client}->{server}")
-        self.network.add_flow(
-            self.client,
-            server,
-            self.request_bytes,
-            paths,
+        self.network.add_flow(spec=FlowSpec(
+            src=self.client,
+            dst=server,
+            size=self.request_bytes,
+            paths=paths,
             at=self.network.loop.now,
             on_complete=lambda rec, server=server: self._on_request_done(
                 rec, server
             ),
             tag="rpc-request",
-        )
+        ))
 
     def _on_request_done(self, record: SimFlowRecord, server: str) -> None:
         self.retransmits += record.retransmits
@@ -100,15 +101,15 @@ class RpcClient:
         paths = self.select_paths(server, self.client, flow_id)
         if not paths:
             raise RuntimeError(f"no path for RPC response {server}->{self.client}")
-        self.network.add_flow(
-            server,
-            self.client,
-            self.response_bytes,
-            paths,
+        self.network.add_flow(spec=FlowSpec(
+            src=server,
+            dst=self.client,
+            size=self.response_bytes,
+            paths=paths,
             at=self.network.loop.now,
             on_complete=self._on_response_done,
             tag="rpc-response",
-        )
+        ))
 
     def _on_response_done(self, record: SimFlowRecord) -> None:
         self.retransmits += record.retransmits

@@ -56,6 +56,7 @@ class TcpSource:
         on_complete: Optional[Callable[["TcpSource"], None]] = None,
         on_ack: Optional[Callable[["TcpSource"], None]] = None,
         name: str = "tcp",
+        tracer=None,
     ):
         if (size is None) == (scheduler is None):
             raise ValueError("exactly one of size/scheduler must be given")
@@ -63,6 +64,10 @@ class TcpSource:
             raise ValueError(f"size must be >= 0, got {size}")
         self.loop = loop
         self.scheduler = scheduler
+        #: Optional repro.obs Tracer; congestion events (RTO, fast
+        #: retransmit) are traced with the current cwnd/ssthresh/RTO so
+        #: operators can reconstruct per-subflow congestion behaviour.
+        self.tracer = tracer
         self.assigned = size if size is not None else 0
         self.mss = mss
         self.min_rto = min_rto
@@ -191,6 +196,12 @@ class TcpSource:
         self._rtx_event = None
         if self._completed or self.flightsize == 0:
             return
+        if self.tracer is not None:
+            self.tracer.emit(
+                "tcp.rto", self.loop.now, flow=self.name, cwnd=self.cwnd,
+                rto=self.rto, backoff=self._backoff,
+                flightsize=self.flightsize,
+            )
         # Go-back-N: shrink to one segment and restart from snd_una.
         self.ssthresh = max(self.flightsize / 2.0, 2.0 * self.mss)
         self.cwnd = float(self.mss)
@@ -274,6 +285,11 @@ class TcpSource:
             # Duplicate ACK (stale ACKs below snd_una are ignored).
             self.dup_acks += 1
             if self.dup_acks == 3 and not self.in_recovery:
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "tcp.fast_rtx", self.loop.now, flow=self.name,
+                        cwnd=self.cwnd, flightsize=self.flightsize,
+                    )
                 self.ssthresh = max(
                     self.flightsize / 2.0, 2.0 * self.mss
                 )

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.adaptive import AdaptiveRouter
+from repro.core.flowspec import FlowSpec
 from repro.core.pnet import PNet
 from repro.fluid.flowsim import FluidSimulator
 from repro.topology.graph import HOST, TOR, Topology
@@ -36,7 +37,7 @@ class TestControlHooks:
     def test_schedule_fires_in_order(self):
         sim = FluidSimulator([two_path_net()], slow_start=False)
         fired = []
-        sim.add_flow("h0", "h2", 1 * GB, [VIA_A])
+        sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1 * GB, paths=[VIA_A]))
         sim.schedule(0.1, lambda: fired.append(("a", sim.now)))
         sim.schedule(0.05, lambda: fired.append(("b", sim.now)))
         sim.run()
@@ -58,7 +59,7 @@ class TestControlHooks:
 
     def test_link_usage_and_headroom(self):
         sim = FluidSimulator([two_path_net()], slow_start=False)
-        fid = sim.add_flow("h0", "h2", 1 * GB, [VIA_A])
+        fid = sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1 * GB, paths=[VIA_A]))
         checks = []
 
         def inspect():
@@ -83,8 +84,8 @@ class TestControlHooks:
     def test_migrate_flow_moves_traffic(self):
         sim = FluidSimulator([two_path_net()], slow_start=False)
         # Two flows sharing path A: each gets 5G.
-        fid = sim.add_flow("h0", "h2", 1 * GB, [VIA_A])
-        sim.add_flow("h1", "h3", 1 * GB, [H1_VIA_A])
+        fid = sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1 * GB, paths=[VIA_A]))
+        sim.add_flow(spec=FlowSpec(src="h1", dst="h3", size=1 * GB, paths=[H1_VIA_A]))
         sim.schedule(0.01, lambda: sim.migrate_flow(fid, [VIA_B]))
         records = sim.run()
         moved = next(r for r in records if r.flow_id == fid)
@@ -99,7 +100,7 @@ class TestControlHooks:
 
     def test_migrate_validates_paths(self):
         sim = FluidSimulator([two_path_net()], slow_start=False)
-        fid = sim.add_flow("h0", "h2", 1 * GB, [VIA_A])
+        fid = sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1 * GB, paths=[VIA_A]))
         sim.schedule(0.01, lambda: sim.migrate_flow(fid, []))
         with pytest.raises(ValueError):
             sim.run()
@@ -115,8 +116,8 @@ class TestAdaptiveRouter:
         pnet, sim = self.make()
         router = AdaptiveRouter(sim, pnet, candidates=4, epoch=0.01)
         # Both flows hash onto path A: 5G each without adaptation.
-        f0 = sim.add_flow("h0", "h2", 1 * GB, [VIA_A])
-        f1 = sim.add_flow("h1", "h3", 1 * GB, [H1_VIA_A])
+        f0 = sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1 * GB, paths=[VIA_A]))
+        f1 = sim.add_flow(spec=FlowSpec(src="h1", dst="h3", size=1 * GB, paths=[H1_VIA_A]))
         router.track(f0, "h0", "h2", VIA_A)
         router.track(f1, "h1", "h3", H1_VIA_A)
         router.start()
@@ -130,7 +131,7 @@ class TestAdaptiveRouter:
     def test_no_migration_when_alone(self):
         pnet, sim = self.make()
         router = AdaptiveRouter(sim, pnet, epoch=0.01)
-        f0 = sim.add_flow("h0", "h2", 100 * MB, [VIA_A])
+        f0 = sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=100 * MB, paths=[VIA_A]))
         router.track(f0, "h0", "h2", VIA_A)
         router.start()
         sim.run()
@@ -140,7 +141,7 @@ class TestAdaptiveRouter:
     def test_controller_stops_when_flows_finish(self):
         pnet, sim = self.make()
         router = AdaptiveRouter(sim, pnet, epoch=0.01)
-        f0 = sim.add_flow("h0", "h2", 10 * MB, [VIA_A])
+        f0 = sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=10 * MB, paths=[VIA_A]))
         router.track(f0, "h0", "h2", VIA_A)
         router.start()
         sim.run()  # must terminate (no self-rescheduling forever)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.flowspec import FlowSpec
 from repro.sim.dctcp import DctcpSource
 from repro.sim.events import EventLoop
 from repro.sim.link import Queue
@@ -81,19 +82,21 @@ class TestEcnMarking:
 class TestDctcp:
     def test_completes_without_marks_like_tcp(self):
         net = PacketNetwork([dumbbell()], ecn_threshold=65)
-        net.add_flow("h0", "h2", 10 * 1460, [PATH_02], transport="dctcp")
+        net.add_flow(spec=FlowSpec(src="h0", dst="h2", size=10 * 1460, paths=[PATH_02], transport="dctcp"))
         net.run()
         rec = net.records[0]
         assert rec.retransmits == 0
 
     def test_alpha_rises_under_congestion(self):
         net = PacketNetwork([dumbbell()], ecn_threshold=10)
-        source = net.add_flow(
-            "h0", "h2", int(2 * MB), [PATH_02], transport="dctcp"
-        )
-        net.add_flow(
-            "h1", "h3", int(2 * MB), [PATH_13], transport="dctcp"
-        )
+        source = net.add_flow(spec=FlowSpec(
+            src="h0", dst="h2", size=int(2 * MB), paths=[PATH_02],
+            transport="dctcp",
+        ))
+        net.add_flow(spec=FlowSpec(
+            src="h1", dst="h3", size=int(2 * MB), paths=[PATH_13],
+            transport="dctcp",
+        ))
         net.run()
         assert net.total_ecn_marks > 0
         assert source.alpha > 0
@@ -104,13 +107,15 @@ class TestDctcp:
             topo = dumbbell()
             net = PacketNetwork([topo], queue_packets=60, ecn_threshold=ecn)
             # Two senders incast into h2's downlink.
-            net.add_flow("h0", "h2", int(1 * MB), [PATH_02],
-                         transport=transport)
-            net.add_flow(
-                "h1", "h2", int(1 * MB),
-                [(0, ["h1", "t0", "t1", "h2"])],
+            net.add_flow(spec=FlowSpec(
+                src="h0", dst="h2", size=int(1 * MB), paths=[PATH_02],
                 transport=transport,
-            )
+            ))
+            net.add_flow(spec=FlowSpec(
+                src="h1", dst="h2", size=int(1 * MB),
+                paths=[(0, ["h1", "t0", "t1", "h2"])],
+                transport=transport,
+            ))
             net.run()
             return net.total_drops, max(r.fct for r in net.records)
 
@@ -136,11 +141,12 @@ class TestDctcp:
     def test_multipath_dctcp_rejected(self):
         net = PacketNetwork([dumbbell()], ecn_threshold=10)
         with pytest.raises(ValueError):
-            net.add_flow(
-                "h0", "h2", 1000, [PATH_02, PATH_02], transport="dctcp"
-            )
+            net.add_flow(spec=FlowSpec(
+                src="h0", dst="h2", size=1000, paths=[PATH_02, PATH_02],
+                transport="dctcp",
+            ))
 
     def test_unknown_transport_rejected(self):
         net = PacketNetwork([dumbbell()])
         with pytest.raises(ValueError):
-            net.add_flow("h0", "h2", 1000, [PATH_02], transport="ndp")
+            net.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1000, paths=[PATH_02], transport="ndp"))

@@ -8,6 +8,7 @@ import random
 
 import pytest
 
+from repro.core.flowspec import FlowSpec
 from repro.core.path_selection import KspMultipathPolicy
 from repro.core.pnet import PNet
 from repro.fluid.flowsim import FluidSimulator
@@ -58,8 +59,10 @@ class TestSimulatorDeterminism:
             policy = KspMultipathPolicy(pnet, k=4, seed=1)
             pairs = permutation(pnet.hosts, random.Random(11))
             for i, (src, dst) in enumerate(pairs):
-                net.add_flow(src, dst, int(1 * MB),
-                             policy.select(src, dst, i))
+                net.add_flow(spec=FlowSpec(
+                    src=src, dst=dst, size=int(1 * MB),
+                    paths=policy.select(src, dst, i),
+                ))
             net.run()
             return [
                 (r.flow_id, r.finish, r.retransmits, r.packets_sent)
@@ -76,10 +79,10 @@ class TestSimulatorDeterminism:
             policy = KspMultipathPolicy(pnet, k=4, seed=1)
             for i in range(20):
                 src, dst = rng.sample(pnet.hosts, 2)
-                sim.add_flow(
-                    src, dst, DATAMINING.sample(rng),
-                    policy.select(src, dst, i), at=i * 1e-5,
-                )
+                sim.add_flow(spec=FlowSpec(
+                    src=src, dst=dst, size=DATAMINING.sample(rng),
+                    paths=policy.select(src, dst, i), at=i * 1e-5,
+                ))
             return [(r.flow_id, r.completion) for r in sim.run()]
 
         assert run() == run()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.flowspec import FlowSpec
 from repro.sim.network import PacketNetwork
 from repro.topology.graph import HOST, TOR, Topology
 from repro.units import Gbps, MB
@@ -30,7 +31,7 @@ VIA_B = (0, ["h0", "t0", "b", "t1", "h1"])
 class TestMidRunFailure:
     def test_flow_stalls_after_cut(self):
         net = PacketNetwork([two_path_net()])
-        net.add_flow("h0", "h1", int(5 * MB), [VIA_A])
+        net.add_flow(spec=FlowSpec(src="h0", dst="h1", size=int(5 * MB), paths=[VIA_A]))
         # Cut the path mid-transfer.
         net.loop.schedule(1e-4, lambda: net.fail_link(0, "t0", "a"))
         net.run(until=0.5)
@@ -39,7 +40,7 @@ class TestMidRunFailure:
 
     def test_restore_lets_flow_finish(self):
         net = PacketNetwork([two_path_net()])
-        net.add_flow("h0", "h1", int(1 * MB), [VIA_A])
+        net.add_flow(spec=FlowSpec(src="h0", dst="h1", size=int(1 * MB), paths=[VIA_A]))
         net.loop.schedule(1e-4, lambda: net.fail_link(0, "t0", "a"))
         net.loop.schedule(5e-2, lambda: net.restore_link(0, "t0", "a"))
         net.run(until=2.0)
@@ -51,8 +52,8 @@ class TestMidRunFailure:
 
     def test_unaffected_path_keeps_working(self):
         net = PacketNetwork([two_path_net()])
-        net.add_flow("h0", "h1", int(1 * MB), [VIA_A])
-        net.add_flow("h0", "h1", int(1 * MB), [VIA_B])
+        net.add_flow(spec=FlowSpec(src="h0", dst="h1", size=int(1 * MB), paths=[VIA_A]))
+        net.add_flow(spec=FlowSpec(src="h0", dst="h1", size=int(1 * MB), paths=[VIA_B]))
         net.loop.schedule(1e-5, lambda: net.fail_link(0, "t0", "a"))
         net.run(until=0.5)
         # Only the via-b flow completes.
@@ -62,9 +63,9 @@ class TestMidRunFailure:
         net = PacketNetwork([two_path_net()])
         net.fail_link(0, "t0", "a")
         with pytest.raises(ValueError):
-            net.add_flow("h0", "h1", 1000, [VIA_A])
+            net.add_flow(spec=FlowSpec(src="h0", dst="h1", size=1000, paths=[VIA_A]))
         # The disjoint path still accepts flows.
-        net.add_flow("h0", "h1", 1000, [VIA_B])
+        net.add_flow(spec=FlowSpec(src="h0", dst="h1", size=1000, paths=[VIA_B]))
         net.run()
         assert len(net.records) == 1
 
@@ -73,10 +74,10 @@ class TestMidRunFailure:
         net = PacketNetwork([two_path_net()])
         outcome = {}
 
-        source = net.add_flow(
-            "h0", "h1", int(1 * MB), [VIA_A],
+        source = net.add_flow(spec=FlowSpec(
+            src="h0", dst="h1", size=int(1 * MB), paths=[VIA_A],
             on_complete=lambda rec: outcome.setdefault("first", rec),
-        )
+        ))
 
         def failover():
             net.fail_link(0, "t0", "a")
@@ -84,11 +85,11 @@ class TestMidRunFailure:
             # remaining bytes over the healthy plane/path.
             remaining = int(1 * MB) - source.snd_una
             source.abort()
-            net.add_flow(
-                "h0", "h1", remaining, [VIA_B],
+            net.add_flow(spec=FlowSpec(
+                src="h0", dst="h1", size=remaining, paths=[VIA_B],
                 at=net.loop.now + 1e-3,
                 on_complete=lambda rec: outcome.setdefault("retry", rec),
-            )
+            ))
 
         net.loop.schedule(1e-4, failover)
         net.run(until=1.0)

@@ -7,6 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.flowspec import FlowSpec
 from repro.fluid.flowsim import FluidSimulator
 from repro.fluid.maxmin import max_min_rates
 from repro.topology import ParallelTopology, build_fat_tree
@@ -119,7 +120,7 @@ PATH_13 = (0, ["h1", "t0", "t1", "h3"])
 class TestFluidSimulator:
     def test_single_flow_fct(self):
         sim = FluidSimulator([dumbbell()], slow_start=False)
-        sim.add_flow("h0", "h2", 1 * GB, [PATH_02])
+        sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1 * GB, paths=[PATH_02]))
         records = sim.run()
         assert len(records) == 1
         # 1 GB at 10 Gb/s = 0.8 s (plus sub-ms latency terms).
@@ -127,8 +128,8 @@ class TestFluidSimulator:
 
     def test_two_flows_share_core(self):
         sim = FluidSimulator([dumbbell()], slow_start=False)
-        sim.add_flow("h0", "h2", 1 * GB, [PATH_02])
-        sim.add_flow("h1", "h3", 1 * GB, [PATH_13])
+        sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1 * GB, paths=[PATH_02]))
+        sim.add_flow(spec=FlowSpec(src="h1", dst="h3", size=1 * GB, paths=[PATH_13]))
         records = sim.run()
         # Shared 10G core: both take ~1.6 s.
         for rec in records:
@@ -136,9 +137,9 @@ class TestFluidSimulator:
 
     def test_late_arrival_speeds_up_after_departure(self):
         sim = FluidSimulator([dumbbell()], slow_start=False)
-        sim.add_flow("h0", "h2", 1 * GB, [PATH_02], at=0.0)
-        sim.add_flow("h1", "h3", 1 * GB, [PATH_13], at=0.0)
-        sim.add_flow("h0", "h2", 1 * GB, [PATH_02], at=10.0)
+        sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1 * GB, paths=[PATH_02], at=0.0))
+        sim.add_flow(spec=FlowSpec(src="h1", dst="h3", size=1 * GB, paths=[PATH_13], at=0.0))
+        sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1 * GB, paths=[PATH_02], at=10.0))
         records = sim.run()
         alone = records[-1]
         assert alone.arrival == 10.0
@@ -147,10 +148,11 @@ class TestFluidSimulator:
     def test_multipath_doubles_throughput(self):
         pnet = ParallelTopology.homogeneous(lambda: dumbbell(), 2)
         sim = FluidSimulator(pnet.planes, slow_start=False)
-        sim.add_flow(
-            "h0", "h2", 1 * GB,
-            [(0, ["h0", "t0", "t1", "h2"]), (1, ["h0", "t0", "t1", "h2"])],
-        )
+        sim.add_flow(spec=FlowSpec(
+            src="h0", dst="h2", size=1 * GB,
+            paths=[(0, ["h0", "t0", "t1", "h2"]),
+                   (1, ["h0", "t0", "t1", "h2"])],
+        ))
         records = sim.run()
         assert records[0].fct == pytest.approx(0.4, rel=1e-3)
 
@@ -158,19 +160,19 @@ class TestFluidSimulator:
         # At 100G (the paper's setting) the initial window rate is well
         # below line rate, so the ramp visibly stretches small flows.
         fast = FluidSimulator([dumbbell(100 * Gbps)], slow_start=False)
-        fast.add_flow("h0", "h2", 100_000, [PATH_02])
+        fast.add_flow(spec=FlowSpec(src="h0", dst="h2", size=100_000, paths=[PATH_02]))
         ideal = fast.run()[0].fct
 
         slow = FluidSimulator([dumbbell(100 * Gbps)], slow_start=True)
-        slow.add_flow("h0", "h2", 100_000, [PATH_02])
+        slow.add_flow(spec=FlowSpec(src="h0", dst="h2", size=100_000, paths=[PATH_02]))
         ramped = slow.run()[0].fct
         assert ramped > ideal * 1.2
 
     def test_slow_start_negligible_for_bulk(self):
         a = FluidSimulator([dumbbell()], slow_start=False)
-        a.add_flow("h0", "h2", 10 * GB, [PATH_02])
+        a.add_flow(spec=FlowSpec(src="h0", dst="h2", size=10 * GB, paths=[PATH_02]))
         b = FluidSimulator([dumbbell()], slow_start=True)
-        b.add_flow("h0", "h2", 10 * GB, [PATH_02])
+        b.add_flow(spec=FlowSpec(src="h0", dst="h2", size=10 * GB, paths=[PATH_02]))
         assert b.run()[0].fct == pytest.approx(a.run()[0].fct, rel=0.01)
 
     def test_closed_loop_callback(self):
@@ -180,11 +182,12 @@ class TestFluidSimulator:
         def again(record):
             completions.append(record)
             if len(completions) < 3:
-                sim.add_flow(
-                    "h0", "h2", 100 * MB, [PATH_02], on_complete=again
-                )
+                sim.add_flow(spec=FlowSpec(
+                    src="h0", dst="h2", size=100 * MB, paths=[PATH_02],
+                    on_complete=again,
+                ))
 
-        sim.add_flow("h0", "h2", 100 * MB, [PATH_02], on_complete=again)
+        sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=100 * MB, paths=[PATH_02], on_complete=again))
         records = sim.run()
         assert len(records) == 3
         arrivals = [r.arrival for r in records]
@@ -193,7 +196,7 @@ class TestFluidSimulator:
 
     def test_zero_size_flow_completes_immediately(self):
         sim = FluidSimulator([dumbbell()])
-        sim.add_flow("h0", "h2", 0, [PATH_02])
+        sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=0, paths=[PATH_02]))
         records = sim.run()
         assert records[0].fct == pytest.approx(
             records[0].completion - records[0].arrival
@@ -202,7 +205,7 @@ class TestFluidSimulator:
 
     def test_tags_and_records(self):
         sim = FluidSimulator([dumbbell()], slow_start=False)
-        sim.add_flow("h0", "h2", 1000, [PATH_02], tag="stage1")
+        sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1000, paths=[PATH_02], tag="stage1"))
         rec = sim.run()[0]
         assert rec.tag == "stage1"
         assert rec.src == "h0" and rec.dst == "h2"
@@ -211,24 +214,24 @@ class TestFluidSimulator:
     def test_path_validation(self):
         sim = FluidSimulator([dumbbell()])
         with pytest.raises(ValueError):
-            sim.add_flow("h0", "h2", 1, [(0, ["h0", "t1", "h2"])])  # no link
+            sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1, paths=[(0, ["h0", "t1", "h2"])]))  # no link
         with pytest.raises(ValueError):
-            sim.add_flow("h0", "h2", 1, [])
+            sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1, paths=[]))
         with pytest.raises(ValueError):
-            sim.add_flow("h0", "h2", -1, [PATH_02])
+            sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=-1, paths=[PATH_02]))
         with pytest.raises(ValueError):
-            sim.add_flow("h0", "h2", 1, [PATH_02], at=-5)
+            sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1, paths=[PATH_02], at=-5))
 
     def test_failed_links_not_usable(self):
         topo = dumbbell()
         topo.fail_link("t0", "t1")
         sim = FluidSimulator([topo])
         with pytest.raises(ValueError):
-            sim.add_flow("h0", "h2", 1, [PATH_02])
+            sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1, paths=[PATH_02]))
 
     def test_until_stops_early(self):
         sim = FluidSimulator([dumbbell()], slow_start=False)
-        sim.add_flow("h0", "h2", 10 * GB, [PATH_02])
+        sim.add_flow(spec=FlowSpec(src="h0", dst="h2", size=10 * GB, paths=[PATH_02]))
         records = sim.run(until=0.1)
         assert records == []
         assert sim.now == pytest.approx(0.1)
@@ -246,7 +249,7 @@ class TestFluidSimulator:
             # Pick path i%4 of the 4 equal-cost ones: this shifted
             # permutation with distinct cores is collision-free.
             paths = all_shortest_paths(topo, src, dst)
-            sim.add_flow(src, dst, 1 * GB, [(0, paths[i % len(paths)])])
+            sim.add_flow(spec=FlowSpec(src=src, dst=dst, size=1 * GB, paths=[(0, paths[i % len(paths)])]))
         records = sim.run()
         for rec in records:
             # 1 GB at 100G line rate = 80 ms if no collisions; allow

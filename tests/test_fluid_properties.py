@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.flowspec import FlowSpec
 from repro.fluid.flowsim import FluidSimulator
 from repro.routing.shortest import all_shortest_paths
 from repro.topology import build_jellyfish
@@ -34,8 +35,10 @@ def test_all_flows_complete_with_positive_fct(seed, n_flows, sizes, slow_start):
     for i in range(n_flows):
         src, dst = rng.sample(hosts, 2)
         paths = all_shortest_paths(topo, src, dst, limit=2)
-        sim.add_flow(src, dst, sizes[i], [(0, paths[0])],
-                     at=rng.uniform(0, 1e-3))
+        sim.add_flow(spec=FlowSpec(
+            src=src, dst=dst, size=sizes[i], paths=[(0, paths[0])],
+            at=rng.uniform(0, 1e-3),
+        ))
     records = sim.run()
     assert len(records) == n_flows
     for rec in records:
@@ -55,7 +58,7 @@ def test_fct_lower_bound_is_line_rate(seed, size):
     rng = random.Random(seed)
     src, dst = rng.sample(topo.hosts, 2)
     path = all_shortest_paths(topo, src, dst, limit=1)[0]
-    sim.add_flow(src, dst, size, [(0, path)])
+    sim.add_flow(spec=FlowSpec(src=src, dst=dst, size=size, paths=[(0, path)]))
     rec = sim.run()[0]
     line_rate_time = size * 8 / (100 * Gbps)
     assert rec.fct >= line_rate_time * (1 - 1e-9)
@@ -72,15 +75,15 @@ def test_sharing_never_faster_than_alone(seed, n_flows):
     size = 10_000_000
 
     alone = FluidSimulator([topo], slow_start=False)
-    alone.add_flow(src, dst, size, [(0, path)])
+    alone.add_flow(spec=FlowSpec(src=src, dst=dst, size=size, paths=[(0, path)]))
     fct_alone = alone.run()[0].fct
 
     shared = FluidSimulator([topo], slow_start=False)
-    first = shared.add_flow(src, dst, size, [(0, path)])
+    first = shared.add_flow(spec=FlowSpec(src=src, dst=dst, size=size, paths=[(0, path)]))
     for __ in range(n_flows - 1):
         a, b = rng.sample(topo.hosts, 2)
         p = all_shortest_paths(topo, a, b, limit=1)[0]
-        shared.add_flow(a, b, size, [(0, p)])
+        shared.add_flow(spec=FlowSpec(src=a, dst=b, size=size, paths=[(0, p)]))
     records = shared.run()
     fct_shared = next(r.fct for r in records if r.flow_id == first)
     assert fct_shared >= fct_alone * (1 - 1e-9)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.isolation import PlaneAllocator, RestrictedPolicy
+from repro.core.flowspec import FlowSpec
 from repro.core.monitoring import NetworkMonitor
 from repro.core.path_selection import EcmpPolicy, KspMultipathPolicy
 from repro.core.pnet import PNet
@@ -119,7 +120,7 @@ class TestNetworkMonitor:
         from repro.routing.shortest import shortest_path
 
         path = shortest_path(pnet.plane(1), "h0", "h15")
-        net.add_flow("h0", "h15", 100_000, [(1, path)])
+        net.add_flow(spec=FlowSpec(src="h0", dst="h15", size=100_000, paths=[(1, path)]))
         net.run()
         monitor = NetworkMonitor(2)
         monitor.ingest_queue_counters(net)

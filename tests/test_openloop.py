@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.path_selection import EcmpPolicy
+from repro.core.flowspec import FlowSpec
 from repro.core.pnet import PNet
 from repro.fluid.flowsim import FluidSimulator
 from repro.topology import build_jellyfish
@@ -69,10 +70,10 @@ class TestOpenLoopOnFluidSim:
         )
         sim = FluidSimulator(pnet.planes)
         for i, f in enumerate(flows):
-            sim.add_flow(
-                f.src, f.dst, f.size, policy.select(f.src, f.dst, i),
-                at=f.arrival,
-            )
+            sim.add_flow(spec=FlowSpec(
+                src=f.src, dst=f.dst, size=f.size,
+                paths=policy.select(f.src, f.dst, i), at=f.arrival,
+            ))
         records = sim.run()
         assert len(records) == len(flows)
         assert all(r.fct > 0 for r in records)

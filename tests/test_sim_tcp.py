@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.flowspec import FlowSpec
 from repro.sim.network import PacketNetwork
 from repro.sim.rpc import RpcClient
 from repro.topology import ParallelTopology
@@ -30,7 +31,7 @@ PATH_13 = (0, ["h1", "t0", "t1", "h3"])
 class TestTcpBasics:
     def test_one_packet_flow_takes_about_one_rtt(self):
         net = PacketNetwork([dumbbell()])
-        net.add_flow("h0", "h2", 1000, [PATH_02])
+        net.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1000, paths=[PATH_02]))
         net.run()
         rec = net.records[0]
         # 3 links: ~3 us propagation each way plus serialisation.
@@ -39,7 +40,7 @@ class TestTcpBasics:
 
     def test_small_flow_within_initial_window_is_lossless(self):
         net = PacketNetwork([dumbbell()])
-        net.add_flow("h0", "h2", 10 * 1460, [PATH_02])
+        net.add_flow(spec=FlowSpec(src="h0", dst="h2", size=10 * 1460, paths=[PATH_02]))
         net.run()
         rec = net.records[0]
         assert rec.retransmits == 0
@@ -47,7 +48,7 @@ class TestTcpBasics:
 
     def test_flow_completes_and_accounts_bytes(self):
         net = PacketNetwork([dumbbell()])
-        net.add_flow("h0", "h2", int(1 * MB), [PATH_02])
+        net.add_flow(spec=FlowSpec(src="h0", dst="h2", size=int(1 * MB), paths=[PATH_02]))
         net.run()
         rec = net.records[0]
         assert rec.size == 1 * MB
@@ -56,7 +57,7 @@ class TestTcpBasics:
 
     def test_bulk_flow_reaches_decent_utilisation(self):
         net = PacketNetwork([dumbbell()])
-        net.add_flow("h0", "h2", int(20 * MB), [PATH_02])
+        net.add_flow(spec=FlowSpec(src="h0", dst="h2", size=int(20 * MB), paths=[PATH_02]))
         net.run()
         rec = net.records[0]
         ideal = 20 * MB * 8 / (100 * Gbps)
@@ -66,8 +67,8 @@ class TestTcpBasics:
 
     def test_two_flows_share_but_both_finish(self):
         net = PacketNetwork([dumbbell()])
-        net.add_flow("h0", "h2", int(5 * MB), [PATH_02])
-        net.add_flow("h1", "h3", int(5 * MB), [PATH_13])
+        net.add_flow(spec=FlowSpec(src="h0", dst="h2", size=int(5 * MB), paths=[PATH_02]))
+        net.add_flow(spec=FlowSpec(src="h1", dst="h3", size=int(5 * MB), paths=[PATH_13]))
         net.run()
         assert len(net.records) == 2
         ideal_shared = 2 * (5 * MB * 8) / (100 * Gbps)
@@ -77,7 +78,7 @@ class TestTcpBasics:
     def test_drop_recovery_via_retransmission(self):
         # Tiny buffers force drops; the flow must still complete.
         net = PacketNetwork([dumbbell()], queue_packets=10)
-        net.add_flow("h0", "h2", int(2 * MB), [PATH_02])
+        net.add_flow(spec=FlowSpec(src="h0", dst="h2", size=int(2 * MB), paths=[PATH_02]))
         net.run()
         rec = net.records[0]
         assert net.total_drops > 0
@@ -86,43 +87,44 @@ class TestTcpBasics:
 
     def test_staggered_starts(self):
         net = PacketNetwork([dumbbell()])
-        net.add_flow("h0", "h2", 1000, [PATH_02], at=0.0)
-        net.add_flow("h1", "h3", 1000, [PATH_13], at=1e-3)
+        net.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1000, paths=[PATH_02], at=0.0))
+        net.add_flow(spec=FlowSpec(src="h1", dst="h3", size=1000, paths=[PATH_13], at=1e-3))
         net.run()
         starts = sorted(r.start for r in net.records)
         assert starts == pytest.approx([0.0, 1e-3])
 
     def test_zero_byte_flow(self):
         net = PacketNetwork([dumbbell()])
-        net.add_flow("h0", "h2", 0, [PATH_02])
+        net.add_flow(spec=FlowSpec(src="h0", dst="h2", size=0, paths=[PATH_02]))
         net.run()
         assert net.records[0].fct == 0.0
 
     def test_validations(self):
         net = PacketNetwork([dumbbell()])
         with pytest.raises(ValueError):
-            net.add_flow("h0", "h2", 1000, [])
+            net.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1000, paths=[]))
         with pytest.raises(ValueError):
-            net.add_flow("h0", "h2", -1, [PATH_02])
+            net.add_flow(spec=FlowSpec(src="h0", dst="h2", size=-1, paths=[PATH_02]))
         with pytest.raises(ValueError):
-            net.add_flow("h0", "h2", 1000, [(0, ["h0", "t0", "t1", "h3"])])
+            net.add_flow(spec=FlowSpec(src="h0", dst="h2", size=1000, paths=[(0, ["h0", "t0", "t1", "h3"])]))
         with pytest.raises(ValueError):
-            net.add_flow("h0", "h3", 1000, [(0, ["h0", "t0", "h3"])])  # no link
+            net.add_flow(spec=FlowSpec(src="h0", dst="h3", size=1000, paths=[(0, ["h0", "t0", "h3"])]))  # no link
 
 
 class TestMptcp:
     def test_two_subflows_beat_one_plane(self):
         pnet = ParallelTopology.homogeneous(lambda: dumbbell(), 2)
         serial = PacketNetwork([pnet.plane(0)])
-        serial.add_flow("h0", "h2", int(5 * MB), [PATH_02])
+        serial.add_flow(spec=FlowSpec(src="h0", dst="h2", size=int(5 * MB), paths=[PATH_02]))
         serial.run()
         single = serial.records[0].fct
 
         parallel = PacketNetwork(pnet.planes)
-        parallel.add_flow(
-            "h0", "h2", int(5 * MB),
-            [(0, ["h0", "t0", "t1", "h2"]), (1, ["h0", "t0", "t1", "h2"])],
-        )
+        parallel.add_flow(spec=FlowSpec(
+            src="h0", dst="h2", size=int(5 * MB),
+            paths=[(0, ["h0", "t0", "t1", "h2"]),
+                   (1, ["h0", "t0", "t1", "h2"])],
+        ))
         parallel.run()
         double = parallel.records[0].fct
         assert double < single
@@ -130,10 +132,11 @@ class TestMptcp:
     def test_subflow_accounting(self):
         pnet = ParallelTopology.homogeneous(lambda: dumbbell(), 2)
         net = PacketNetwork(pnet.planes)
-        source = net.add_flow(
-            "h0", "h2", int(1 * MB),
-            [(0, ["h0", "t0", "t1", "h2"]), (1, ["h0", "t0", "t1", "h2"])],
-        )
+        source = net.add_flow(spec=FlowSpec(
+            src="h0", dst="h2", size=int(1 * MB),
+            paths=[(0, ["h0", "t0", "t1", "h2"]),
+                   (1, ["h0", "t0", "t1", "h2"])],
+        ))
         net.run()
         assert source.completed
         # Every byte assigned exactly once across subflows.
@@ -161,7 +164,7 @@ class TestMptcp:
 
     def test_mptcp_zero_bytes(self):
         net = PacketNetwork([dumbbell()])
-        net.add_flow("h0", "h2", 0, [PATH_02, PATH_02])
+        net.add_flow(spec=FlowSpec(src="h0", dst="h2", size=0, paths=[PATH_02, PATH_02]))
         net.run()
         assert net.records[0].fct == 0.0
 
