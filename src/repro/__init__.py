@@ -32,6 +32,7 @@ from repro.topology import (
 from repro import api
 from repro.api import TrialResult, attach_telemetry, build_network, run_trial
 from repro.core.flowspec import FlowSpec
+from repro.faults import FaultEvent, FaultInjector, FaultSchedule
 
 __version__ = "1.0.0"
 
@@ -44,6 +45,9 @@ __all__ = [
     "build_jellyfish",
     "build_xpander",
     "api",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
     "FlowSpec",
     "TrialResult",
     "attach_telemetry",

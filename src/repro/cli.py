@@ -13,6 +13,8 @@ Usage::
     python -m repro fig9 --scale tiny --metrics-out metrics.jsonl
     python -m repro fig9 --scale tiny --trace trace.jsonl
     python -m repro obs summarize metrics.jsonl trace.jsonl
+    python -m repro faults run --chaos-seed 7 --scale tiny
+    python -m repro faults run --schedule faults.json --metrics-out m.jsonl
 
 Each experiment prints the same rows/series the paper reports; ``--csv``
 additionally writes the raw result (flattened) for plotting.  Trials fan
@@ -45,6 +47,7 @@ EXPERIMENTS = {
     "fig13": "repro.exp.fig13",
     "fig14": "repro.exp.fig14",
     "appendix": "repro.exp.appendix",
+    "degradation": "repro.exp.degradation",
     "incast": "repro.exp.incast",
     "ablation": "repro.exp.ablation",
     "adaptive": "repro.exp.adaptive_routing",
@@ -180,11 +183,112 @@ def obs_command(argv: List[str]) -> int:
     return 0
 
 
+def faults_command(argv: List[str]) -> int:
+    """``python -m repro faults run [--schedule FILE] [--chaos-seed N]``
+
+    Runs the plane-outage degradation scenario (or an explicit schedule
+    file) on the fluid simulator and prints the normalised-throughput
+    curve.  ``--schedule-out`` writes the canonical schedule JSON (the
+    replay artifact); ``--metrics-out`` writes the telemetry snapshot.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro faults",
+        description="deterministic fault-injection runs",
+    )
+    parser.add_argument("action", choices=["run"])
+    parser.add_argument(
+        "--schedule", metavar="FILE", default=None,
+        help="fault schedule JSON to replay (default: generated plane "
+        "outage from --chaos-seed)",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=7, metavar="N",
+        help="seed for the generated schedule (default 7)",
+    )
+    parser.add_argument("--scale", choices=SCALES, default=None)
+    parser.add_argument(
+        "--schedule-out", metavar="FILE", default=None,
+        help="write the executed schedule (canonical JSON) here",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the metric snapshot (JSONL) here",
+    )
+    args = parser.parse_args(argv)
+
+    import random
+
+    from repro.exp.common import get_scale
+    from repro.exp.degradation import PRESETS, run_faulted
+    from repro.faults import FaultSchedule, plane_outage
+    from repro.topology.fattree import build_fat_tree
+
+    params = dict(PRESETS[get_scale(args.scale)])
+    if args.schedule is not None:
+        schedule = FaultSchedule.from_file(args.schedule)
+    else:
+        # Generate against a throwaway copy of the trial's network so the
+        # run itself starts from pristine state.
+        from repro.core.pnet import PNet
+        from repro.topology.parallel import ParallelTopology
+
+        pnet = PNet(ParallelTopology.homogeneous(
+            lambda: build_fat_tree(params["k"]), params["n_planes"]
+        ))
+        schedule = plane_outage(
+            pnet, random.Random(args.chaos_seed),
+            at=params["outage_at"], outage=params["outage"],
+        )
+    if args.schedule_out is not None:
+        schedule.to_file(args.schedule_out)
+        print(f"[faults] wrote schedule to {args.schedule_out}")
+
+    registry = None
+    if args.metrics_out is not None:
+        from repro.api import attach_telemetry
+
+        registry = attach_telemetry(metrics_path=args.metrics_out)
+    try:
+        out = run_faulted(
+            k=params["k"],
+            n_planes=params["n_planes"],
+            chaos_seed=args.chaos_seed,
+            outage_at=params["outage_at"],
+            outage=params["outage"],
+            duration=params["duration"],
+            sample_period=params["sample_period"],
+            schedule=schedule,
+            obs=registry,
+        )
+    finally:
+        if registry is not None:
+            from repro.obs import set_registry
+
+            registry.close()
+            set_registry(None)
+            print(f"[obs] wrote metric snapshot to {args.metrics_out}")
+    print("t (s)    normalised throughput")
+    for t, fraction in out["samples"]:
+        print(f"{t:>7.3f}  {fraction:.3f}")
+    stats = out["stats"]
+    print(
+        f"[faults] events={int(stats['events_applied'])} "
+        f"resteered={int(stats['flows_resteered'])} "
+        f"stranded={int(stats['flows_stranded'])} "
+        f"min={stats['min_fraction']:.3f} "
+        f"final={stats['final_fraction']:.3f} "
+        f"surviving_capacity={stats['surviving_capacity_end']:.6f}"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "obs":
         return obs_command(argv[1:])
+    if argv and argv[0] == "faults":
+        return faults_command(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, module in sorted(EXPERIMENTS.items()):

@@ -58,6 +58,10 @@ class FailureAwareSelector:
         self.pnet = policy.pnet
         self.max_retries = max_retries
 
+    def invalidate(self) -> None:
+        """Flush the wrapped policy's private memos (topology changed)."""
+        self.policy.invalidate()
+
     def select(self, src: str, dst: str, flow_id: int = 0) -> List[PlanePath]:
         choice = self.policy.select(src, dst, flow_id)
         live = [pp for pp in choice if path_is_live(self.pnet, pp)]

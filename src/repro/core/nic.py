@@ -17,7 +17,7 @@ link failures).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Set
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.pnet import PNet
 
@@ -71,9 +71,19 @@ class HostNic:
     Failing a port fails the host's uplink in every plane the port
     carries (callers should then call :meth:`PNet.invalidate_routing`,
     as after any failure).
+
+    Pass the running simulator as ``network`` (a
+    :class:`~repro.sim.network.PacketNetwork` or
+    :class:`~repro.fluid.flowsim.FluidSimulator`) and port transitions
+    go through its ``fail_link``/``restore_link``, keeping simulator
+    state (packet queues, fluid capacities) consistent with the
+    topology -- without it, a mid-run ``restore_port`` would mark the
+    uplink live while the simulator still black-holes it.
     """
 
-    def __init__(self, pnet: PNet, host: str, config: NicConfig):
+    def __init__(
+        self, pnet: PNet, host: str, config: NicConfig, network=None
+    ):
         if config.n_planes != pnet.n_planes:
             raise ValueError(
                 f"NIC has {config.n_planes} channels but the network has "
@@ -84,7 +94,11 @@ class HostNic:
         self.pnet = pnet
         self.host = host
         self.config = config
+        self.network = network
         self._down_ports: Set[int] = set()
+        #: Uplinks each down port actually failed (a link already dead
+        #: for another reason is not ours to restore).
+        self._failed_by_port: Dict[int, List[Tuple[int, str, str]]] = {}
 
     @property
     def down_ports(self) -> Set[int]:
@@ -97,29 +111,46 @@ class HostNic:
             if self.config.port_of_plane(idx) not in self._down_ports
         ]
 
+    def _fail_link(self, plane_idx: int, u: str, v: str) -> None:
+        if self.network is not None:
+            self.network.fail_link(plane_idx, u, v)
+        else:
+            self.pnet.plane(plane_idx).fail_link(u, v)
+
+    def _restore_link(self, plane_idx: int, u: str, v: str) -> None:
+        if self.network is not None:
+            self.network.restore_link(plane_idx, u, v)
+        else:
+            self.pnet.plane(plane_idx).restore_link(u, v)
+
     def fail_port(self, port: int) -> List[int]:
         """Cut one physical port; returns the planes it took down."""
         affected = self.config.planes_of_port(port)
+        if port in self._down_ports:
+            return affected
         self._down_ports.add(port)
+        failed: List[Tuple[int, str, str]] = []
         for plane_idx in affected:
             plane = self.pnet.plane(plane_idx)
             tor = plane.tor_of(self.host)
-            plane.fail_link(self.host, tor)
+            if not plane.is_failed(self.host, tor):
+                self._fail_link(plane_idx, self.host, tor)
+                failed.append((plane_idx, self.host, tor))
+        self._failed_by_port[port] = failed
         return affected
 
     def restore_port(self, port: int) -> None:
+        """Bring one port back: restore exactly the uplinks it failed.
+
+        Links that were already failed when the port went down (or that
+        an independent fault took down since) stay failed -- the NIC
+        only owns its own transitions.
+        """
         if port not in self._down_ports:
             return
         self._down_ports.discard(port)
-        for plane_idx in self.config.planes_of_port(port):
-            plane = self.pnet.plane(plane_idx)
-            # The uplink may have been restored already; find the ToR by
-            # scanning all adjacency (tor_of needs a live link).
-            for node in plane.nodes:
-                if plane.kind(node) != "host" and plane.has_link(
-                    self.host, node
-                ):
-                    plane.restore_link(self.host, node)
+        for plane_idx, u, v in self._failed_by_port.pop(port, []):
+            self._restore_link(plane_idx, u, v)
 
     def surviving_fraction(self, failed_ports: int) -> float:
         """Uplink capacity fraction left after ``failed_ports`` port cuts.

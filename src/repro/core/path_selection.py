@@ -38,6 +38,14 @@ class PathSelectionPolicy:
         """Paths for one flow; empty list means unroutable (all planes cut)."""
         raise NotImplementedError
 
+    def invalidate(self) -> None:
+        """Drop any policy-private memos (topology changed).
+
+        The PNet's own caches are managed separately (``invalidate_
+        routing`` / ``repair_after_failure``); this hook only covers
+        state the policy keeps on top, so the base is a no-op.
+        """
+
     def fingerprint(self) -> Tuple:
         """Content key for caching: everything ``select`` depends on
         besides the network itself (the caller keys the network
@@ -142,6 +150,9 @@ class KspMultipathPolicy(PathSelectionPolicy):
 
     def fingerprint(self) -> Tuple:
         return ("ksp-multipath", self.k, self.seed, self.path_pool)
+
+    def invalidate(self) -> None:
+        self._cache.clear()
 
     @property
     def is_multipath(self) -> bool:

@@ -11,11 +11,12 @@ topology (mirroring routing reconvergence).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.routing.ksp import k_shortest_paths
 from repro.routing.shortest import all_shortest_paths, shortest_path_length
-from repro.topology.graph import Topology
+from repro.topology.graph import Topology, link_key
 from repro.topology.parallel import ParallelTopology
 
 #: A path tagged with its dataplane index.
@@ -24,6 +25,23 @@ PlanePath = Tuple[int, List[str]]
 #: Cap on equal-cost path enumeration; larger pools only matter above the
 #: parallelism the paper considers (N <= 8, K <= 32).
 DEFAULT_PATH_POOL = 64
+
+
+@dataclass
+class RepairStats:
+    """What one incremental routing repair did to the memoised caches.
+
+    Attributes:
+        kept: cache entries untouched (no cached path died).
+        repaired: entries filtered in place (some paths died, survivors
+            remain valid and correctly ranked).
+        reenumerated: entries dropped because every cached path died --
+            the next query re-enumerates from scratch.
+    """
+
+    kept: int = 0
+    repaired: int = 0
+    reenumerated: int = 0
 
 
 class PNet:
@@ -76,6 +94,73 @@ class PNet:
         self._len_cache.clear()
         self._sp_cache.clear()
         self._ksp_cache.clear()
+
+    def invalidate_plane(self, plane_idx: int) -> None:
+        """Drop memoised paths of one plane only.
+
+        Required after a *restore* (shortest paths may get shorter, so
+        survivors of a filter would no longer be correctly ranked); other
+        planes' caches stay warm.
+        """
+        for cache in (self._len_cache, self._sp_cache, self._ksp_cache):
+            for key in [k for k in cache if k[0] == plane_idx]:
+                del cache[key]
+
+    def repair_after_failure(
+        self, plane_idx: int, dead_links: Iterable[Tuple[str, str]]
+    ) -> RepairStats:
+        """Incrementally repair one plane's caches after links *failed*.
+
+        Only entries whose cached paths traverse a dead link are touched:
+        survivors are kept (link removal cannot create shorter paths, so
+        a surviving shortest path is still shortest and surviving KSP
+        entries keep their exact rank among live paths); entries that
+        lose every path are dropped and re-enumerate lazily.  This is
+        exact, not an approximation -- but only for failures.  After a
+        restore call :meth:`invalidate_plane` instead.
+        """
+        dead: Set[Tuple[str, str]] = {link_key(u, v) for u, v in dead_links}
+        stats = RepairStats()
+        if not dead:
+            return stats
+
+        def traverses(path: List[str]) -> bool:
+            return any(link_key(u, v) in dead for u, v in zip(path, path[1:]))
+
+        for key in [k for k in self._sp_cache if k[0] == plane_idx]:
+            paths = self._sp_cache[key]
+            survivors = [p for p in paths if not traverses(p)]
+            if len(survivors) == len(paths):
+                stats.kept += 1
+            elif survivors:
+                self._sp_cache[key] = survivors
+                stats.repaired += 1
+            else:
+                # All equal-cost shortest paths died: the distance itself
+                # is stale, so the length witness goes too.
+                del self._sp_cache[key]
+                self._len_cache.pop(key, None)
+                stats.reenumerated += 1
+        # Lengths without a surviving shortest-path witness may be stale.
+        for key in [k for k in self._len_cache if k[0] == plane_idx]:
+            witnesses = self._sp_cache.get(key)
+            if witnesses is None:
+                del self._len_cache[key]
+        for key in [k for k in self._ksp_cache if k[0] == plane_idx]:
+            k_cached, paths = self._ksp_cache[key]
+            survivors = [p for p in paths if not traverses(p)]
+            if len(survivors) == len(paths):
+                stats.kept += 1
+            elif survivors:
+                # Survivors keep their relative (sorted) order and are the
+                # true top-len(survivors) live paths; queries beyond that
+                # re-enumerate (the completeness bound shrank).
+                self._ksp_cache[key] = (len(survivors), survivors)
+                stats.repaired += 1
+            else:
+                del self._ksp_cache[key]
+                stats.reenumerated += 1
+        return stats
 
     # --- per-plane path queries ---------------------------------------------
 

@@ -1,0 +1,253 @@
+"""Graceful degradation under a whole-plane outage (paper section 3.4).
+
+"Hosts can quickly detect individual dataplane failures via link status
+and avoid using the broken dataplane(s), allowing graceful performance
+degradation": with N planes, losing one should cost 1/N of the
+aggregate throughput -- not connectivity -- and full throughput should
+return when the plane comes back.
+
+The experiment runs long-lived ToR-local pair traffic (each host
+exchanges with a neighbour under its own ToR, so every flow is
+bottlenecked by its own host uplinks and the healthy network sits at
+exactly 1.0 -- no core collisions blurring the curve) on the fluid
+simulator with one MPTCP subflow per plane, injects a scheduled
+plane-down/plane-up via :class:`repro.faults.FaultInjector`, and
+samples the aggregate delivery rate (normalised by the healthy-network
+rate).  The expected curve on a 2-plane network: 1.0 until the outage,
+0.5 while degraded, back to 1.0 after the restore-and-rebalance.  A
+control run with no faults pins the normalisation.
+
+Degradation telemetry (surviving-capacity gauge, per-plane live-link
+gauges, reroute-latency histogram, stranded/resteered counters) flows
+through :mod:`repro.obs`; the ``python -m repro faults run`` CLI
+exposes the same run with ``--metrics-out``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.failures import FailureAwareSelector
+from repro.core.flowspec import FlowSpec
+from repro.core.path_selection import KspMultipathPolicy
+from repro.exp.common import FatTreeFamily, format_table, get_scale
+from repro.exp.runner import TrialSpec, run_trials
+from repro.faults.generators import plane_outage
+from repro.faults.injector import FaultInjector, surviving_capacity
+from repro.faults.schedule import FaultSchedule
+from repro.fluid.flowsim import FluidSimulator
+from repro.obs import Registry
+
+#: Bytes per long-lived flow: large enough that no flow completes
+#: within any preset's horizon (the run measures rates, not FCTs).
+ELEPHANT_BYTES = 1e15
+
+PRESETS = {
+    "tiny": dict(
+        k=4, n_planes=2, outage_at=0.1, outage=0.2,
+        duration=0.5, sample_period=0.025,
+    ),
+    "small": dict(
+        k=4, n_planes=2, outage_at=0.2, outage=0.4,
+        duration=1.0, sample_period=0.02,
+    ),
+    "full": dict(
+        k=8, n_planes=2, outage_at=0.2, outage=0.4,
+        duration=1.0, sample_period=0.02,
+    ),
+}
+
+
+@dataclass
+class DegradationResult:
+    n_hosts: int
+    n_planes: int
+    chaos_seed: int
+    #: run label ("faulted" / "control") -> [(t, normalised rate)].
+    curves: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: run label -> scalar outcome metrics.
+    stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def _tor_local_pairs(hosts: List[str]) -> List[Tuple[str, str]]:
+    """Mutual pairs of adjacent hosts (same ToR on a fat tree).
+
+    Each host sends to and receives from its neighbour, so every flow's
+    bottleneck is a host uplink -- the healthy aggregate hits the full
+    ``hosts * planes * link_rate`` exactly, making plane loss read
+    directly off the curve as (N-1)/N.
+    """
+    if len(hosts) % 2:
+        raise ValueError("need an even host count for mutual pairs")
+    pairs: List[Tuple[str, str]] = []
+    for i in range(0, len(hosts), 2):
+        pairs.append((hosts[i], hosts[i + 1]))
+        pairs.append((hosts[i + 1], hosts[i]))
+    return pairs
+
+
+def _build(k: int, n_planes: int, seed: int):
+    """(pnet, selector, flow paths per host pair) for one run."""
+    family = FatTreeFamily(k)
+    pnet = family.parallel(n_planes)
+    policy = KspMultipathPolicy(pnet, k=n_planes, seed=seed)
+    selector = FailureAwareSelector(policy)
+    return pnet, selector
+
+
+def run_faulted(
+    k: int,
+    n_planes: int,
+    chaos_seed: int,
+    outage_at: float,
+    outage: float,
+    duration: float,
+    sample_period: float,
+    schedule: Optional[FaultSchedule] = None,
+    obs=None,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """One degradation run; returns samples plus outcome stats.
+
+    With ``schedule=None`` a plane outage is generated from
+    ``chaos_seed`` (the CLI's ``--schedule`` passes an explicit one).
+    An empty schedule is the no-fault control.
+    """
+    pnet, selector = _build(k, n_planes, seed)
+    if schedule is None:
+        schedule = plane_outage(
+            pnet, random.Random(chaos_seed), at=outage_at, outage=outage
+        )
+    registry = obs if obs is not None else Registry()
+    sim = FluidSimulator(pnet.planes, slow_start=False, obs=registry)
+    injector = FaultInjector(pnet, schedule, selector=selector, obs=registry)
+    injector.attach(sim)
+
+    hosts = pnet.hosts
+    pairs = _tor_local_pairs(hosts)
+    for flow_id, (src, dst) in enumerate(pairs):
+        sim.add_flow(spec=FlowSpec(
+            src=src, dst=dst, size=ELEPHANT_BYTES,
+            paths=selector.select(src, dst, flow_id),
+        ))
+
+    # Healthy aggregate: every host drives all its plane uplinks.
+    from repro.units import DEFAULT_LINK_RATE
+
+    baseline = len(hosts) * n_planes * DEFAULT_LINK_RATE
+    samples: List[Tuple[float, float]] = []
+
+    def sample() -> None:
+        samples.append((sim.now, sim.aggregate_rate() / baseline))
+        if sim.now + sample_period <= duration + 1e-12:
+            sim.schedule(sim.now + sample_period, sample)
+
+    # Offset by half a period so samples never land on an event instant
+    # (rates at an event time are ambiguous: before or after?).
+    sim.schedule(sample_period / 2, sample)
+    sim.run(until=duration)
+
+    reroutes = registry.histogram("faults.reroute_seconds").values
+    stats: Dict[str, float] = {
+        "events_applied": injector.stats.events_applied,
+        "links_failed": injector.stats.links_failed,
+        "links_restored": injector.stats.links_restored,
+        "flows_resteered": injector.stats.flows_resteered,
+        "flows_stranded": injector.stats.flows_stranded,
+        "routes_repaired": injector.stats.routes_repaired,
+        "routes_reenumerated": injector.stats.routes_reenumerated,
+        "min_fraction": min(f for __, f in samples),
+        "final_fraction": samples[-1][1],
+        "surviving_capacity_end": surviving_capacity(pnet.planes),
+        "reroute_count": float(len(reroutes)),
+        "reroute_max_s": max(reroutes) if reroutes else 0.0,
+    }
+    return {"samples": samples, "stats": stats}
+
+
+def degradation_trial(
+    k: int,
+    n_planes: int,
+    chaos_seed: int,
+    outage_at: float,
+    outage: float,
+    duration: float,
+    sample_period: float,
+    with_faults: bool = True,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Picklable trial: faulted run, or the no-fault control."""
+    return run_faulted(
+        k=k,
+        n_planes=n_planes,
+        chaos_seed=chaos_seed,
+        outage_at=outage_at,
+        outage=outage,
+        duration=duration,
+        sample_period=sample_period,
+        schedule=None if with_faults else FaultSchedule([]),
+        seed=seed,
+    )
+
+
+def run(scale: Optional[str] = None, chaos_seed: int = 7) -> DegradationResult:
+    params = PRESETS[get_scale(scale)]
+    family = FatTreeFamily(params["k"])
+    result = DegradationResult(
+        n_hosts=family.n_hosts,
+        n_planes=params["n_planes"],
+        chaos_seed=chaos_seed,
+    )
+    specs = [
+        TrialSpec(
+            fn="repro.exp.degradation:degradation_trial",
+            key=(label,),
+            kwargs=dict(
+                k=params["k"],
+                n_planes=params["n_planes"],
+                chaos_seed=chaos_seed,
+                outage_at=params["outage_at"],
+                outage=params["outage"],
+                duration=params["duration"],
+                sample_period=params["sample_period"],
+                with_faults=with_faults,
+            ),
+        )
+        for label, with_faults in (("faulted", True), ("control", False))
+    ]
+    trials = run_trials(specs)
+    for (label,), trial in trials.items():
+        result.curves[label] = trial["samples"]
+        result.stats[label] = trial["stats"]
+    return result
+
+
+def main() -> None:
+    result = run()
+    print(
+        f"Degradation under a plane outage "
+        f"({result.n_hosts} hosts, {result.n_planes} planes, "
+        f"chaos seed {result.chaos_seed})\n"
+    )
+    rows = [
+        [f"{t:.3f}", f"{faulted:.3f}", f"{control:.3f}"]
+        for (t, faulted), (__, control) in zip(
+            result.curves["faulted"], result.curves["control"]
+        )
+    ]
+    print(format_table(["t (s)", "faulted", "control"], rows))
+    stats = result.stats["faulted"]
+    print(
+        f"\nmin fraction {stats['min_fraction']:.3f}  "
+        f"final fraction {stats['final_fraction']:.3f}  "
+        f"resteered {int(stats['flows_resteered'])}  "
+        f"stranded {int(stats['flows_stranded'])}  "
+        f"surviving capacity at end "
+        f"{stats['surviving_capacity_end']:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,7 @@ import importlib
 import inspect
 import multiprocessing
 import os
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -199,7 +200,11 @@ def run_trials(
     if jobs == 1 or len(pending) <= 1:
         for spec in pending:
             key, value, __, __ = _execute(spec)
-            results[key] = value
+            # Round-trip so the serial path yields the same object graph
+            # a pool worker's unpickled result would: without this,
+            # in-process results can share interned objects across
+            # trials and their combined pickle differs by job count.
+            results[key] = pickle.loads(pickle.dumps(value))
     else:
         ctx = _pool_context()
         with ctx.Pool(processes=min(jobs, len(pending))) as pool:

@@ -1,0 +1,62 @@
+"""Deterministic, seedable fault injection for both simulators.
+
+The layer has three parts (see ROADMAP):
+
+* :mod:`repro.faults.schedule` -- :class:`FaultSchedule`, a validated,
+  time-ordered list of :class:`FaultEvent` with a canonical JSON form.
+* :mod:`repro.faults.generators` -- chaos scenario generators driven by
+  an explicit ``random.Random`` seed for byte-for-byte replay.
+* :mod:`repro.faults.injector` -- :class:`FaultInjector`, which executes
+  a schedule against a :class:`~repro.sim.network.PacketNetwork` or
+  :class:`~repro.fluid.flowsim.FluidSimulator`, repairs routing state
+  incrementally, resteers MPTCP subflows off dead paths, and exports
+  degradation metrics through :mod:`repro.obs`.
+"""
+
+from repro.faults.generators import (
+    correlated_switch_failure,
+    host_uplink_flaps,
+    plane_outage,
+    uniform_link_flaps,
+)
+from repro.faults.injector import (
+    DEFAULT_DETECTION_DELAY,
+    FaultInjector,
+    InjectionStats,
+    surviving_capacity,
+)
+from repro.faults.schedule import (
+    HOST_UPLINK_DOWN,
+    HOST_UPLINK_UP,
+    KINDS,
+    LINK_DOWN,
+    LINK_UP,
+    PLANE_DOWN,
+    PLANE_UP,
+    SWITCH_DOWN,
+    SWITCH_UP,
+    FaultEvent,
+    FaultSchedule,
+)
+
+__all__ = [
+    "DEFAULT_DETECTION_DELAY",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "InjectionStats",
+    "KINDS",
+    "LINK_DOWN",
+    "LINK_UP",
+    "SWITCH_DOWN",
+    "SWITCH_UP",
+    "PLANE_DOWN",
+    "PLANE_UP",
+    "HOST_UPLINK_DOWN",
+    "HOST_UPLINK_UP",
+    "correlated_switch_failure",
+    "host_uplink_flaps",
+    "plane_outage",
+    "surviving_capacity",
+    "uniform_link_flaps",
+]

@@ -1,0 +1,174 @@
+"""Random-but-replayable chaos scenario generators.
+
+Every generator takes an explicit ``random.Random`` (never the module
+RNG), consumes it in a fixed order, and returns a
+:class:`~repro.faults.schedule.FaultSchedule` whose canonical JSON is
+byte-identical for the same seed -- the property the chaos-determinism
+tests pin.  All generators emit *paired* events: every ``*_down`` has a
+matching ``*_up``, so running a generated schedule to completion always
+returns the network to full health (surviving capacity exactly 1.0).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.faults.schedule import (
+    HOST_UPLINK_DOWN,
+    HOST_UPLINK_UP,
+    LINK_DOWN,
+    LINK_UP,
+    PLANE_DOWN,
+    PLANE_UP,
+    SWITCH_DOWN,
+    SWITCH_UP,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.topology.graph import HOST
+
+
+def _switch_links(plane) -> List:
+    """Switch--switch links of one plane, in deterministic link order."""
+    return [
+        link
+        for link in plane.links
+        if plane.kind(link.u) != HOST and plane.kind(link.v) != HOST
+    ]
+
+
+def uniform_link_flaps(
+    pnet,
+    rng: random.Random,
+    n_flaps: int,
+    duration: float,
+    mean_outage: float,
+    switch_only: bool = True,
+) -> FaultSchedule:
+    """``n_flaps`` independent link flaps, uniform in space and time.
+
+    Each flap picks a (plane, link) uniformly at random, goes down at a
+    time uniform in ``[0, duration)``, and comes back after an
+    exponential outage with the given mean (the classic repairable-
+    component model).  ``switch_only`` keeps host uplinks out of the
+    draw (the paper's Fig 14 setting).
+    """
+    if n_flaps < 0:
+        raise ValueError(f"n_flaps must be >= 0, got {n_flaps}")
+    if duration <= 0 or mean_outage <= 0:
+        raise ValueError("duration and mean_outage must be > 0")
+    eligible = [
+        (plane_idx, link)
+        for plane_idx, plane in enumerate(pnet.planes)
+        for link in (
+            _switch_links(plane) if switch_only else plane.links
+        )
+    ]
+    if not eligible:
+        raise ValueError("no eligible links to flap")
+    events: List[FaultEvent] = []
+    for __ in range(n_flaps):
+        plane_idx, link = eligible[rng.randrange(len(eligible))]
+        start = rng.uniform(0.0, duration)
+        outage = rng.expovariate(1.0 / mean_outage)
+        events.append(FaultEvent(
+            at=start, kind=LINK_DOWN, plane=plane_idx, u=link.u, v=link.v,
+        ))
+        events.append(FaultEvent(
+            at=start + outage, kind=LINK_UP, plane=plane_idx,
+            u=link.u, v=link.v,
+        ))
+    return FaultSchedule(events)
+
+
+def plane_outage(
+    pnet,
+    rng: random.Random,
+    at: float,
+    outage: float,
+    plane: Optional[int] = None,
+) -> FaultSchedule:
+    """One whole dataplane down at ``at``, restored ``outage`` later.
+
+    The paper's graceful-degradation scenario: N-1 planes keep carrying
+    traffic.  ``plane`` pins the victim; otherwise the RNG picks one.
+    """
+    if outage <= 0:
+        raise ValueError(f"outage must be > 0, got {outage}")
+    if plane is None:
+        plane = rng.randrange(pnet.n_planes)
+    return FaultSchedule([
+        FaultEvent(at=at, kind=PLANE_DOWN, plane=plane),
+        FaultEvent(at=at + outage, kind=PLANE_UP, plane=plane),
+    ])
+
+
+def correlated_switch_failure(
+    pnet,
+    rng: random.Random,
+    n_switches: int,
+    at: float,
+    outage: float,
+    plane: Optional[int] = None,
+) -> FaultSchedule:
+    """``n_switches`` switches of one plane fail together (shared cause).
+
+    Models a rack PDU / firmware-push blast radius: the victims drop at
+    the same instant in the same plane and recover together.
+    """
+    if n_switches < 1:
+        raise ValueError(f"n_switches must be >= 1, got {n_switches}")
+    if outage <= 0:
+        raise ValueError(f"outage must be > 0, got {outage}")
+    if plane is None:
+        plane = rng.randrange(pnet.n_planes)
+    switches = pnet.planes[plane].switches
+    if n_switches > len(switches):
+        raise ValueError(
+            f"plane {plane} has {len(switches)} switches, asked for "
+            f"{n_switches}"
+        )
+    victims = rng.sample(switches, n_switches)
+    events = [
+        FaultEvent(at=at, kind=SWITCH_DOWN, plane=plane, node=node)
+        for node in victims
+    ]
+    events += [
+        FaultEvent(at=at + outage, kind=SWITCH_UP, plane=plane, node=node)
+        for node in victims
+    ]
+    return FaultSchedule(events)
+
+
+def host_uplink_flaps(
+    pnet,
+    rng: random.Random,
+    n_flaps: int,
+    duration: float,
+    mean_outage: float,
+) -> FaultSchedule:
+    """Host-uplink flaps: a host's NIC channel to one plane drops.
+
+    Exercises the NIC-visible failure-detection path (paper section
+    3.4): the host stops using the plane and fails over to the others.
+    """
+    if n_flaps < 0:
+        raise ValueError(f"n_flaps must be >= 0, got {n_flaps}")
+    if duration <= 0 or mean_outage <= 0:
+        raise ValueError("duration and mean_outage must be > 0")
+    hosts = pnet.hosts
+    events: List[FaultEvent] = []
+    for __ in range(n_flaps):
+        plane_idx = rng.randrange(pnet.n_planes)
+        host = hosts[rng.randrange(len(hosts))]
+        start = rng.uniform(0.0, duration)
+        outage = rng.expovariate(1.0 / mean_outage)
+        events.append(FaultEvent(
+            at=start, kind=HOST_UPLINK_DOWN, plane=plane_idx, host=host,
+        ))
+        events.append(FaultEvent(
+            at=start + outage, kind=HOST_UPLINK_UP, plane=plane_idx,
+            host=host,
+        ))
+    return FaultSchedule(events)

@@ -1,0 +1,397 @@
+"""Deterministic fault injection for both simulators.
+
+:class:`FaultInjector` executes a :class:`~repro.faults.schedule.
+FaultSchedule` against a :class:`~repro.sim.network.PacketNetwork` (via
+its event loop) or a :class:`~repro.fluid.flowsim.FluidSimulator` (via
+its timestep hooks), keeping three layers consistent on every event:
+
+1. **Topology** -- element events expand to link sets (a switch fails
+   all its incident links; a plane fails every link it has) applied
+   through per-link reference counts, so overlapping events compose:
+   a link downed by both a switch event and a plane event only comes
+   back when both restore.
+2. **Routing** -- failures repair the :class:`~repro.core.pnet.PNet`
+   caches incrementally (only paths over dead elements are touched;
+   survivors keep their exact rank) and registered
+   :class:`~repro.routing.tables.ForwardingTable` s reinstall only
+   affected destinations; restores invalidate the plane (paths may
+   shorten).  Policies with private memos are invalidated through
+   their ``invalidate()`` hook.
+3. **Flows** -- after a detection delay, flows with subflows on dead
+   paths are resteered (packet sim: abort + relaunch the un-ACKed
+   remainder; fluid sim: migrate) using the configured selector --
+   typically a :class:`~repro.core.failures.FailureAwareSelector` --
+   or stranded (aborted and counted) when fully partitioned.  On
+   restore, flows are optionally rebalanced back onto recovered paths.
+
+Everything is driven by simulated time and deterministic iteration
+order, so a (seed, schedule) pair replays byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.failures import path_is_live
+from repro.core.flowspec import FlowSpec
+from repro.core.pnet import PlanePath, PNet
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.fluid.flowsim import FluidSimulator
+from repro.obs import get_registry
+from repro.routing.tables import ForwardingTable
+from repro.sim.network import PacketNetwork
+from repro.topology.graph import link_key
+
+#: Default failure-detection delay (link-status propagation to hosts).
+DEFAULT_DETECTION_DELAY = 1e-3
+
+
+def surviving_capacity(planes) -> float:
+    """Fraction of total link capacity currently live, across planes.
+
+    Exactly 1.0 when nothing is failed (the restore-all invariant the
+    property tests pin).
+    """
+    total = sum(l.capacity for p in planes for l in p.links)
+    live = sum(l.capacity for p in planes for l in p.live_links)
+    return live / total if total else 1.0
+
+
+@dataclass
+class InjectionStats:
+    """Plain-counter mirror of the injector's obs metrics."""
+
+    events_applied: int = 0
+    links_failed: int = 0
+    links_restored: int = 0
+    flows_resteered: int = 0
+    flows_stranded: int = 0
+    routes_kept: int = 0
+    routes_repaired: int = 0
+    routes_reenumerated: int = 0
+
+
+class FaultInjector:
+    """Execute a fault schedule against a network + simulator pair.
+
+    Args:
+        pnet: the routing view; must wrap the *same* Topology objects
+            the simulator runs over (``PacketNetwork(pnet.planes)`` /
+            ``FluidSimulator(pnet.planes)``).
+        schedule: validated against ``pnet`` at construction.
+        selector: path re-selection for resteered flows -- anything with
+            ``select(src, dst, flow_id) -> List[PlanePath]`` (use a
+            :class:`~repro.core.failures.FailureAwareSelector`).  With
+            no selector, resteering keeps a flow's surviving paths and
+            falls back to any live plane's shortest path.
+        obs: telemetry registry (defaults to the process-wide one).
+        detection_delay: simulated seconds between an event and the
+            hosts reacting to it; also the floor of every reroute-
+            latency observation.
+        rebalance_on_restore: after an ``*_up`` event, re-run the
+            selector for every active flow and move flows whose
+            selection changed (models MPTCP re-probing recovered
+            planes).  Requires a selector.
+        on_event: ``fn(event, changed_links)`` called after each event
+            is applied (tests hook invariants here).
+    """
+
+    def __init__(
+        self,
+        pnet: PNet,
+        schedule: FaultSchedule,
+        selector=None,
+        obs=None,
+        detection_delay: float = DEFAULT_DETECTION_DELAY,
+        rebalance_on_restore: bool = True,
+        on_event: Optional[Callable[[FaultEvent, List[Tuple[str, str]]], None]] = None,
+    ):
+        if detection_delay < 0:
+            raise ValueError(
+                f"detection_delay must be >= 0, got {detection_delay}"
+            )
+        schedule.validate(pnet)
+        self.pnet = pnet
+        self.schedule = schedule
+        self.selector = selector
+        self.obs = obs if obs is not None else get_registry()
+        self.detection_delay = detection_delay
+        self.rebalance_on_restore = rebalance_on_restore
+        self.on_event = on_event
+        self.stats = InjectionStats()
+        self._network = None
+        self._tables: List[Tuple[int, ForwardingTable]] = []
+        #: Per (plane, link-key) count of down-events currently holding
+        #: the link failed.
+        self._down_count = {}
+
+    # --- wiring -------------------------------------------------------------
+
+    def register_table(self, plane_idx: int, table: ForwardingTable) -> None:
+        """Keep a per-plane forwarding table repaired across events."""
+        self._tables.append((plane_idx, table))
+
+    def attach(self, network) -> None:
+        """Schedule every event on the simulator's clock.
+
+        Call once, before ``run()``; accepts a :class:`PacketNetwork`
+        or a :class:`FluidSimulator` built over ``pnet.planes``.
+        """
+        if self._network is not None:
+            raise RuntimeError("injector is already attached")
+        if isinstance(network, PacketNetwork):
+            schedule_at = network.loop.schedule_at
+        elif isinstance(network, FluidSimulator):
+            schedule_at = network.schedule
+        else:
+            raise TypeError(
+                f"cannot attach to {type(network).__name__}; expected "
+                "PacketNetwork or FluidSimulator"
+            )
+        for plane, sim_plane in zip(self.pnet.planes, network.planes):
+            if plane is not sim_plane:
+                raise ValueError(
+                    "simulator planes are not the PNet's Topology objects; "
+                    "build the simulator over pnet.planes"
+                )
+        self._network = network
+        self._publish_gauges()
+        for event in self.schedule:
+            schedule_at(event.at, lambda e=event: self._apply(e))
+
+    def apply_all(self) -> InjectionStats:
+        """Apply the whole schedule directly to the topologies.
+
+        The simulator-free mode: no flows exist, so only the topology
+        and routing layers move.  Useful for routing-repair studies and
+        schedule debugging.
+        """
+        if self._network is not None:
+            raise RuntimeError("already attached to a simulator")
+        for event in self.schedule:
+            self._apply(event)
+        return self.stats
+
+    # --- event application --------------------------------------------------
+
+    def _event_links(self, event: FaultEvent) -> List[Tuple[str, str]]:
+        """The undirected link keys an event targets, in stable order."""
+        plane = self.pnet.planes[event.plane]
+        if event.u is not None:
+            return [link_key(event.u, event.v)]
+        if event.node is not None:
+            return [
+                l.key for l in plane.incident_links(event.node, live_only=False)
+            ]
+        if event.host is not None:
+            return [
+                l.key for l in plane.incident_links(event.host, live_only=False)
+            ]
+        return [l.key for l in plane.links]
+
+    def _fail(self, plane_idx: int, u: str, v: str) -> None:
+        if self._network is None:
+            self.pnet.planes[plane_idx].fail_link(u, v)
+        else:
+            self._network.fail_link(plane_idx, u, v)
+
+    def _restore(self, plane_idx: int, u: str, v: str) -> None:
+        if self._network is None:
+            self.pnet.planes[plane_idx].restore_link(u, v)
+        else:
+            self._network.restore_link(plane_idx, u, v)
+
+    def _invalidate_policies(self) -> None:
+        invalidate = getattr(self.selector, "invalidate", None)
+        if invalidate is not None:
+            invalidate()
+
+    def _apply(self, event: FaultEvent) -> None:
+        obs = self.obs
+        plane_idx = event.plane
+        changed: List[Tuple[str, str]] = []
+        if event.is_down:
+            for key in self._event_links(event):
+                count = self._down_count.get((plane_idx, key), 0)
+                self._down_count[(plane_idx, key)] = count + 1
+                if count == 0:
+                    self._fail(plane_idx, *key)
+                    changed.append(key)
+            self.stats.links_failed += len(changed)
+            repair = self.pnet.repair_after_failure(plane_idx, changed)
+            self.stats.routes_kept += repair.kept
+            self.stats.routes_repaired += repair.repaired
+            self.stats.routes_reenumerated += repair.reenumerated
+            for table_plane, table in self._tables:
+                if table_plane == plane_idx:
+                    table.repair(changed)
+            if obs.enabled:
+                obs.counter("faults.routes.repaired").inc(repair.repaired)
+                obs.counter("faults.routes.reenumerated").inc(
+                    repair.reenumerated
+                )
+        else:
+            for key in self._event_links(event):
+                count = self._down_count.get((plane_idx, key), 0)
+                if count == 0:
+                    continue  # not held down by this injector
+                self._down_count[(plane_idx, key)] = count - 1
+                if count == 1:
+                    self._restore(plane_idx, *key)
+                    changed.append(key)
+            self.stats.links_restored += len(changed)
+            if changed:
+                # Restores can shorten paths: survivors of a filter would
+                # be mis-ranked, so the plane's caches start over.
+                self.pnet.invalidate_plane(plane_idx)
+                for table_plane, table in self._tables:
+                    if table_plane == plane_idx:
+                        table.reinstall_all()
+        self._invalidate_policies()
+        self.stats.events_applied += 1
+
+        if obs.enabled:
+            obs.counter("faults.events", kind=event.kind).inc()
+            self._publish_gauges()
+            obs.trace(
+                "fault.event", self._now(), event=event.kind,
+                plane=plane_idx, changed_links=len(changed),
+            )
+        if self._network is not None and changed:
+            self._schedule_reaction(event)
+        if self.on_event is not None:
+            self.on_event(event, changed)
+
+    def _now(self) -> float:
+        net = self._network
+        if net is None:
+            return 0.0
+        return net.loop.now if isinstance(net, PacketNetwork) else net.now
+
+    def _publish_gauges(self) -> None:
+        obs = self.obs
+        if not obs.enabled:
+            return
+        obs.gauge("faults.surviving_capacity").set(
+            surviving_capacity(self.pnet.planes)
+        )
+        for idx, plane in enumerate(self.pnet.planes):
+            obs.gauge("faults.plane.live_links", plane=idx).set(
+                len(plane.live_links)
+            )
+
+    # --- host reaction: resteer / rebalance ----------------------------------
+
+    def _schedule_reaction(self, event: FaultEvent) -> None:
+        net = self._network
+        rebalance = not event.is_down
+        if rebalance and not (
+            self.rebalance_on_restore and self.selector is not None
+        ):
+            return
+        t_event = self._now()
+        when = t_event + self.detection_delay
+
+        def react() -> None:
+            self._react(t_event, rebalance)
+
+        if isinstance(net, PacketNetwork):
+            net.loop.schedule_at(when, react)
+        else:
+            net.schedule(when, react)
+
+    def _pick_paths(
+        self, src: str, dst: str, flow_id: int, live: Sequence[PlanePath]
+    ) -> List[PlanePath]:
+        if self.selector is not None:
+            return [
+                pp
+                for pp in self.selector.select(src, dst, flow_id)
+                if path_is_live(self.pnet, pp)
+            ]
+        if live:
+            return list(live)
+        for plane_idx in self.pnet.live_planes(src, dst):
+            options = self.pnet.shortest_paths(plane_idx, src, dst)
+            if options:
+                return [(plane_idx, options[0])]
+        return []
+
+    def _react(self, t_event: float, rebalance: bool) -> None:
+        net = self._network
+        if isinstance(net, PacketNetwork):
+            self._react_packet(net, t_event, rebalance)
+        else:
+            self._react_fluid(net, t_event, rebalance)
+
+    def _observe_reroute(self, latency: float) -> None:
+        self.stats.flows_resteered += 1
+        if self.obs.enabled:
+            self.obs.counter("faults.flows_resteered").inc()
+            self.obs.histogram("faults.reroute_seconds").observe(latency)
+
+    def _strand(self) -> None:
+        self.stats.flows_stranded += 1
+        if self.obs.enabled:
+            self.obs.counter("faults.flows_stranded").inc()
+
+    def _react_packet(
+        self, net: PacketNetwork, t_event: float, rebalance: bool
+    ) -> None:
+        now = net.loop.now
+        for flow_id, source, spec in net.active_flows():
+            if getattr(source, "completed", False):
+                continue
+            live = [pp for pp in spec.paths if path_is_live(self.pnet, pp)]
+            if len(live) == len(spec.paths):
+                if not rebalance:
+                    continue
+                new_paths = self._pick_paths(spec.src, spec.dst, flow_id, live)
+                if not new_paths or _same_paths(new_paths, spec.paths):
+                    continue
+            else:
+                new_paths = self._pick_paths(spec.src, spec.dst, flow_id, live)
+            acked = getattr(source, "acked_bytes", None)
+            if acked is None:
+                acked = source.snd_una
+            remaining = max(int(spec.size) - int(acked), 0)
+            net.abort_flow(flow_id)
+            if not new_paths:
+                self._strand()
+                continue
+            if spec.transport == "dctcp" and len(new_paths) > 1:
+                new_paths = new_paths[:1]
+            net.add_flow(spec=FlowSpec(
+                src=spec.src, dst=spec.dst, size=remaining,
+                paths=new_paths, at=now, tag=spec.tag,
+                transport=spec.transport, on_complete=spec.on_complete,
+            ))
+            self._observe_reroute(now - t_event)
+
+    def _react_fluid(
+        self, sim: FluidSimulator, t_event: float, rebalance: bool
+    ) -> None:
+        now = sim.now
+        for flow_id, src, dst, paths in sim.active_flow_paths():
+            live = [pp for pp in paths if path_is_live(self.pnet, pp)]
+            if len(live) == len(paths):
+                if not rebalance:
+                    continue
+                new_paths = self._pick_paths(src, dst, flow_id, live)
+                if not new_paths or _same_paths(new_paths, paths):
+                    continue
+            else:
+                new_paths = self._pick_paths(src, dst, flow_id, live)
+            if not new_paths:
+                sim.abort_flow(flow_id)
+                self._strand()
+                continue
+            if sim.migrate_flow(flow_id, new_paths):
+                self._observe_reroute(now - t_event)
+
+
+def _same_paths(a: Sequence[PlanePath], b: Sequence[PlanePath]) -> bool:
+    """Whether two selections name the same (plane, path) sets."""
+    canon = lambda paths: sorted((plane, tuple(p)) for plane, p in paths)
+    return canon(a) == canon(b)

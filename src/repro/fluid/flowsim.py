@@ -81,10 +81,11 @@ class _Flow:
     __slots__ = (
         "flow_id", "src", "dst", "size", "size_bits", "arrival",
         "delivered", "subflows", "on_complete", "tag", "min_rtt", "planes",
+        "paths",
     )
 
     def __init__(self, flow_id, src, dst, size, arrival, subflows,
-                 on_complete, tag, planes=()):
+                 on_complete, tag, planes=(), paths=()):
         self.flow_id = flow_id
         self.src = src
         self.dst = dst
@@ -96,6 +97,7 @@ class _Flow:
         self.on_complete = on_complete
         self.tag = tag
         self.planes = planes
+        self.paths = list(paths)
         self.min_rtt = min(sf.rtt for sf in subflows)
 
     @property
@@ -149,6 +151,9 @@ class FluidSimulator:
                     props.append(link.propagation)
         self._capacities = np.asarray(caps)
         self._propagations = props
+        #: Directed links failed mid-run (capacity zeroed, refused for
+        #: new subflows); see :meth:`fail_link` / :meth:`restore_link`.
+        self._dead: set = set()
 
         self.now = 0.0
         self._active: List[_Flow] = []
@@ -173,6 +178,10 @@ class FluidSimulator:
                 raise ValueError(
                     f"{u}->{v} is not a live link of plane {plane_idx}"
                 ) from None
+            if (plane_idx, u, v) in self._dead:
+                raise ValueError(
+                    f"{u}->{v} is not a live link of plane {plane_idx}"
+                )
             links.append(idx)
             cap = self._capacities[idx]
             line_rate = min(line_rate, cap)
@@ -245,7 +254,8 @@ class FluidSimulator:
             subflows.append(_Subflow(links, rtt, line_rate))
         flow_id = next(self._ids)
         flow = _Flow(flow_id, spec.src, spec.dst, float(spec.size), start,
-                     subflows, spec.on_complete, spec.tag, spec.planes)
+                     subflows, spec.on_complete, spec.tag, spec.planes,
+                     paths=spec.paths)
         heapq.heappush(self._arrivals, (start, next(self._seq), flow))
         return flow_id
 
@@ -266,6 +276,27 @@ class FluidSimulator:
         return [
             (f.flow_id, f.src, f.dst, f.rate) for f in self._active
         ]
+
+    def active_flow_paths(self) -> List[Tuple[int, str, str, List[PlanePath]]]:
+        """(flow_id, src, dst, subflow paths) of in-flight flows.
+
+        The path view fault injection needs: which flows traverse a
+        just-failed element (and must be migrated or aborted).
+        """
+        return [
+            (f.flow_id, f.src, f.dst, list(f.paths)) for f in self._active
+        ]
+
+    def aggregate_rate(self) -> float:
+        """Total delivery rate of all active flows, bits/s."""
+        return sum(f.rate for f in self._active)
+
+    @property
+    def delivered_bytes(self) -> float:
+        """Bytes delivered so far: completed flows plus in-flight progress."""
+        total = sum(r.size for r in self.records)
+        total += sum(f.delivered for f in self._active) / 8.0
+        return float(total)
 
     def flow_rate(self, flow_id: int) -> Optional[float]:
         for flow in self._active:
@@ -328,10 +359,55 @@ class FluidSimulator:
                 for sf in subflows:
                     sf.rate = old_rate / len(subflows)
                 flow.subflows = subflows
+                flow.paths = list(paths)
+                flow.planes = tuple(plane for plane, __ in paths)
                 flow.min_rtt = min(sf.rtt for sf in subflows)
                 self._start_ramp(flow)
                 return True
         return False
+
+    def abort_flow(self, flow_id: int) -> bool:
+        """Drop an active flow without completing it (no record).
+
+        Fault injection's last resort when a flow's endpoints are fully
+        partitioned: a stalled zero-rate flow would otherwise deadlock
+        the engine.  Returns False if the flow is not active.
+        """
+        for flow in self._active:
+            if flow.flow_id == flow_id:
+                self._active.remove(flow)
+                return True
+        return False
+
+    # --- mid-run failures ---------------------------------------------------
+
+    def fail_link(self, plane_idx: int, u: str, v: str) -> None:
+        """Cut a link during the simulation (both directions).
+
+        The topology is marked failed, the directed capacities drop to
+        zero (max-min pins subflows crossing them at rate 0), and new
+        subflows over the link are rejected.  Callers must migrate or
+        abort the affected flows -- :class:`repro.faults.FaultInjector`
+        does both -- or the engine will report a stall once no other
+        event is pending.
+        """
+        self.planes[plane_idx].fail_link(u, v)
+        for a, b in ((u, v), (v, u)):
+            idx = self._link_index.get((plane_idx, a, b))
+            if idx is not None:
+                self._capacities[idx] = 0.0
+                self._dead.add((plane_idx, a, b))
+
+    def restore_link(self, plane_idx: int, u: str, v: str) -> None:
+        """Undo :meth:`fail_link`: capacity returns, new subflows accepted."""
+        plane = self.planes[plane_idx]
+        plane.restore_link(u, v)
+        capacity = plane.link(u, v).capacity
+        for a, b in ((u, v), (v, u)):
+            idx = self._link_index.get((plane_idx, a, b))
+            if idx is not None:
+                self._capacities[idx] = capacity
+                self._dead.discard((plane_idx, a, b))
 
     # --- engine --------------------------------------------------------------
 
@@ -455,6 +531,11 @@ class FluidSimulator:
                     "and no pending events"
                 )
             if until is not None and t_next > until:
+                # Credit in-flight progress up to the horizon before
+                # stopping, so delivered_bytes is exact at ``until``.
+                dt = max(until - self.now, 0.0)
+                for flow in self._active:
+                    flow.delivered += flow.rate * dt
                 self.now = until
                 break
             dt = max(t_next - self.now, 0.0)

@@ -128,6 +128,17 @@ class MptcpSource:
     def completed(self) -> bool:
         return self._completed
 
+    def abort(self) -> None:
+        """Abort every subflow; no completion callback fires.
+
+        Mirrors :meth:`TcpSource.abort` for app-level (or fault-injected)
+        fail-over: the caller re-launches the un-ACKed remainder as a new
+        flow on live paths.
+        """
+        self._completed = True
+        for subflow in self.subflows:
+            subflow.abort()
+
     @property
     def acked_bytes(self) -> int:
         return sum(sf.snd_una for sf in self.subflows)

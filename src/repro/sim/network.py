@@ -95,6 +95,12 @@ class PacketNetwork:
         self._elements: Dict[Tuple[int, str, str], Tuple[Queue, Pipe]] = {}
         self._flow_ids = itertools.count()
         self.records: List[SimFlowRecord] = []
+        #: In-flight flows by id -- (source, spec) -- so fault injection
+        #: can find flows pinned to a failed element and resteer them.
+        self._active: Dict[int, Tuple[object, FlowSpec]] = {}
+        #: Bytes that were ACKed on flows later aborted (fail-over keeps
+        #: that progress: only the remainder is relaunched).
+        self._aborted_acked = 0.0
 
     # --- element plumbing ------------------------------------------------
 
@@ -212,6 +218,7 @@ class PacketNetwork:
                 planes=planes,
             )
             self.records.append(record)
+            self._active.pop(flow_id, None)
             if obs is not None:
                 # Even byte split across planes -- the same attribution
                 # NetworkMonitor.record_flow applies, so the two views
@@ -259,8 +266,44 @@ class PacketNetwork:
             for subflow, plane_path in zip(source.subflows, paths):
                 self._wire(subflow, plane_path)
 
+        self._active[flow_id] = (source, spec)
         self.loop.schedule_at(at, source.start)
         return source
+
+    # --- in-flight flow inspection ---------------------------------------
+
+    def active_flows(self) -> List[Tuple[int, object, FlowSpec]]:
+        """(flow_id, source, spec) of flows launched but not completed."""
+        return [
+            (flow_id, source, spec)
+            for flow_id, (source, spec) in sorted(self._active.items())
+        ]
+
+    def abort_flow(self, flow_id: int) -> bool:
+        """Abort an in-flight flow (no record, no completion callback).
+
+        Returns False when the flow already completed or is unknown.
+        Used by fault injection to tear a flow off a dead path before
+        relaunching its remaining bytes elsewhere.
+        """
+        entry = self._active.pop(flow_id, None)
+        if entry is None:
+            return False
+        source = entry[0]
+        acked = getattr(source, "acked_bytes", None)
+        self._aborted_acked += source.snd_una if acked is None else acked
+        source.abort()
+        return True
+
+    @property
+    def delivered_bytes(self) -> float:
+        """Bytes ACKed so far: completed and aborted flows plus
+        in-flight progress."""
+        total = float(sum(r.size for r in self.records)) + self._aborted_acked
+        for source, __ in self._active.values():
+            acked = getattr(source, "acked_bytes", None)
+            total += source.snd_una if acked is None else acked
+        return total
 
     def _wire(self, tcp_source: TcpSource, plane_path: PlanePath) -> None:
         plane_idx, path = plane_path

@@ -173,6 +173,13 @@ class Topology:
             if link.key not in self._failed:
                 yield link
 
+    def incident_links(self, node: str, live_only: bool = True) -> Iterator[Link]:
+        """Links incident to ``node``; ``live_only=False`` includes failed
+        ones (fault injection needs the full set when failing a switch)."""
+        for link in self._adj[node].values():
+            if not live_only or link.key not in self._failed:
+                yield link
+
     def tor_of(self, host: str) -> str:
         """The ToR switch a host is attached to (hosts have exactly one)."""
         if self._kind[host] != HOST:

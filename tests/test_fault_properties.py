@@ -1,0 +1,126 @@
+"""Property-based fault-injection tests (seeded stdlib ``random``).
+
+Random-but-replayable chaos schedules are run against both simulators
+and four invariants are checked:
+
+1. delivered bytes never exceed injected bytes,
+2. per-link utilisation never exceeds link capacity,
+3. no active flow's path traverses a currently-failed element
+   (checked at sample times after the zero-delay reaction),
+4. replaying a *paired* schedule to completion returns surviving
+   capacity to exactly 1.0 (no drift, no leaked refcounts).
+"""
+
+import random
+
+import pytest
+
+from repro.core.failures import FailureAwareSelector, path_is_live
+from repro.core.flowspec import FlowSpec
+from repro.core.path_selection import KspMultipathPolicy
+from repro.core.pnet import PNet
+from repro.faults import FaultInjector, surviving_capacity, uniform_link_flaps
+from repro.fluid.flowsim import FluidSimulator
+from repro.obs import Registry
+from repro.sim.network import PacketNetwork
+from repro.topology import ParallelTopology, build_jellyfish
+from repro.units import MB
+
+from tests.test_faults_schedule import make_pnet
+
+
+def jelly_pnet(n_planes=2):
+    return PNet(
+        ParallelTopology.heterogeneous(
+            lambda s: build_jellyfish(8, 4, 2, seed=s), n_planes
+        )
+    )
+
+
+@pytest.mark.parametrize("chaos_seed", [1, 2, 3])
+def test_fluid_invariants_under_link_flaps(chaos_seed):
+    pnet = jelly_pnet()
+    schedule = uniform_link_flaps(
+        pnet, random.Random(chaos_seed), n_flaps=6, duration=0.3,
+        mean_outage=0.05,
+    )
+    selector = FailureAwareSelector(KspMultipathPolicy(pnet, k=2, seed=0))
+    sim = FluidSimulator(pnet.planes, slow_start=False)
+    injector = FaultInjector(
+        pnet, schedule, selector=selector, obs=Registry(), detection_delay=0.0
+    )
+    injector.attach(sim)
+
+    rng = random.Random(1000 + chaos_seed)
+    hosts = pnet.hosts
+    injected = 0.0
+    for flow_id in range(12):
+        src, dst = rng.sample(hosts, 2)
+        size = 1e13
+        sim.add_flow(spec=FlowSpec(
+            src=src, dst=dst, size=size,
+            paths=selector.select(src, dst, flow_id),
+        ))
+        injected += size
+
+    until = schedule.duration + 0.05
+    violations = []
+
+    def check():
+        # Invariant 2: max-min rates respect (possibly zeroed) capacities.
+        usage = sim.link_usage()
+        over = usage > sim._capacities * (1 + 1e-9) + 1e-3
+        if over.any():
+            violations.append((sim.now, "capacity", usage[over].tolist()))
+        # Invariant 3: reactions have pulled flows off dead elements.
+        for flow_id, __, __, paths in sim.active_flow_paths():
+            for pp in paths:
+                if not path_is_live(pnet, pp):
+                    violations.append((sim.now, "dead-path", flow_id, pp))
+        if sim.now + 0.02 < until:
+            sim.schedule(sim.now + 0.02, check)
+
+    # Offset keeps checks off the (continuous-random) event instants.
+    sim.schedule(0.013, check)
+    sim.run(until=until)
+
+    assert violations == []
+    # Invariant 1: conservation.
+    assert sim.delivered_bytes <= injected
+    # Invariant 4: every down was paired with an up -- exact full health.
+    assert surviving_capacity(pnet.planes) == 1.0
+    assert injector.stats.links_failed == injector.stats.links_restored
+
+
+@pytest.mark.parametrize("chaos_seed", [5, 6])
+def test_packet_invariants_under_link_flaps(chaos_seed):
+    pnet = make_pnet()  # 2-plane two-path: small enough for packet events
+    schedule = uniform_link_flaps(
+        pnet, random.Random(chaos_seed), n_flaps=4, duration=0.05,
+        mean_outage=0.02,
+    )
+    net = PacketNetwork(pnet.planes)
+    injector = FaultInjector(pnet, schedule, obs=Registry())
+    injector.attach(net)
+
+    injected = 0
+    for flow_id in range(4):
+        src, dst = ("h0", "h1") if flow_id % 2 == 0 else ("h1", "h0")
+        size = int(2 * MB)
+        paths = [
+            (0, [src, "t0" if src == "h0" else "t1", "a",
+                 "t1" if src == "h0" else "t0", dst]),
+            (1, [src, "t0" if src == "h0" else "t1", "b",
+                 "t1" if src == "h0" else "t0", dst]),
+        ]
+        net.add_flow(spec=FlowSpec(src=src, dst=dst, size=size, paths=paths))
+        injected += size
+
+    net.run(until=max(schedule.duration + 0.05, 1.0))
+
+    # Invariant 1: ACKed bytes (completed + aborted + in flight) never
+    # exceed what the applications injected, across any resteer chain.
+    assert net.delivered_bytes <= injected
+    # Invariant 4: paired schedule -> exact full health at the end.
+    assert surviving_capacity(pnet.planes) == 1.0
+    assert injector.stats.links_failed == injector.stats.links_restored

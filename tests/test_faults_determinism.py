@@ -1,0 +1,94 @@
+"""Chaos determinism: the same ``--chaos-seed`` replays byte-for-byte.
+
+Two guarantees are pinned:
+
+* schedule generation is pure in (topology, seed) -- the canonical JSON
+  is byte-identical across fresh networks and matches a committed
+  golden fixture, so a seed quoted in a paper or bug report names one
+  exact fault sequence forever;
+* the degradation experiment built on top is itself deterministic,
+  including across worker counts (``PNET_JOBS=1`` vs ``4`` with
+  separate fresh caches), compared pickled, i.e. byte-identical.
+"""
+
+import pathlib
+import pickle
+import random
+
+from repro.exp import degradation
+from repro.faults import plane_outage, uniform_link_flaps
+from repro.topology import ParallelTopology, build_fat_tree
+from repro.core.pnet import PNet
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "faults_schedule.json"
+CHAOS_SEED = 7
+
+
+def fat_tree_pnet():
+    return PNet(ParallelTopology.homogeneous(lambda: build_fat_tree(4), 2))
+
+
+def golden_schedule(pnet):
+    """The fixture scenario: link flaps merged with a plane outage."""
+    rng = random.Random(CHAOS_SEED)
+    flaps = uniform_link_flaps(
+        pnet, rng, n_flaps=4, duration=0.5, mean_outage=0.1
+    )
+    return flaps.merged(plane_outage(pnet, rng, at=0.2, outage=0.2))
+
+
+class TestScheduleDeterminism:
+    def test_byte_identical_across_fresh_networks(self):
+        dumps = [golden_schedule(fat_tree_pnet()).dumps() for __ in range(2)]
+        assert dumps[0] == dumps[1]
+
+    def test_matches_golden_fixture(self, update_golden):
+        text = golden_schedule(fat_tree_pnet()).dumps()
+        if update_golden:
+            GOLDEN.parent.mkdir(exist_ok=True)
+            GOLDEN.write_text(text)
+            return
+        assert GOLDEN.exists(), (
+            f"missing golden fixture {GOLDEN}; generate it with "
+            f"pytest tests/test_faults_determinism.py --update-golden"
+        )
+        assert text == GOLDEN.read_text(), (
+            "chaos-seed 7 no longer reproduces the committed fault "
+            "schedule; if the generator change is intentional, rerun "
+            "with --update-golden and commit the diff"
+        )
+
+    def test_different_seed_differs(self):
+        pnet = fat_tree_pnet()
+        a = uniform_link_flaps(
+            pnet, random.Random(1), n_flaps=4, duration=0.5, mean_outage=0.1
+        )
+        b = uniform_link_flaps(
+            pnet, random.Random(2), n_flaps=4, duration=0.5, mean_outage=0.1
+        )
+        assert a.dumps() != b.dumps()
+
+
+class TestDegradationDeterminism:
+    def test_runs_identical(self):
+        a = degradation.run_faulted(
+            k=4, n_planes=2, chaos_seed=CHAOS_SEED, outage_at=0.1,
+            outage=0.2, duration=0.5, sample_period=0.05,
+        )
+        b = degradation.run_faulted(
+            k=4, n_planes=2, chaos_seed=CHAOS_SEED, outage_at=0.1,
+            outage=0.2, duration=0.5, sample_period=0.05,
+        )
+        assert pickle.dumps(a) == pickle.dumps(b)
+
+    def test_byte_identical_across_job_counts(self, tmp_path, monkeypatch):
+        blobs = []
+        for jobs in (1, 4):
+            monkeypatch.setenv(
+                "PNET_CACHE_DIR", str(tmp_path / f"cache-jobs{jobs}")
+            )
+            monkeypatch.setenv("PNET_JOBS", str(jobs))
+            blobs.append(
+                pickle.dumps(degradation.run(scale="tiny", chaos_seed=7))
+            )
+        assert blobs[0] == blobs[1]

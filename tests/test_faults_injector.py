@@ -1,0 +1,298 @@
+"""Tests for the fault injector: refcounts, routing repair, resteering."""
+
+import pytest
+
+from repro.core.failures import FailureAwareSelector, path_is_live
+from repro.core.flowspec import FlowSpec
+from repro.core.path_selection import KspMultipathPolicy
+from repro.core.pnet import PNet
+from repro.faults import (
+    LINK_DOWN,
+    LINK_UP,
+    PLANE_DOWN,
+    PLANE_UP,
+    SWITCH_DOWN,
+    SWITCH_UP,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    surviving_capacity,
+)
+from repro.fluid.flowsim import FluidSimulator
+from repro.obs import Registry
+from repro.routing.tables import ForwardingTable
+from repro.sim.network import PacketNetwork
+from repro.units import Gbps, MB
+
+from tests.test_faults_schedule import make_pnet, two_path_plane
+
+A0 = (0, ["h0", "t0", "a", "t1", "h1"])
+B0 = (0, ["h0", "t0", "b", "t1", "h1"])
+A1 = (1, ["h0", "t0", "a", "t1", "h1"])
+B1 = (1, ["h0", "t0", "b", "t1", "h1"])
+
+
+class TestApplyAll:
+    def test_overlapping_events_refcount(self):
+        """A link held down by two causes only restores when both lift."""
+        pnet = make_pnet()
+        schedule = FaultSchedule([
+            FaultEvent(at=0.0, kind=SWITCH_DOWN, plane=0, node="a"),
+            FaultEvent(at=1.0, kind=LINK_DOWN, plane=0, u="t0", v="a"),
+            FaultEvent(at=2.0, kind=SWITCH_UP, plane=0, node="a"),
+            FaultEvent(at=3.0, kind=LINK_UP, plane=0, u="t0", v="a"),
+        ])
+        seen = []
+        injector = FaultInjector(
+            pnet, schedule, obs=Registry(),
+            on_event=lambda e, changed: seen.append(
+                (e.kind, pnet.planes[0].is_failed("t0", "a"), len(changed))
+            ),
+        )
+        injector.apply_all()
+        assert seen == [
+            (SWITCH_DOWN, True, 2),   # t0-a and a-t1 both fail
+            (LINK_DOWN, True, 0),     # already down: refcount only
+            (SWITCH_UP, True, 1),     # a-t1 back; t0-a still held
+            (LINK_UP, False, 1),      # last holder released
+        ]
+        assert surviving_capacity(pnet.planes) == 1.0
+        assert injector.stats.links_failed == 2
+        assert injector.stats.links_restored == 2
+        assert injector.stats.events_applied == 4
+
+    def test_restore_without_down_is_noop(self):
+        pnet = make_pnet()
+        schedule = FaultSchedule([
+            FaultEvent(at=0.0, kind=LINK_UP, plane=0, u="t0", v="a"),
+        ])
+        injector = FaultInjector(pnet, schedule, obs=Registry())
+        stats = injector.apply_all()
+        assert stats.links_restored == 0
+        assert stats.events_applied == 1
+
+    def test_plane_events_cover_every_link(self):
+        pnet = make_pnet()
+        schedule = FaultSchedule([
+            FaultEvent(at=0.0, kind=PLANE_DOWN, plane=1),
+            FaultEvent(at=1.0, kind=PLANE_UP, plane=1),
+        ])
+        fractions = []
+        injector = FaultInjector(
+            pnet, schedule, obs=Registry(),
+            on_event=lambda *__: fractions.append(
+                surviving_capacity(pnet.planes)
+            ),
+        )
+        injector.apply_all()
+        assert fractions == [0.5, 1.0]
+        # The untouched plane never failed.
+        assert len(pnet.planes[0].live_links) == len(pnet.planes[0].links)
+
+    def test_routing_caches_repaired(self):
+        pnet = make_pnet()
+        # Warm the shortest-path cache, then kill switch a in plane 0.
+        before = pnet.shortest_paths(0, "h0", "h1")
+        assert any("a" in path for path in before)
+        schedule = FaultSchedule([
+            FaultEvent(at=0.0, kind=SWITCH_DOWN, plane=0, node="a"),
+        ])
+        FaultInjector(pnet, schedule, obs=Registry()).apply_all()
+        after = pnet.shortest_paths(0, "h0", "h1")
+        assert after and all("a" not in path for path in after)
+
+    def test_registered_table_repaired_on_failure(self):
+        pnet = make_pnet()
+        table = ForwardingTable(pnet.planes[0])
+        assert "a" in table.next_hops("t0", "h1")
+        schedule = FaultSchedule([
+            FaultEvent(at=0.0, kind=SWITCH_DOWN, plane=0, node="a"),
+            FaultEvent(at=1.0, kind=SWITCH_UP, plane=0, node="a"),
+        ])
+        states = []
+        injector = FaultInjector(
+            pnet, schedule, obs=Registry(),
+            on_event=lambda *__: states.append(table.next_hops("t0", "h1")),
+        )
+        injector.register_table(0, table)
+        injector.apply_all()
+        assert states[0] == ["b"]         # repaired around the dead switch
+        assert sorted(states[1]) == ["a", "b"]  # reinstalled after restore
+
+    def test_obs_metrics_published(self):
+        registry = Registry()
+        pnet = make_pnet()
+        schedule = FaultSchedule([
+            FaultEvent(at=0.0, kind=PLANE_DOWN, plane=0),
+            FaultEvent(at=1.0, kind=PLANE_UP, plane=0),
+        ])
+        FaultInjector(pnet, schedule, obs=registry).apply_all()
+        assert registry.value("faults.events", kind=PLANE_DOWN) == 1
+        assert registry.value("faults.events", kind=PLANE_UP) == 1
+        assert registry.value("faults.surviving_capacity") == 1.0
+        assert registry.value("faults.plane.live_links", plane=0) == len(
+            pnet.planes[0].links
+        )
+
+
+class TestConstructionAndAttach:
+    def test_negative_detection_delay_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(
+                make_pnet(), FaultSchedule([]), detection_delay=-1e-3
+            )
+
+    def test_schedule_validated_at_construction(self):
+        with pytest.raises(ValueError):
+            FaultInjector(make_pnet(), FaultSchedule([
+                FaultEvent(at=0.0, kind=PLANE_DOWN, plane=5)
+            ]))
+
+    def test_attach_rejects_foreign_planes(self):
+        pnet = make_pnet()
+        other = PacketNetwork([two_path_plane(), two_path_plane()])
+        injector = FaultInjector(pnet, FaultSchedule([]), obs=Registry())
+        with pytest.raises(ValueError):
+            injector.attach(other)
+
+    def test_attach_rejects_unknown_simulator(self):
+        injector = FaultInjector(make_pnet(), FaultSchedule([]), obs=Registry())
+        with pytest.raises(TypeError):
+            injector.attach(object())
+
+    def test_double_attach_and_late_apply_all_rejected(self):
+        pnet = make_pnet()
+        injector = FaultInjector(pnet, FaultSchedule([]), obs=Registry())
+        injector.attach(PacketNetwork(pnet.planes))
+        with pytest.raises(RuntimeError):
+            injector.attach(PacketNetwork(pnet.planes))
+        with pytest.raises(RuntimeError):
+            injector.apply_all()
+
+
+class TestPacketResteer:
+    def test_subflow_on_dead_switch_is_resteered(self):
+        pnet = make_pnet()
+        net = PacketNetwork(pnet.planes)
+        schedule = FaultSchedule([
+            FaultEvent(at=1e-3, kind=SWITCH_DOWN, plane=0, node="a"),
+        ])
+        injector = FaultInjector(pnet, schedule, obs=Registry())
+        injector.attach(net)
+        size = int(5 * MB)
+        net.add_flow(spec=FlowSpec(
+            src="h0", dst="h1", size=size, paths=[A0, A1], tag="bulk",
+        ))
+        net.run(until=1.0)
+        assert injector.stats.flows_resteered == 1
+        assert injector.stats.flows_stranded == 0
+        # The relaunched remainder completed; no ACKed byte was lost.
+        assert len(net.records) == 1
+        assert net.records[0].tag == "bulk"
+        assert net.records[0].size < size  # only the remainder relaunched
+        assert net.delivered_bytes == pytest.approx(size)
+        # Without a selector the surviving path set is kept as-is.
+        __, __, spec = net.active_flows()[0] if net.active_flows() else (
+            None, None, None,
+        )
+        assert spec is None  # nothing left in flight
+
+    def test_fully_partitioned_flow_is_stranded(self):
+        pnet = make_pnet()
+        net = PacketNetwork(pnet.planes)
+        schedule = FaultSchedule([
+            FaultEvent(at=1e-3, kind=PLANE_DOWN, plane=0),
+            FaultEvent(at=1e-3, kind=PLANE_DOWN, plane=1),
+        ])
+        injector = FaultInjector(pnet, schedule, obs=Registry())
+        injector.attach(net)
+        net.add_flow(spec=FlowSpec(
+            src="h0", dst="h1", size=int(5 * MB), paths=[A0, B1],
+        ))
+        net.run(until=0.5)
+        assert injector.stats.flows_stranded == 1
+        assert injector.stats.flows_resteered == 0
+        assert net.records == []
+        assert net.active_flows() == []
+
+    def test_reroute_latency_observed(self):
+        registry = Registry()
+        pnet = make_pnet()
+        net = PacketNetwork(pnet.planes)
+        schedule = FaultSchedule([
+            FaultEvent(at=1e-3, kind=SWITCH_DOWN, plane=0, node="a"),
+        ])
+        injector = FaultInjector(
+            pnet, schedule, obs=registry, detection_delay=2e-3
+        )
+        injector.attach(net)
+        net.add_flow(spec=FlowSpec(
+            src="h0", dst="h1", size=int(2 * MB), paths=[A0, B1],
+        ))
+        net.run(until=1.0)
+        latencies = registry.histogram("faults.reroute_seconds").values
+        assert len(latencies) == 1
+        assert latencies[0] >= 2e-3  # detection delay floors the latency
+        assert registry.value("faults.flows_resteered") == 1
+
+
+class TestFluidResteer:
+    def test_migrate_off_dead_switch(self):
+        pnet = make_pnet()
+        sim = FluidSimulator(pnet.planes, slow_start=False)
+        schedule = FaultSchedule([
+            FaultEvent(at=0.1, kind=SWITCH_DOWN, plane=0, node="a"),
+        ])
+        injector = FaultInjector(pnet, schedule, obs=Registry())
+        injector.attach(sim)
+        sim.add_flow(spec=FlowSpec(
+            src="h0", dst="h1", size=1e12, paths=[A0, A1],
+        ))
+        sim.run(until=0.2)
+        assert injector.stats.flows_resteered == 1
+        (__, __, __, paths), = sim.active_flow_paths()
+        assert all(path_is_live(pnet, pp) for pp in paths)
+
+    def test_partitioned_fluid_flow_aborted(self):
+        pnet = make_pnet()
+        sim = FluidSimulator(pnet.planes, slow_start=False)
+        schedule = FaultSchedule([
+            FaultEvent(at=0.1, kind=PLANE_DOWN, plane=0),
+            FaultEvent(at=0.1, kind=PLANE_DOWN, plane=1),
+        ])
+        injector = FaultInjector(pnet, schedule, obs=Registry())
+        injector.attach(sim)
+        sim.add_flow(spec=FlowSpec(
+            src="h0", dst="h1", size=1e12, paths=[A0, B1],
+        ))
+        sim.run(until=0.2)
+        assert injector.stats.flows_stranded == 1
+        assert sim.active_flow_paths() == []
+
+    def test_rebalance_on_restore(self):
+        """After a plane-up, flows spread back over the recovered plane."""
+        def run_one(rebalance):
+            pnet = make_pnet()
+            selector = FailureAwareSelector(
+                KspMultipathPolicy(pnet, k=2, seed=0)
+            )
+            sim = FluidSimulator(pnet.planes, slow_start=False)
+            schedule = FaultSchedule([
+                FaultEvent(at=0.1, kind=PLANE_DOWN, plane=0),
+                FaultEvent(at=0.2, kind=PLANE_UP, plane=0),
+            ])
+            injector = FaultInjector(
+                pnet, schedule, selector=selector, obs=Registry(),
+                rebalance_on_restore=rebalance,
+            )
+            injector.attach(sim)
+            sim.add_flow(spec=FlowSpec(
+                src="h0", dst="h1", size=1e15,
+                paths=selector.select("h0", "h1", 0),
+            ))
+            sim.run(until=0.3)
+            (__, __, __, paths), = sim.active_flow_paths()
+            return {plane for plane, __ in paths}
+
+        assert run_one(rebalance=True) == {0, 1}
+        assert run_one(rebalance=False) == {1}

@@ -1,0 +1,218 @@
+"""Tests for fault schedules and the chaos scenario generators."""
+
+import random
+
+import pytest
+
+from repro.core.pnet import PNet
+from repro.faults import (
+    HOST_UPLINK_DOWN,
+    LINK_DOWN,
+    LINK_UP,
+    PLANE_DOWN,
+    PLANE_UP,
+    SWITCH_DOWN,
+    FaultEvent,
+    FaultSchedule,
+    correlated_switch_failure,
+    host_uplink_flaps,
+    plane_outage,
+    uniform_link_flaps,
+)
+from repro.topology.graph import HOST, TOR, Topology
+from repro.units import Gbps
+
+
+def two_path_plane(cap=10 * Gbps):
+    """h0 -- t0 =(a|b)= t1 -- h1."""
+    topo = Topology("twopath")
+    topo.add_node("h0", HOST)
+    topo.add_node("h1", HOST)
+    for t in ("t0", "t1", "a", "b"):
+        topo.add_node(t, TOR)
+    topo.add_link("h0", "t0", cap)
+    topo.add_link("h1", "t1", cap)
+    topo.add_link("t0", "a", cap)
+    topo.add_link("a", "t1", cap)
+    topo.add_link("t0", "b", cap)
+    topo.add_link("b", "t1", cap)
+    return topo
+
+
+def make_pnet(n_planes=2, cap=10 * Gbps):
+    return PNet([two_path_plane(cap) for __ in range(n_planes)])
+
+
+class TestFaultEvent:
+    def test_required_fields_per_kind(self):
+        FaultEvent(at=0.0, kind=LINK_DOWN, plane=0, u="t0", v="a")
+        FaultEvent(at=0.0, kind=SWITCH_DOWN, plane=0, node="a")
+        FaultEvent(at=0.0, kind=PLANE_DOWN, plane=1)
+        FaultEvent(at=0.0, kind=HOST_UPLINK_DOWN, plane=0, host="h0")
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind=LINK_DOWN, plane=0, u="t0")  # missing v
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind=SWITCH_DOWN, plane=0)  # missing node
+        with pytest.raises(ValueError):
+            # Extra field the kind does not take.
+            FaultEvent(at=0.0, kind=PLANE_DOWN, plane=0, node="a")
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind="meteor_strike", plane=0)
+        with pytest.raises(ValueError):
+            FaultEvent(at=-1.0, kind=PLANE_DOWN, plane=0)
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, kind=PLANE_DOWN, plane=-1)
+
+    def test_is_down(self):
+        assert FaultEvent(at=0.0, kind=PLANE_DOWN, plane=0).is_down
+        assert not FaultEvent(at=0.0, kind=PLANE_UP, plane=0).is_down
+
+    def test_dict_round_trip(self):
+        event = FaultEvent(at=1.5, kind=LINK_DOWN, plane=1, u="t0", v="a")
+        assert FaultEvent.from_dict(event.as_dict()) == event
+        # Only the kind's own fields appear in the dict form.
+        assert set(event.as_dict()) == {"at", "kind", "plane", "u", "v"}
+
+    def test_from_dict_rejects_junk(self):
+        with pytest.raises(ValueError):
+            FaultEvent.from_dict({"at": 0, "kind": PLANE_DOWN, "plane": 0,
+                                  "severity": "bad"})
+        with pytest.raises(ValueError):
+            FaultEvent.from_dict({"kind": PLANE_DOWN, "plane": 0})
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_time_stably(self):
+        down = FaultEvent(at=1.0, kind=PLANE_DOWN, plane=0)
+        up = FaultEvent(at=1.0, kind=PLANE_UP, plane=0)
+        early = FaultEvent(at=0.5, kind=SWITCH_DOWN, plane=0, node="a")
+        schedule = FaultSchedule([down, up, early])
+        assert list(schedule) == [early, down, up]  # tie keeps input order
+        assert schedule.duration == 1.0
+        assert len(schedule) == 3
+
+    def test_merged_interleaves(self):
+        a = FaultSchedule([FaultEvent(at=2.0, kind=PLANE_DOWN, plane=0)])
+        b = FaultSchedule([FaultEvent(at=1.0, kind=PLANE_DOWN, plane=1)])
+        merged = a.merged(b)
+        assert [e.at for e in merged] == [1.0, 2.0]
+
+    def test_canonical_json_round_trip(self, tmp_path):
+        schedule = FaultSchedule([
+            FaultEvent(at=0.1, kind=LINK_DOWN, plane=0, u="t0", v="a"),
+            FaultEvent(at=0.2, kind=LINK_UP, plane=0, u="t0", v="a"),
+        ])
+        text = schedule.dumps()
+        assert FaultSchedule.loads(text) == schedule
+        assert FaultSchedule.loads(text).dumps() == text  # byte-stable
+        path = tmp_path / "schedule.json"
+        schedule.to_file(path)
+        assert FaultSchedule.from_file(path) == schedule
+
+    def test_loads_rejects_bad_documents(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.loads("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            FaultSchedule.loads('{"version": 99, "events": []}')
+
+    def test_validate_against_network(self):
+        pnet = make_pnet()
+        good = FaultSchedule([
+            FaultEvent(at=0.0, kind=LINK_DOWN, plane=0, u="t0", v="a"),
+            FaultEvent(at=0.0, kind=SWITCH_DOWN, plane=1, node="b"),
+            FaultEvent(at=0.0, kind=HOST_UPLINK_DOWN, plane=0, host="h0"),
+        ])
+        good.validate(pnet)  # does not raise
+        bad_plane = FaultSchedule([FaultEvent(at=0, kind=PLANE_DOWN, plane=9)])
+        with pytest.raises(ValueError):
+            bad_plane.validate(pnet)
+        bad_link = FaultSchedule([
+            FaultEvent(at=0, kind=LINK_DOWN, plane=0, u="t0", v="t1")
+        ])
+        with pytest.raises(ValueError):
+            bad_link.validate(pnet)
+        host_as_switch = FaultSchedule([
+            FaultEvent(at=0, kind=SWITCH_DOWN, plane=0, node="h0")
+        ])
+        with pytest.raises(ValueError):
+            host_as_switch.validate(pnet)
+        switch_as_host = FaultSchedule([
+            FaultEvent(at=0, kind=HOST_UPLINK_DOWN, plane=0, host="t0")
+        ])
+        with pytest.raises(ValueError):
+            switch_as_host.validate(pnet)
+
+
+class TestGenerators:
+    def test_uniform_link_flaps_paired_and_valid(self):
+        pnet = make_pnet()
+        schedule = uniform_link_flaps(
+            pnet, random.Random(3), n_flaps=5, duration=1.0, mean_outage=0.1
+        )
+        assert len(schedule) == 10
+        schedule.validate(pnet)
+        downs = [e for e in schedule if e.kind == LINK_DOWN]
+        ups = [e for e in schedule if e.kind == LINK_UP]
+        assert len(downs) == len(ups) == 5
+        # switch_only keeps host uplinks out of the draw.
+        for event in schedule:
+            assert "h" not in (event.u[0], event.v[0])
+
+    def test_uniform_link_flaps_deterministic(self):
+        a = uniform_link_flaps(
+            make_pnet(), random.Random(7), n_flaps=8, duration=2.0,
+            mean_outage=0.3,
+        )
+        b = uniform_link_flaps(
+            make_pnet(), random.Random(7), n_flaps=8, duration=2.0,
+            mean_outage=0.3,
+        )
+        assert a.dumps() == b.dumps()
+
+    def test_plane_outage(self):
+        pnet = make_pnet()
+        schedule = plane_outage(pnet, random.Random(0), at=1.0, outage=0.5)
+        assert [e.kind for e in schedule] == [PLANE_DOWN, PLANE_UP]
+        assert [e.at for e in schedule] == [1.0, 1.5]
+        pinned = plane_outage(
+            pnet, random.Random(0), at=0.0, outage=1.0, plane=1
+        )
+        assert all(e.plane == 1 for e in pinned)
+
+    def test_correlated_switch_failure(self):
+        pnet = make_pnet()
+        schedule = correlated_switch_failure(
+            pnet, random.Random(2), n_switches=2, at=0.5, outage=0.25
+        )
+        schedule.validate(pnet)
+        assert len(schedule) == 4
+        downs = [e for e in schedule if e.is_down]
+        assert len({e.plane for e in schedule}) == 1  # one plane
+        assert all(e.at == 0.5 for e in downs)
+        with pytest.raises(ValueError):
+            correlated_switch_failure(
+                pnet, random.Random(2), n_switches=99, at=0.0, outage=1.0
+            )
+
+    def test_host_uplink_flaps(self):
+        pnet = make_pnet()
+        schedule = host_uplink_flaps(
+            pnet, random.Random(4), n_flaps=3, duration=1.0, mean_outage=0.2
+        )
+        schedule.validate(pnet)
+        assert len(schedule) == 6
+        assert all(e.host in ("h0", "h1") for e in schedule)
+
+    def test_generator_input_validation(self):
+        pnet = make_pnet()
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            uniform_link_flaps(pnet, rng, n_flaps=-1, duration=1, mean_outage=1)
+        with pytest.raises(ValueError):
+            uniform_link_flaps(pnet, rng, n_flaps=1, duration=0, mean_outage=1)
+        with pytest.raises(ValueError):
+            plane_outage(pnet, rng, at=0.0, outage=0.0)
+        with pytest.raises(ValueError):
+            correlated_switch_failure(pnet, rng, n_switches=0, at=0, outage=1)

@@ -37,6 +37,7 @@ MODULES = (
     "fig13",
     "fig14",
     "appendix",
+    "degradation",
 )
 
 

@@ -102,6 +102,65 @@ class TestHostNic:
         with pytest.raises(ValueError):
             HostNic(pnet, "h999", NicConfig(n_planes=2, ports=1))
 
+    def test_restore_leaves_independent_failures_alone(self):
+        """The NIC only restores the uplinks *it* failed.
+
+        Regression: restore_port used to blindly restore every uplink of
+        the port's planes, resurrecting links an unrelated fault had
+        taken down.
+        """
+        pnet = make_pnet()
+        plane0 = pnet.plane(0)
+        tor = plane0.tor_of("h0")
+        plane0.fail_link("h0", tor)  # independent fault, not the NIC's
+        pnet.invalidate_routing()
+
+        nic = HostNic(pnet, "h0", NicConfig(n_planes=4, ports=2))
+        nic.fail_port(0)  # covers planes 0 and 1; plane 0 already down
+        pnet.invalidate_routing()
+        assert detect_failed_uplinks(pnet, "h0") == [0, 1]
+
+        nic.restore_port(0)
+        pnet.invalidate_routing()
+        # Plane 1 (the port's own transition) is back; plane 0 is not.
+        assert detect_failed_uplinks(pnet, "h0") == [0]
+        assert plane0.is_failed("h0", tor)
+
+    def test_fail_port_idempotent_owns_nothing_twice(self):
+        pnet = make_pnet()
+        nic = HostNic(pnet, "h0", NicConfig(n_planes=4, ports=4))
+        assert nic.fail_port(2) == [2]
+        assert nic.fail_port(2) == [2]  # second cut: no-op, same answer
+        nic.restore_port(2)
+        pnet.invalidate_routing()
+        assert detect_failed_uplinks(pnet, "h0") == []
+
+    def test_mid_run_port_flap_through_simulator(self):
+        """With ``network=``, a port flap keeps simulator state in sync.
+
+        Regression: restore_port used to touch only the topology, so the
+        packet simulator's queues stayed black-holed after the restore
+        and the flow could never finish.
+        """
+        from repro.core.flowspec import FlowSpec
+        from repro.sim.network import PacketNetwork
+        from repro.units import MB
+
+        pnet = make_pnet(n_planes=2)
+        net = PacketNetwork(pnet.planes)
+        nic = HostNic(
+            pnet, "h0", NicConfig(n_planes=2, ports=2), network=net
+        )
+        paths = [(0, pnet.shortest_paths(0, "h0", "h1")[0])]
+        net.add_flow(spec=FlowSpec(
+            src="h0", dst="h1", size=int(1 * MB), paths=paths,
+        ))
+        net.loop.schedule(1e-4, lambda: nic.fail_port(0))
+        net.loop.schedule(5e-2, lambda: nic.restore_port(0))
+        net.run(until=2.0)
+        assert len(net.records) == 1
+        assert net.records[0].retransmits > 0  # the outage really bit
+
     def test_failover_still_works_with_nic_failures(self):
         from repro.core.failures import FailureAwareSelector
         from repro.core.path_selection import EcmpPolicy
