@@ -13,6 +13,7 @@ much the cache and the process pool helped.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 import tempfile
@@ -55,3 +56,28 @@ def emit(name: str, text: str) -> None:
             pass
         raise
     print(f"\n--- {name} ---\n{text}")
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable result as ``results/<name>.json``.
+
+    Same atomic temp-file-and-rename discipline as :func:`emit`, for
+    benchmarks whose numbers feed tooling (e.g. the shard-scaling
+    record) rather than a rendered table.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=RESULTS_DIR, prefix=f".{name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, RESULTS_DIR / f"{name}.json")
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    print(f"\n--- {name} ---\n{json.dumps(payload, indent=2, sort_keys=True)}")

@@ -1,0 +1,115 @@
+"""Benchmark: plane-sharded engine wall-clock vs the serial simulator.
+
+Runs one fixed fig9-style packet trial (4-plane Jellyfish, permutation
+traffic, 4-way KSP MPTCP) serial and at 2 and 4 plane shards, and
+records the wall-clocks plus the resulting FCT deviation in
+``results/BENCH_shard.json``.  Speedup needs real cores: on the 1-CPU
+CI container the sharded runs are *expected* to be no faster (barrier
+and pickling overhead with zero parallelism), so nothing here asserts
+on wall-clock.  What must hold everywhere: repeat runs at a fixed
+shard count are byte-identical, and the sharded FCT deviation from
+serial stays within the documented epoch-staleness bound.
+"""
+
+import os
+import pickle
+import random
+import time
+
+from _util import emit_json
+
+from repro.core.flowspec import FlowSpec
+from repro.core.path_selection import KspMultipathPolicy
+from repro.exp.common import (
+    JellyfishFamily,
+    PARALLEL_HOMOGENEOUS,
+    network_for_label,
+)
+from repro.shard import DEFAULT_EPOCH, run_packet_trial
+from repro.traffic.patterns import permutation
+from repro.units import KB
+
+#: Fixed tiny fig9 workload: every host pair runs one spanning MPTCP
+#: connection across all four planes, so the epoch-coupling path (not
+#: just the embarrassingly parallel local-flow path) is what's timed.
+SWITCHES, DEGREE, HOSTS_PER, N_PLANES = 12, 5, 2, 4
+FLOW_BYTES = 200 * KB
+
+
+def _workload():
+    family = JellyfishFamily(SWITCHES, DEGREE, HOSTS_PER)
+    pnet = network_for_label(family, PARALLEL_HOMOGENEOUS, N_PLANES)
+    pairs = permutation(pnet.hosts, random.Random("fig9-pkt"))
+    policy = KspMultipathPolicy(pnet, k=N_PLANES, seed=0)
+    specs = [
+        FlowSpec(
+            src=src, dst=dst, size=FLOW_BYTES,
+            paths=policy.select(src, dst, flow_id),
+        )
+        for flow_id, (src, dst) in enumerate(pairs)
+    ]
+    return pnet, specs
+
+
+def _timed_run(pnet, specs, shards):
+    started = time.perf_counter()
+    result = run_packet_trial(
+        pnet.planes, specs, shards=shards, epoch=DEFAULT_EPOCH
+    )
+    wall = time.perf_counter() - started
+    return result, wall
+
+
+def test_shard_scaling(benchmark):
+    pnet, specs = _workload()
+
+    serial, serial_wall = benchmark.pedantic(
+        _timed_run, args=(pnet, specs, 1), rounds=1, iterations=1
+    )
+    runs = {1: (serial, serial_wall)}
+    for shards in (2, 4):
+        runs[shards] = _timed_run(pnet, specs, shards)
+        # Determinism across repeats is the portable guarantee (the
+        # 1-CPU CI container cannot show speedup): same shard count,
+        # same bytes out.
+        repeat, __ = _timed_run(pnet, specs, shards)
+        assert pickle.dumps(repeat.records) == pickle.dumps(
+            runs[shards][0].records
+        )
+
+    payload = {
+        "workload": {
+            "experiment": "fig9-packet",
+            "network": PARALLEL_HOMOGENEOUS,
+            "switches": SWITCHES,
+            "degree": DEGREE,
+            "hosts_per": HOSTS_PER,
+            "n_planes": N_PLANES,
+            "flow_bytes": FLOW_BYTES,
+            "n_flows": len(specs),
+        },
+        "epoch": DEFAULT_EPOCH,
+        "cpu_count": os.cpu_count(),
+        "configs": {},
+    }
+    serial_fcts = serial.fcts
+    for shards, (result, wall) in sorted(runs.items()):
+        deviations = [
+            abs(fct - base) / base
+            for fct, base in zip(result.fcts, serial_fcts)
+        ]
+        payload["configs"][str(shards)] = {
+            "n_shards": result.n_shards,
+            "backend": result.backend,
+            "rounds": result.rounds,
+            "wall_seconds": round(wall, 4),
+            "speedup_vs_serial": round(serial_wall / wall, 3),
+            "mean_fct_seconds": sum(result.fcts) / len(result.fcts),
+            "max_fct_deviation": max(deviations),
+            "mean_fct_deviation": sum(deviations) / len(deviations),
+        }
+        # The epoch-staleness bound tests/test_shard_coupling.py pins
+        # down; generous here because this file's job is the timing
+        # record, not the convergence proof.
+        assert max(deviations) < 0.50
+    emit_json("BENCH_shard", payload)

@@ -8,6 +8,7 @@ Usage::
     python -m repro all --scale small --csv results/
     python -m repro fig6 --csv results/
     python -m repro fig9 --jobs 8        # fan trials over 8 workers
+    python -m repro fig9 --shards 2      # split each trial over 2 plane shards
     python -m repro cache                # show artifact-cache stats
     python -m repro cache --clear        # drop all cached artifacts
     python -m repro fig9 --scale tiny --metrics-out metrics.jsonl
@@ -88,6 +89,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         default=None,
         help="override PNET_JOBS (worker processes for trial grids)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "override PNET_SHARDS (plane shards per packet trial; "
+            "PNET_JOBS budgets the *total* process count, so trial "
+            "workers become jobs // shards)"
+        ),
+    )
+    parser.add_argument(
+        "--epoch",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "override PNET_EPOCH (sharded barrier spacing in simulated "
+            "seconds; 0 forces the byte-identical serial path)"
+        ),
     )
     parser.add_argument(
         "--clear",
@@ -296,10 +318,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.experiment == "cache":
         return cache_command(args.clear)
-    if args.jobs is not None:
+    if args.jobs is not None or args.shards is not None or args.epoch is not None:
         import os
 
-        os.environ["PNET_JOBS"] = str(args.jobs)
+        if args.jobs is not None:
+            os.environ["PNET_JOBS"] = str(args.jobs)
+        if args.shards is not None:
+            os.environ["PNET_SHARDS"] = str(args.shards)
+        if args.epoch is not None:
+            os.environ["PNET_EPOCH"] = repr(args.epoch)
     registry = None
     if args.metrics_out is not None or args.trace is not None:
         from repro.api import attach_telemetry

@@ -39,6 +39,7 @@ from repro.faults.injector import FaultInjector, surviving_capacity
 from repro.faults.schedule import FaultSchedule
 from repro.fluid.flowsim import FluidSimulator
 from repro.obs import Registry
+from repro.shard import serial_fallback
 
 #: Bytes per long-lived flow: large enough that no flow completes
 #: within any preset's horizon (the run measures rates, not FCTs).
@@ -121,6 +122,10 @@ def run_faulted(
             pnet, random.Random(chaos_seed), at=outage_at, outage=outage
         )
     registry = obs if obs is not None else Registry()
+    # Fault runs resteer flows across planes (control-plane reaction),
+    # which cannot be decomposed by plane: force the serial path, so
+    # degradation output is byte-identical at any PNET_SHARDS.
+    serial_fallback("fault-resteer", obs=registry)
     sim = FluidSimulator(pnet.planes, slow_start=False, obs=registry)
     injector = FaultInjector(pnet, schedule, selector=selector, obs=registry)
     injector.attach(sim)

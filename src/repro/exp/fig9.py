@@ -156,21 +156,28 @@ def packet_trial(
     label: str,
     size: int,
 ) -> float:
-    """Mean FCT of one network on the packet-level simulator."""
-    from repro.sim.network import PacketNetwork
+    """Mean FCT of one network on the packet-level simulator.
+
+    Runs through :func:`repro.shard.run_packet_trial`, so a multi-plane
+    network honours ``PNET_SHARDS`` (serial and single-plane networks
+    always run on one shard).  FCTs are averaged in submission order --
+    the one ordering every shard count reproduces.
+    """
+    from repro.shard import run_packet_trial
 
     family = JellyfishFamily(switches, degree, hosts_per)
     pnet = network_for_label(family, label, n_planes)
     pairs = permutation(pnet.hosts, random.Random("fig9-pkt"))
     policy = _best_policy(label, pnet, seed=0)
-    net = PacketNetwork(pnet.planes)
-    for flow_id, (src, dst) in enumerate(pairs):
-        net.add_flow(spec=FlowSpec(
+    specs = [
+        FlowSpec(
             src=src, dst=dst, size=size,
             paths=policy.select(src, dst, flow_id),
-        ))
-    net.run()
-    return summarize([r.fct for r in net.records]).mean
+        )
+        for flow_id, (src, dst) in enumerate(pairs)
+    ]
+    result = run_packet_trial(pnet.planes, specs)
+    return summarize(result.fcts).mean
 
 
 def packet_sim_validation(

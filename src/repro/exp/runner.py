@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exp import cache as _cache
 from repro.obs import get_registry
+from repro.shard.partition import get_epoch, get_shards
 
 _MISS = object()
 
@@ -63,6 +64,11 @@ class RunStats:
 
     n_trials: int = 0
     jobs: int = 1
+    #: Plane shards each trial will spawn (``PNET_SHARDS``); trial
+    #: workers are budgeted as ``PNET_JOBS // shards`` so the *total*
+    #: process count stays within ``PNET_JOBS``.
+    shards: int = 1
+    trial_workers: int = 1
     wall_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -70,7 +76,9 @@ class RunStats:
 
     def summary(self) -> str:
         return (
-            f"{self.n_trials} trials, jobs={self.jobs}, "
+            f"{self.n_trials} trials, jobs={self.jobs} "
+            f"(x{self.shards} shards -> {self.trial_workers} trial "
+            f"workers), "
             f"wall={self.wall_seconds:.2f}s, cache {self.cache_hits} hits / "
             f"{self.cache_misses} misses "
             f"({self.trial_cache_hits} whole-trial hits)"
@@ -127,7 +135,18 @@ def _module_source_hash(module_name: str) -> str:
 
 def _trial_cache_key(spec: TrialSpec) -> Tuple:
     module_name = spec.fn.partition(":")[0]
-    return (spec.fn, _module_source_hash(module_name), spec.kwargs)
+    key: Tuple = (spec.fn, _module_source_hash(module_name), spec.kwargs)
+    # Plane-sharded packet trials (PNET_SHARDS > 1 with a nonzero
+    # epoch) may differ from serial results within the documented
+    # staleness bound, so their cache entries are tagged.  One shard --
+    # or epoch 0 -- takes the byte-identical serial path and keeps the
+    # untagged (pre-shard) key, so existing golden caches stay valid.
+    shards = get_shards()
+    if shards > 1:
+        epoch = get_epoch()
+        if epoch > 0:
+            key += (("PNET_SHARDS", shards), ("PNET_EPOCH", epoch))
+    return key
 
 
 def _execute(spec: TrialSpec) -> Tuple[Tuple, Any, int, int]:
@@ -180,7 +199,21 @@ def run_trials(
     global _last_stats
     _check_specs(specs)
     jobs = get_jobs(jobs)
-    stats = RunStats(n_trials=len(specs), jobs=jobs)
+    # PNET_JOBS budgets *total* processes.  A sharded trial (PNET_SHARDS
+    # > 1, epoch > 0) spawns one worker per plane shard, so the pool
+    # gets jobs // shards trial slots (floor 1 -- a single sharded
+    # trial may still exceed the budget when shards > jobs; shard count
+    # wins because it changes results, job count only changes speed).
+    shards = get_shards()
+    if shards > 1 and get_epoch() == 0:
+        shards = 1
+    trial_workers = max(1, jobs // shards)
+    stats = RunStats(
+        n_trials=len(specs),
+        jobs=jobs,
+        shards=shards,
+        trial_workers=trial_workers,
+    )
     started = time.perf_counter()
     cache = _cache.get_cache()
     parent_hits0, parent_misses0 = cache.hits, cache.misses
@@ -197,7 +230,7 @@ def run_trials(
             results[spec.key] = value
             stats.trial_cache_hits += 1
 
-    if jobs == 1 or len(pending) <= 1:
+    if trial_workers == 1 or len(pending) <= 1:
         for spec in pending:
             key, value, __, __ = _execute(spec)
             # Round-trip so the serial path yields the same object graph
@@ -207,7 +240,7 @@ def run_trials(
             results[key] = pickle.loads(pickle.dumps(value))
     else:
         ctx = _pool_context()
-        with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+        with ctx.Pool(processes=min(trial_workers, len(pending))) as pool:
             for key, value, hits, misses in pool.imap_unordered(
                 _execute, pending
             ):

@@ -117,6 +117,12 @@ class FluidSimulator:
         obs: telemetry registry; defaults to the process-wide registry
             (a no-op unless one was attached).  Iteration counts and
             high-water marks are published after each :meth:`run`.
+        plane_ids: external index of each plane (defaults to
+            ``0..len(planes)-1``).  A plane-sharded worker
+            (:mod:`repro.shard`) simulates only its subset of planes but
+            passes their *global* P-Net indices here, so FlowSpec paths,
+            fault events, and records keep global plane numbering while
+            the capacity vector and max-min solve stay shard-sized.
     """
 
     def __init__(
@@ -126,10 +132,25 @@ class FluidSimulator:
         initial_window: int = 10,
         mss: int = MSS,
         obs=None,
+        plane_ids: Optional[Sequence[int]] = None,
     ):
         if not planes:
             raise ValueError("need at least one plane")
         self.planes = list(planes)
+        if plane_ids is None:
+            plane_ids = list(range(len(self.planes)))
+        else:
+            plane_ids = [int(i) for i in plane_ids]
+            if len(plane_ids) != len(self.planes):
+                raise ValueError(
+                    f"got {len(plane_ids)} plane_ids for "
+                    f"{len(self.planes)} planes"
+                )
+            if len(set(plane_ids)) != len(plane_ids):
+                raise ValueError(f"plane_ids must be unique: {plane_ids}")
+        #: External (global) index of each plane, in ``planes`` order.
+        self.plane_ids = plane_ids
+        self._plane_by_id = dict(zip(plane_ids, self.planes))
         self.slow_start = slow_start
         self.initial_window = initial_window
         self.mss = mss
@@ -143,7 +164,7 @@ class FluidSimulator:
         self._link_index: Dict[Tuple[int, str, str], int] = {}
         caps: List[float] = []
         props: List[float] = []
-        for plane_idx, plane in enumerate(self.planes):
+        for plane_idx, plane in zip(self.plane_ids, self.planes):
             for link in plane.live_links:
                 for u, v in ((link.u, link.v), (link.v, link.u)):
                     self._link_index[(plane_idx, u, v)] = len(caps)
@@ -391,16 +412,26 @@ class FluidSimulator:
         does both -- or the engine will report a stall once no other
         event is pending.
         """
-        self.planes[plane_idx].fail_link(u, v)
+        self._plane_of(plane_idx).fail_link(u, v)
         for a, b in ((u, v), (v, u)):
             idx = self._link_index.get((plane_idx, a, b))
             if idx is not None:
                 self._capacities[idx] = 0.0
                 self._dead.add((plane_idx, a, b))
 
+    def _plane_of(self, plane_idx: int) -> Topology:
+        """The plane topology for an external plane index."""
+        try:
+            return self._plane_by_id[plane_idx]
+        except KeyError:
+            raise ValueError(
+                f"plane {plane_idx} is not simulated here "
+                f"(have {sorted(self._plane_by_id)})"
+            ) from None
+
     def restore_link(self, plane_idx: int, u: str, v: str) -> None:
         """Undo :meth:`fail_link`: capacity returns, new subflows accepted."""
-        plane = self.planes[plane_idx]
+        plane = self._plane_of(plane_idx)
         plane.restore_link(u, v)
         capacity = plane.link(u, v).capacity
         for a, b in ((u, v), (v, u)):

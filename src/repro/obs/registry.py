@@ -265,6 +265,54 @@ class Registry:
                 )
         return rows
 
+    # --- worker-state transport ---------------------------------------------
+
+    def export_state(self) -> List[Tuple]:
+        """Picklable raw state of every instrument, in sorted order.
+
+        Unlike :meth:`snapshot` (which summarises histograms), this
+        preserves raw observations, so a parent process can
+        :meth:`absorb` a worker registry without losing percentile
+        fidelity.  The sharded engine ships this across the epoch
+        barrier channel.
+        """
+        state: List[Tuple] = []
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                state.append((
+                    "histogram", metric.name, dict(metric.labels),
+                    list(metric.values), metric.wallclock,
+                ))
+            else:
+                state.append(
+                    (metric.kind, metric.name, dict(metric.labels),
+                     metric.value)
+                )
+        return state
+
+    def absorb(self, state: List[Tuple]) -> None:
+        """Merge an :meth:`export_state` payload into this registry.
+
+        Deterministic merge rules: counters add, gauges keep the
+        high-water mark (order-independent), histograms extend in call
+        order.  Absorbing worker states in a fixed (shard index) order
+        therefore yields identical registries on every run.
+        """
+        for entry in state:
+            kind = entry[0]
+            if kind == "counter":
+                __, name, labels, value = entry
+                self.counter(name, **labels).inc(value)
+            elif kind == "gauge":
+                __, name, labels, value = entry
+                self.gauge(name, **labels).max(value)
+            elif kind == "histogram":
+                __, name, labels, values, wallclock = entry
+                self.histogram(name, wallclock=wallclock, **labels) \
+                    .values.extend(values)
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r}")
+
     # --- export -------------------------------------------------------------
 
     def flush(self, include_wallclock: bool = True) -> None:

@@ -1,0 +1,57 @@
+"""Plane-sharded parallel simulation (:mod:`repro.shard`).
+
+The paper's N dataplanes are disjoint in the core and meet only at the
+hosts, so the plane index is a parallel-decomposition boundary: this
+package partitions a P-Net by dataplane (``PNET_SHARDS`` workers),
+runs one simulator per shard, and advances all shards in lockstep
+*epochs* of simulated time, exchanging only the cross-plane state the
+model actually has -- MPTCP's LIA coupling terms and the shared
+send-buffer pool of spanning connections -- as compact digests at each
+barrier.
+
+Entry points:
+
+* :func:`run_packet_trial` -- epoch-synced packet simulation.
+* :func:`run_fluid_trial` -- exact (barrier-free) fluid decomposition.
+* ``PNET_SHARDS`` / ``PNET_EPOCH`` / ``PNET_SHARD_BACKEND``
+  environment knobs, resolved by :func:`get_shards` /
+  :func:`get_epoch` / :func:`get_backend`.
+
+Guarantees: ``PNET_SHARDS=1`` (or ``epoch=0``) is byte-identical to
+the pre-shard serial simulators; multi-shard results are deterministic
+for a given shard count and identical across the local and process
+channel backends; plane-local flows are unaffected by sharding, and
+only spanning MPTCP connections see the epoch-staleness approximation
+(bounded, and converging to serial as ``epoch -> 0``).
+"""
+
+from repro.shard.channel import ShardWorkerError, get_backend
+from repro.shard.engine import (
+    ShardResult,
+    ShardSafetyError,
+    run_fluid_trial,
+    run_packet_trial,
+)
+from repro.shard.partition import (
+    DEFAULT_EPOCH,
+    ShardPlan,
+    classify,
+    get_epoch,
+    get_shards,
+    serial_fallback,
+)
+
+__all__ = [
+    "DEFAULT_EPOCH",
+    "ShardPlan",
+    "ShardResult",
+    "ShardSafetyError",
+    "ShardWorkerError",
+    "classify",
+    "get_backend",
+    "get_epoch",
+    "get_shards",
+    "run_fluid_trial",
+    "run_packet_trial",
+    "serial_fallback",
+]

@@ -1,0 +1,109 @@
+"""Barrier channels between the shard engine and its workers.
+
+Two interchangeable backends drive the *same* worker logic
+(:func:`repro.shard.worker.handle_message`):
+
+* ``local`` -- the worker object lives in the engine process and
+  messages are plain function calls.  Zero IPC cost; used for
+  ``PNET_SHARD_BACKEND=local``, for tests, and as the reference
+  behaviour the process backend must match byte-for-byte.
+* ``process`` -- one ``multiprocessing.Process`` per shard, messages
+  over a duplex ``Pipe``.  Fork start method preferred (cheap topology
+  hand-off); falls back to the platform default where fork is
+  unavailable, in which case the worker config is pickled across.
+
+Both present the same two calls to the engine: ``rpc(message) ->
+reply`` and ``close()``.  Every reply is a ``(tag, payload)`` tuple;
+a worker-side exception comes back as ``("error", traceback_text)``
+and is re-raised in the engine as :class:`ShardWorkerError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Tuple
+
+Message = Tuple[Any, ...]
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised; carries the worker-side traceback."""
+
+
+def get_backend(override: str = None) -> str:
+    """Resolve the channel backend: override, else ``PNET_SHARD_BACKEND``.
+
+    Defaults to ``process`` (real parallelism).  ``local`` runs every
+    shard in the engine process -- same results, no speedup, handy for
+    debugging and for pickling-free profiling.
+    """
+    backend = override or os.environ.get("PNET_SHARD_BACKEND", "process")
+    if backend not in ("local", "process"):
+        raise ValueError(
+            f"shard backend must be 'local' or 'process', got {backend!r}"
+        )
+    return backend
+
+
+def _mp_context():
+    """Fork-preferred multiprocessing context (same policy as exp.runner)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class LocalChannel:
+    """In-process endpoint: the worker is a plain object, rpc is a call."""
+
+    def __init__(self, worker, handler):
+        self._worker = worker
+        self._handler = handler
+
+    def rpc(self, message: Message) -> Message:
+        reply = self._handler(self._worker, message)
+        if reply[0] == "error":
+            raise ShardWorkerError(reply[1])
+        return reply
+
+    def close(self) -> None:
+        self._worker = None
+
+
+class ProcessChannel:
+    """Pipe endpoint to a forked worker process."""
+
+    def __init__(self, target, config):
+        ctx = _mp_context()
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self._proc = ctx.Process(
+            target=target, args=(child_conn, config), daemon=True
+        )
+        self._proc.start()
+        child_conn.close()  # parent keeps only its end
+
+    def rpc(self, message: Message) -> Message:
+        self._conn.send(message)
+        try:
+            reply = self._conn.recv()
+        except EOFError:
+            raise ShardWorkerError(
+                "shard worker exited without replying "
+                f"(exitcode={self._proc.exitcode})"
+            ) from None
+        if reply[0] == "error":
+            self.close()
+            raise ShardWorkerError(reply[1])
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if self._proc.is_alive():
+            self._proc.join(timeout=5)
+            if self._proc.is_alive():  # pragma: no cover - stuck worker
+                self._proc.terminate()
+                self._proc.join(timeout=5)

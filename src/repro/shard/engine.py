@@ -1,0 +1,643 @@
+"""The epoch-lockstep shard engine.
+
+One engine process drives one worker per plane shard.  Packet-level
+runs advance in *epochs* of simulated time: every worker runs its
+event loop to the same barrier ``t``, exports a per-spanning-connection
+coupling digest (subflow cwnd/RTT, local pool, ACK progress), and the
+engine folds the digests into next-epoch updates -- epoch-stale LIA
+coupling views, a deterministic largest-remainder rebalance of each
+connection's shared send-buffer pool, and completion/finalize notices.
+The epoch length is the staleness bound: ``epoch -> 0`` converges to
+the serial coupled behaviour, and ``epoch == 0`` (or one shard) takes
+the literal serial code path, byte-identical to the pre-shard
+simulator.
+
+Fluid runs need no epochs: the paper's planes are disjoint in the
+core, so plane-local fluid flows decompose exactly and workers run to
+the horizon independently; spanning flows are refused
+(:class:`ShardSafetyError`) because the global max-min allocation
+couples them continuously.
+
+Determinism: worker digests are merged in shard-index order, pool
+splits use integer largest-remainder arithmetic, records are sorted by
+global flow id, and per-shard telemetry registries are absorbed into
+the caller's registry in shard order -- so results are independent of
+scheduling noise and identical across the ``local`` and ``process``
+channel backends.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.flowspec import FlowSpec
+from repro.core.pnet import PNet
+from repro.obs import get_registry
+from repro.shard.channel import (
+    LocalChannel,
+    ProcessChannel,
+    get_backend,
+)
+from repro.shard.coupling import (
+    largest_remainder,
+    lia_terms,
+    split_bytes,
+)
+from repro.shard.partition import (
+    ShardPlan,
+    classify,
+    get_epoch,
+    get_shards,
+)
+from repro.shard.worker import (
+    WorkerConfig,
+    build_worker,
+    handle_message,
+    worker_main,
+)
+from repro.sim.network import SimFlowRecord
+from repro.topology.graph import Topology
+
+#: Hard cap on barrier rounds -- a stuck spanning connection (e.g. all
+#: its paths black-holed with no fault restore coming) raises instead
+#: of spinning forever.
+MAX_ROUNDS = 1_000_000
+
+
+class ShardSafetyError(RuntimeError):
+    """The requested run cannot be sharded without changing results."""
+
+
+@dataclass
+class ShardResult:
+    """Merged outcome of a sharded (or serial-fallback) run.
+
+    ``records`` are sorted by global flow id (submission order), the
+    one ordering every shard count produces identically.
+    """
+
+    records: List[Any]
+    n_shards: int
+    epoch: float
+    backend: str
+    rounds: int
+    events_processed: int
+    plane_totals: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    delivered_bytes: Optional[float] = None
+
+    @property
+    def total_drops(self) -> int:
+        return sum(t.get("drops", 0) for t in self.plane_totals.values())
+
+    @property
+    def total_retransmits(self) -> int:
+        return sum(getattr(r, "retransmits", 0) for r in self.records)
+
+    @property
+    def fcts(self) -> List[float]:
+        return [r.fct for r in self.records]
+
+
+def _as_planes(planes: Union[PNet, Sequence[Topology]]) -> List[Topology]:
+    if isinstance(planes, PNet):
+        return list(planes.planes)
+    return list(planes)
+
+
+def _check_schedule(events, n_planes: int) -> Tuple:
+    events = tuple(events) if events is not None else ()
+    for event in events:
+        if event.plane >= n_planes:
+            raise ValueError(
+                f"fault event at t={event.at} names plane {event.plane} "
+                f"but the network has {n_planes}"
+            )
+    return events
+
+
+def _strip_callbacks(specs: Sequence[FlowSpec]) -> List[FlowSpec]:
+    return [
+        spec.replace(on_complete=None) if spec.on_complete is not None
+        else spec
+        for spec in specs
+    ]
+
+
+def _make_channels(configs: List[WorkerConfig], backend: str):
+    if backend == "local":
+        return [
+            LocalChannel(build_worker(config), handle_message)
+            for config in configs
+        ]
+    return [ProcessChannel(worker_main, config) for config in configs]
+
+
+def _close_all(channels) -> None:
+    for channel in channels:
+        try:
+            channel.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+
+class _SpanningState:
+    """Engine-side tracking of one spanning connection."""
+
+    __slots__ = ("gid", "spec", "shards", "complete", "record", "prev_acked")
+
+    def __init__(self, gid: int, spec: FlowSpec, shards: Tuple[int, ...]):
+        self.gid = gid
+        self.spec = spec
+        self.shards = shards
+        self.complete = False
+        self.record: Optional[SimFlowRecord] = None
+        #: ACK progress per shard at the previous barrier -- the deltas
+        #: are the measured per-shard throughput the rebalance targets.
+        self.prev_acked: List[int] = [0] * len(shards)
+
+
+def run_packet_trial(
+    planes: Union[PNet, Sequence[Topology]],
+    specs: Sequence[FlowSpec],
+    *,
+    shards: Optional[int] = None,
+    epoch: Optional[float] = None,
+    backend: Optional[str] = None,
+    schedule=None,
+    until: float = math.inf,
+    obs=None,
+    **sim_kwargs: Any,
+) -> ShardResult:
+    """Run a packet-level trial, sharded by plane.
+
+    Args:
+        planes: the dataplanes (or a :class:`PNet`).
+        specs: flows in submission order; their position is the global
+            flow id on the returned records.
+        shards: worker count; defaults to ``PNET_SHARDS`` (clamped to
+            the plane count).  ``1`` -- or ``epoch=0`` -- runs the
+            serial code path, byte-identical to a plain
+            :class:`~repro.sim.network.PacketNetwork` run.
+        epoch: barrier spacing in simulated seconds; defaults to
+            ``PNET_EPOCH`` (else :data:`~repro.shard.partition.
+            DEFAULT_EPOCH`).  Only spanning MPTCP connections feel it.
+        backend: ``"local"`` or ``"process"`` channel backend;
+            defaults to ``PNET_SHARD_BACKEND`` (else ``process``).
+        schedule: optional iterable of fault events, routed to the
+            owning shards (dataplane semantics only -- injector-style
+            resteering is cross-plane and must stay serial).
+        until: simulated-time horizon (default: run to completion).
+        obs: telemetry registry absorbing the per-shard registries in
+            shard order; defaults to the process-wide registry.
+        sim_kwargs: forwarded to ``PacketNetwork`` (queue_packets, mss,
+            min_rto, ecn_threshold).
+
+    Raises:
+        ShardSafetyError: multi-shard run with completion callbacks
+            (closed-loop workloads cannot shard) or non-integer
+            spanning flow sizes.
+    """
+    planes = _as_planes(planes)
+    specs = list(specs)
+    epoch = get_epoch(epoch)
+    n_shards = min(get_shards(shards), len(planes))
+    if epoch == 0:
+        n_shards = 1
+    obs = obs if obs is not None else get_registry()
+    events = _check_schedule(schedule, len(planes))
+    plan = ShardPlan.build(len(planes), n_shards)
+    backend = get_backend(backend) if plan.n_shards > 1 else "local"
+
+    if plan.n_shards == 1:
+        return _run_serial_packet(
+            planes, specs, events, until, obs, epoch, sim_kwargs
+        )
+
+    if any(spec.on_complete is not None for spec in specs):
+        raise ShardSafetyError(
+            "completion callbacks cannot run under PNET_SHARDS > 1: the "
+            "engine only sees flow completion at epoch barriers, so "
+            "closed-loop workloads must run serial (shards=1)"
+        )
+
+    local, spanning_gids = classify(specs, plan)
+    spanning: Dict[int, _SpanningState] = {}
+    shares: Dict[int, Dict[int, int]] = {}
+    for gid in spanning_gids:
+        spec = specs[gid]
+        size = int(spec.size)
+        if size != spec.size:
+            raise ShardSafetyError(
+                f"spanning flow {gid} has non-integer size {spec.size!r}"
+            )
+        shard_ids = plan.shards_of(spec)
+        counts = [
+            len(plan.local_paths(spec, shard)) for shard in shard_ids
+        ]
+        split = split_bytes(size, counts)
+        spanning[gid] = _SpanningState(gid, spec, shard_ids)
+        shares[gid] = dict(zip(shard_ids, split))
+
+    collect_obs = obs.enabled
+    stripped = _strip_callbacks(specs)
+    configs = []
+    for shard in range(plan.n_shards):
+        owned = set(local[shard])
+        entries = [
+            (gid, stripped[gid])
+            for gid in range(len(specs))
+            if gid in owned
+            or (gid in spanning and shard in spanning[gid].shards)
+        ]
+        configs.append(WorkerConfig(
+            shard=shard,
+            plan=plan,
+            planes=planes,
+            engine="packet",
+            sim_kwargs=dict(sim_kwargs),
+            entries=entries,
+            spanning_share={
+                gid: shares[gid][shard]
+                for gid in spanning
+                if shard in spanning[gid].shards
+            },
+            fault_events=tuple(
+                e for e in events
+                if e.plane in plan.planes_of_shard[shard]
+            ),
+            collect_obs=collect_obs,
+        ))
+
+    channels = _make_channels(configs, backend)
+    try:
+        digests = [ch.rpc(("digest",))[1] for ch in channels]
+        rounds = 0
+        t = 0.0
+        while True:
+            if rounds > MAX_ROUNDS:
+                raise RuntimeError(
+                    f"shard engine exceeded {MAX_ROUNDS} barrier rounds "
+                    f"(simulated t={t}); is a spanning flow stuck on a "
+                    "dead path?"
+                )
+            updates: List[Dict[str, Any]] = [
+                {"views": {}, "grants": {}, "finalize": []}
+                for __ in range(plan.n_shards)
+            ]
+            any_grants = False
+            incomplete = 0
+            for gid in spanning_gids:
+                state = spanning[gid]
+                if state.complete:
+                    continue
+                parts = [
+                    digests[shard]["flows"][gid] for shard in state.shards
+                ]
+                pool = sum(part["remaining"] for part in parts)
+                if pool == 0 and all(part["drained"] for part in parts):
+                    state.complete = True
+                    state.record = _compose_record(gid, state.spec, parts)
+                    for shard in state.shards:
+                        updates[shard]["finalize"].append(gid)
+                    continue
+                incomplete += 1
+                moves = _rebalance(parts, state.shards, state.prev_acked)
+                state.prev_acked = [part["acked"] for part in parts]
+                for shard, delta in moves:
+                    updates[shard]["grants"][gid] = delta
+                    any_grants = True
+                for shard in state.shards:
+                    remote = [
+                        pair
+                        for other, part in zip(state.shards, parts)
+                        if other != shard
+                        for pair in part["subflows"]
+                    ]
+                    updates[shard]["views"][gid] = lia_terms(remote)
+
+            nexts = [
+                d["next"] for d in digests if d["next"] is not None
+            ]
+            finalizing = any(u["finalize"] for u in updates)
+            if not nexts and not any_grants and not finalizing:
+                if incomplete:
+                    raise RuntimeError(
+                        f"shard engine stalled at t={t}: {incomplete} "
+                        "spanning connection(s) incomplete but no worker "
+                        "has pending events"
+                    )
+                break
+            if t >= until:
+                break
+            t_next = t + epoch
+            if not any_grants and nexts and min(nexts) > t_next:
+                # Every worker is idle past the next barrier and no
+                # revival is in flight: digests cannot change while
+                # idle, so jumping straight to the next real event is
+                # exact, not an approximation.
+                t_next = min(nexts)
+            t_next = min(t_next, until)
+            digests = [
+                ch.rpc(("run", t_next, updates[shard]))[1]
+                for shard, ch in enumerate(channels)
+            ]
+            t = t_next
+            rounds += 1
+
+        results = [ch.rpc(("stop",))[1] for ch in channels]
+    finally:
+        _close_all(channels)
+
+    records: List[Any] = []
+    plane_totals: Dict[int, Dict[str, int]] = {}
+    events_processed = 0
+    for result in results:
+        records.extend(result["records"])
+        plane_totals.update(result["plane_totals"])
+        events_processed += result["events_processed"]
+        if collect_obs and result["obs"] is not None:
+            obs.absorb(result["obs"])
+    for gid in spanning_gids:
+        state = spanning[gid]
+        if state.record is not None:
+            records.append(state.record)
+            if collect_obs:
+                _publish_flow_obs(obs, state.record)
+    records.sort(key=lambda r: r.flow_id)
+    return ShardResult(
+        records=records,
+        n_shards=plan.n_shards,
+        epoch=epoch,
+        backend=backend,
+        rounds=rounds,
+        events_processed=events_processed,
+        plane_totals=plane_totals,
+    )
+
+
+def _rebalance(
+    parts: List[Dict[str, Any]],
+    shards: Tuple[int, ...],
+    prev_acked: List[int],
+) -> List[Tuple[int, int]]:
+    """Pool deltas for one spanning connection at one barrier.
+
+    The serial scheduler keeps one shared pool that every subflow pulls
+    from as its window opens, so byte placement tracks each path's
+    *achieved* throughput and all subflows drain within about an RTT of
+    each other.  Each barrier re-places the still-unpulled pool bytes
+    the same way: every shard keeps a *floor* of its immediate window
+    demand plus one full cwnd of float -- the demand term is exactly
+    the serial pull (and dominates as ``epoch -> 0``), while the cwnd
+    float keeps fast recovery fed with new data mid-epoch (recovery
+    with nothing new to send cannot clock ACKs and stalls into a full
+    RTO) -- and the surplus above all floors is placed proportional to
+    the bytes each shard actually ACKed since the last barrier, which
+    equalizes the shards' remaining completion time the way a shared
+    pool does.  Congested or faulted paths ACK little and automatically
+    shed their backlog to healthy shards.
+
+    All splits are exact integer largest-remainder, so the pool is
+    conserved byte-for-byte and placement is deterministic.  Only
+    unpulled pool bytes ever move; in-flight data stays put.
+    """
+    remaining = [part["remaining"] for part in parts]
+    pool = sum(remaining)
+    if pool == 0:
+        return []
+    rates = [
+        max(0, part["acked"] - prev)
+        for part, prev in zip(parts, prev_acked)
+    ]
+    if sum(rates) == 0:
+        # No throughput signal yet (first barrier, or nothing ACKed
+        # this epoch): keep the current split.
+        return []
+    floors = [
+        part["demand"]
+        + int(math.ceil(sum(c for c, __ in part["subflows"])))
+        for part in parts
+    ]
+    # Every shard keeps its open-window demand plus the window of any
+    # subflow in fast recovery untouched: clawing a recovering subflow's
+    # new-data float leaves it nothing to clock ACKs with and stalls it
+    # into a full RTO.  Bytes above protection are free to re-place:
+    # proportional to the floors when the pool is scarce (the live
+    # window state -- a shard whose windows collapsed sheds its backlog
+    # to the still-growing shards, which is the serial pull at barrier
+    # granularity), and proportional to measured ACK throughput when
+    # the pool still exceeds all floors (equalizing remaining
+    # completion time the way one shared pool does).
+    protected = [
+        min(have, part["demand"] + part["recovery_cwnd"])
+        for have, part in zip(remaining, parts)
+    ]
+    if sum(floors) >= pool:
+        # Scarce pool: re-place everything proportional to the floors
+        # (the live window state -- a shard whose windows collapsed
+        # sheds its backlog to the still-growing shards; this is the
+        # serial pull at barrier granularity).
+        targets = largest_remainder(pool, floors)
+    else:
+        # Surplus: floors first, then the rest proportional to
+        # measured ACK throughput, equalizing the shards' remaining
+        # completion time the way one shared pool does.
+        surplus = largest_remainder(pool - sum(floors), rates)
+        targets = [f + s for f, s in zip(floors, surplus)]
+    # Respect the protections: raise any shard below its protected
+    # holding back up to it, taking the difference from shards with
+    # slack above their own protection.
+    raises = [max(0, p - t) for p, t in zip(protected, targets)]
+    if sum(raises):
+        slack = [max(0, t - p) for p, t in zip(protected, targets)]
+        move = min(sum(raises), sum(slack))
+        gives = largest_remainder(move, raises)
+        takes = largest_remainder(move, slack)
+        targets = [
+            t + g - c for t, g, c in zip(targets, gives, takes)
+        ]
+    return [
+        (shard, target - have)
+        for shard, target, have in zip(shards, targets, remaining)
+        if target != have
+    ]
+
+
+def _compose_record(
+    gid: int, spec: FlowSpec, parts: List[Dict[str, Any]]
+) -> SimFlowRecord:
+    """Stitch one spanning connection's record from its shard digests."""
+    return SimFlowRecord(
+        flow_id=gid,
+        src=spec.src,
+        dst=spec.dst,
+        size=int(spec.size),
+        start=0.0 if spec.at is None else spec.at,
+        finish=max(part["drain_time"] for part in parts),
+        n_subflows=len(spec.paths),
+        retransmits=sum(part["retransmits"] for part in parts),
+        packets_sent=sum(part["packets_sent"] for part in parts),
+        tag=spec.tag,
+        planes=spec.planes,
+    )
+
+
+def _publish_flow_obs(obs, record: SimFlowRecord) -> None:
+    """Per-plane flow counters for an engine-composed spanning record.
+
+    Mirrors ``PacketNetwork``'s completion-time attribution (even byte
+    split across planes) so merged telemetry covers every flow exactly
+    once: local flows count inside their worker, spanning flows here.
+    """
+    share = record.size / len(record.planes)
+    for plane in record.planes:
+        obs.counter("net.flow.bytes", plane=plane).inc(share)
+        obs.counter("net.flows", plane=plane).inc()
+        obs.histogram("net.fct_seconds", plane=plane).observe(record.fct)
+
+
+def _run_serial_packet(
+    planes, specs, events, until, obs, epoch, sim_kwargs
+) -> ShardResult:
+    """One-shard path: the literal serial simulator, no barriers.
+
+    Flows keep their completion callbacks and the caller's registry is
+    used directly, so a ``PNET_SHARDS=1`` run is byte-identical to a
+    plain ``PacketNetwork`` run of the same workload.
+    """
+    plan = ShardPlan.build(len(planes), 1)
+    config = WorkerConfig(
+        shard=0,
+        plan=plan,
+        planes=list(planes),
+        engine="packet",
+        sim_kwargs=dict(sim_kwargs),
+        entries=list(enumerate(specs)),
+        fault_events=events,
+        collect_obs=False,
+        obs_registry=obs,
+    )
+    worker = build_worker(config)
+    worker.advance(until)
+    result = worker.result()
+    records = sorted(result["records"], key=lambda r: r.flow_id)
+    return ShardResult(
+        records=records,
+        n_shards=1,
+        epoch=epoch,
+        backend="local",
+        rounds=0,
+        events_processed=result["events_processed"],
+        plane_totals=result["plane_totals"],
+    )
+
+
+def run_fluid_trial(
+    planes: Union[PNet, Sequence[Topology]],
+    specs: Sequence[FlowSpec],
+    *,
+    shards: Optional[int] = None,
+    backend: Optional[str] = None,
+    until: Optional[float] = None,
+    obs=None,
+    **sim_kwargs: Any,
+) -> ShardResult:
+    """Run a fluid-model trial, sharded by plane (exact decomposition).
+
+    Plane-local fluid flows share no links across planes, so each
+    shard's max-min solve is independent and there are no epochs --
+    workers run straight to the horizon.  Spanning flows (an MPTCP
+    connection allocated across shards) couple through the global
+    allocation and raise :class:`ShardSafetyError`; run those with
+    ``shards=1`` or the packet engine.
+    """
+    planes = _as_planes(planes)
+    specs = list(specs)
+    n_shards = min(get_shards(shards), len(planes))
+    obs = obs if obs is not None else get_registry()
+    plan = ShardPlan.build(len(planes), n_shards)
+    backend = get_backend(backend) if plan.n_shards > 1 else "local"
+
+    if plan.n_shards == 1:
+        return _run_serial_fluid(planes, specs, until, obs, sim_kwargs)
+
+    __, spanning_gids = classify(specs, plan)
+    if spanning_gids:
+        raise ShardSafetyError(
+            f"{len(spanning_gids)} flow(s) span multiple shards under "
+            f"{plan.n_shards} shards (e.g. flow {spanning_gids[0]}); the "
+            "fluid model couples them through the global max-min solve. "
+            "Run with shards=1 or use the packet engine."
+        )
+    if any(spec.on_complete is not None for spec in specs):
+        raise ShardSafetyError(
+            "completion callbacks cannot run under PNET_SHARDS > 1 "
+            "(closed-loop workloads must run serial)"
+        )
+
+    local, __ = classify(specs, plan)
+    collect_obs = obs.enabled
+    stripped = _strip_callbacks(specs)
+    configs = [
+        WorkerConfig(
+            shard=shard,
+            plan=plan,
+            planes=planes,
+            engine="fluid",
+            sim_kwargs=dict(sim_kwargs),
+            entries=[(gid, stripped[gid]) for gid in local[shard]],
+            collect_obs=collect_obs,
+        )
+        for shard in range(plan.n_shards)
+    ]
+    channels = _make_channels(configs, backend)
+    try:
+        for ch in channels:
+            ch.rpc(("run", until, {}))
+        results = [ch.rpc(("stop",))[1] for ch in channels]
+    finally:
+        _close_all(channels)
+
+    records: List[Any] = []
+    events_processed = 0
+    delivered = 0.0
+    for result in results:
+        records.extend(result["records"])
+        events_processed += result["events_processed"]
+        delivered += result["delivered_bytes"]
+        if collect_obs and result["obs"] is not None:
+            obs.absorb(result["obs"])
+    records.sort(key=lambda r: r.flow_id)
+    return ShardResult(
+        records=records,
+        n_shards=plan.n_shards,
+        epoch=0.0,
+        backend=backend,
+        rounds=1,
+        events_processed=events_processed,
+        delivered_bytes=delivered,
+    )
+
+
+def _run_serial_fluid(planes, specs, until, obs, sim_kwargs) -> ShardResult:
+    from repro.fluid.flowsim import FluidSimulator
+
+    sim = FluidSimulator(planes, obs=obs, **sim_kwargs)
+    gid_of = {}
+    for gid, spec in enumerate(specs):
+        gid_of[sim.add_flow(spec=spec)] = gid
+    sim.run(until=until)
+    for record in sim.records:
+        record.flow_id = gid_of[record.flow_id]
+    records = sorted(sim.records, key=lambda r: r.flow_id)
+    return ShardResult(
+        records=records,
+        n_shards=1,
+        epoch=0.0,
+        backend="local",
+        rounds=0,
+        events_processed=sim.events_processed,
+        delivered_bytes=sim.delivered_bytes,
+    )

@@ -1,0 +1,321 @@
+"""Shard workers: one simulator instance over one shard's planes.
+
+A worker owns every flow whose paths live entirely on its planes and
+the local *slice* (a :class:`~repro.shard.coupling.PartialMptcpSource`)
+of every spanning connection.  It exposes four calls --
+``apply(updates)``, ``advance(t)``, ``digest()``, ``result()`` --
+driven through :func:`handle_message`, which both channel backends
+(:mod:`repro.shard.channel`) route to, so the local and process
+backends execute byte-identical logic.
+
+Packet workers build a :class:`~repro.sim.network.PacketNetwork` over
+*all* planes (elements instantiate lazily, so remote planes cost
+nothing) which keeps global plane indices valid everywhere; fluid
+workers build a :class:`~repro.fluid.flowsim.FluidSimulator` over only
+their planes, passing global ids via ``plane_ids``.
+
+Fault events arrive pre-routed (the engine restricts the schedule to
+each shard's planes via :meth:`FaultSchedule.restricted`) and are
+applied at the dataplane level -- link/queue state with the same
+refcounted overlap semantics as :class:`repro.faults.FaultInjector`.
+Control-plane reactions (route repair, flow resteering) are inherently
+cross-plane and stay serial; see ``resolve_shards`` in the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.flowspec import FlowSpec
+from repro.faults.schedule import FaultEvent
+from repro.fluid.flowsim import FluidSimulator
+from repro.obs import NULL_REGISTRY, Registry
+from repro.shard.coupling import PartialMptcpSource
+from repro.shard.partition import ShardPlan
+from repro.sim.network import PacketNetwork
+from repro.topology.graph import Topology, link_key
+
+
+@dataclass
+class WorkerConfig:
+    """Everything a shard worker needs, picklable for the process backend.
+
+    ``entries`` lists (global flow id, spec) pairs in submission order;
+    a gid present in ``spanning_share`` is the local slice of a
+    spanning connection seeded with that many bytes, anything else is a
+    fully local flow.  ``fault_events`` must already be restricted to
+    this shard's planes.
+    """
+
+    shard: int
+    plan: ShardPlan
+    planes: List[Topology]
+    engine: str  # "packet" | "fluid"
+    sim_kwargs: Dict[str, Any] = field(default_factory=dict)
+    entries: List[Tuple[int, FlowSpec]] = field(default_factory=list)
+    spanning_share: Dict[int, int] = field(default_factory=dict)
+    fault_events: Tuple[FaultEvent, ...] = ()
+    collect_obs: bool = False
+    #: In-process only (not picklable across the process backend): use
+    #: this registry directly instead of a private one -- the serial
+    #: one-shard path injects the caller's registry here so telemetry
+    #: is byte-identical to a plain un-sharded run.
+    obs_registry: Optional[Registry] = None
+
+
+def _next_event_time(loop) -> Optional[float]:
+    """Earliest *real* (non-cancelled) pending event, popping dead heads."""
+    heap = loop._heap
+    while heap and heap[0][2].cancelled:
+        heapq.heappop(heap)
+    return heap[0][0] if heap else None
+
+
+class PacketShardWorker:
+    """Packet-level worker: local flows + partial spanning sources."""
+
+    def __init__(self, config: WorkerConfig):
+        self.config = config
+        if config.obs_registry is not None:
+            self.obs = config.obs_registry
+        else:
+            self.obs = Registry() if config.collect_obs else NULL_REGISTRY
+        self.net = PacketNetwork(
+            config.planes, obs=self.obs, **config.sim_kwargs
+        )
+        self._local_gids: List[int] = []
+        self._spanning: Dict[int, PartialMptcpSource] = {}
+        for gid, spec in config.entries:
+            if gid in config.spanning_share:
+                self._add_spanning(gid, spec, config.spanning_share[gid])
+            else:
+                self.net.add_flow(spec=spec)
+                self._local_gids.append(gid)
+        #: Refcounted held-down links, mirroring FaultInjector semantics
+        #: for overlapping down events: (plane, link-key) -> count.
+        self._down_count: Dict[Tuple[int, Tuple[str, str]], int] = {}
+        for event in config.fault_events:
+            self.net.loop.schedule_at(
+                event.at, lambda e=event: self._apply_fault(e)
+            )
+
+    # --- construction helpers ----------------------------------------------
+
+    def _add_spanning(self, gid: int, spec: FlowSpec, share: int) -> None:
+        paths = [
+            path
+            for __, path in self.config.plan.local_paths(
+                spec, self.config.shard
+            )
+        ]
+        source = PartialMptcpSource(
+            gid=gid,
+            loop=self.net.loop,
+            size=share,
+            n_subflows=len(paths),
+            mss=self.net.mss,
+            min_rto=self.net.min_rto,
+            name=f"mptcp-g{gid}",
+            tracer=self.net._tracer,
+        )
+        for subflow, plane_path in zip(source.subflows, paths):
+            self.net.wire(subflow, plane_path)
+        at = 0.0 if spec.at is None else spec.at
+        self.net.loop.schedule_at(at, source.start)
+        self._spanning[gid] = source
+
+    # --- fault application ---------------------------------------------------
+
+    def _event_links(self, event: FaultEvent) -> List[Tuple[str, str]]:
+        plane = self.net.planes[event.plane]
+        if event.u is not None:
+            return [link_key(event.u, event.v)]
+        node = event.node if event.node is not None else event.host
+        if node is not None:
+            return [
+                l.key for l in plane.incident_links(node, live_only=False)
+            ]
+        return [l.key for l in plane.links]
+
+    def _apply_fault(self, event: FaultEvent) -> None:
+        plane_idx = event.plane
+        for key in self._event_links(event):
+            count = self._down_count.get((plane_idx, key), 0)
+            if event.is_down:
+                self._down_count[(plane_idx, key)] = count + 1
+                if count == 0:
+                    self.net.fail_link(plane_idx, *key)
+            else:
+                if count == 0:
+                    continue  # not held down by this schedule
+                self._down_count[(plane_idx, key)] = count - 1
+                if count == 1:
+                    self.net.restore_link(plane_idx, *key)
+
+    # --- barrier protocol ----------------------------------------------------
+
+    def apply(self, updates: Dict[str, Any]) -> None:
+        """Apply one barrier's coupling updates, in deterministic order."""
+        for gid in sorted(updates.get("finalize", ())):
+            self._spanning[gid].finalize()
+        for gid, terms in sorted(updates.get("views", {}).items()):
+            self._spanning[gid].remote.set(*terms)
+        for gid, delta in sorted(updates.get("grants", {}).items()):
+            self._spanning[gid].grant(delta)
+
+    def advance(self, t: Optional[float]) -> None:
+        self.net.run(until=float("inf") if t is None else t)
+
+    def digest(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "t": self.net.loop.now,
+            "next": _next_event_time(self.net.loop),
+            "flows": {
+                gid: source.digest()
+                for gid, source in sorted(self._spanning.items())
+            },
+        }
+        if self.config.collect_obs:
+            payload["obs"] = self.obs.export_state()
+        return payload
+
+    def result(self) -> Dict[str, Any]:
+        local_planes = set(
+            self.config.plan.planes_of_shard[self.config.shard]
+        )
+        for record in self.net.records:
+            record.flow_id = self._local_gids[record.flow_id]
+        return {
+            "records": list(self.net.records),
+            "plane_totals": {
+                plane: totals
+                for plane, totals in self.net.plane_queue_totals().items()
+                if plane in local_planes
+            },
+            "events_processed": self.net.loop.events_processed,
+            "obs": self.obs.export_state()
+            if self.config.collect_obs else None,
+        }
+
+
+class FluidShardWorker:
+    """Fluid-model worker: plane-local flows only (exact decomposition).
+
+    Spanning flows couple through the global max-min allocation, so the
+    engine refuses to shard them (``ShardSafetyError``); everything
+    that reaches a fluid worker is embarrassingly parallel and there is
+    a single run-to-horizon barrier instead of epochs.
+    """
+
+    def __init__(self, config: WorkerConfig):
+        if config.spanning_share:
+            raise ValueError(
+                "fluid workers cannot hold spanning flows: "
+                f"{sorted(config.spanning_share)}"
+            )
+        if config.fault_events:
+            raise ValueError(
+                "fluid workers do not replay fault schedules; fault runs "
+                "need the serial injector (resteering is cross-plane)"
+            )
+        self.config = config
+        local_ids = list(config.plan.planes_of_shard[config.shard])
+        if config.obs_registry is not None:
+            self.obs = config.obs_registry
+        else:
+            self.obs = Registry() if config.collect_obs else NULL_REGISTRY
+        self.sim = FluidSimulator(
+            [config.planes[i] for i in local_ids],
+            plane_ids=local_ids,
+            obs=self.obs,
+            **config.sim_kwargs,
+        )
+        self._gid_of: Dict[int, int] = {}
+        for gid, spec in config.entries:
+            fid = self.sim.add_flow(spec=spec)
+            self._gid_of[fid] = gid
+
+    def apply(self, updates: Dict[str, Any]) -> None:
+        if updates:
+            raise ValueError("fluid workers take no coupling updates")
+
+    def advance(self, t: Optional[float]) -> None:
+        self.sim.run(until=t)
+
+    def digest(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "t": self.sim.now, "next": None, "flows": {},
+        }
+        if self.config.collect_obs:
+            payload["obs"] = self.obs.export_state()
+        return payload
+
+    def result(self) -> Dict[str, Any]:
+        for record in self.sim.records:
+            record.flow_id = self._gid_of[record.flow_id]
+        return {
+            "records": list(self.sim.records),
+            "plane_totals": {},
+            "events_processed": self.sim.events_processed,
+            "delivered_bytes": self.sim.delivered_bytes,
+            "obs": self.obs.export_state()
+            if self.config.collect_obs else None,
+        }
+
+
+def build_worker(config: WorkerConfig):
+    if config.engine == "packet":
+        return PacketShardWorker(config)
+    if config.engine == "fluid":
+        return FluidShardWorker(config)
+    raise ValueError(f"unknown shard engine {config.engine!r}")
+
+
+def handle_message(worker, message: Tuple) -> Tuple:
+    """Execute one engine request against a worker; never raises.
+
+    The single dispatch point both channel backends share: replies are
+    ``("digest", payload)`` / ``("result", payload)`` or ``("error",
+    traceback_text)``.
+    """
+    try:
+        tag = message[0]
+        if tag == "run":
+            __, t_target, updates = message
+            worker.apply(updates)
+            worker.advance(t_target)
+            return ("digest", worker.digest())
+        if tag == "digest":
+            return ("digest", worker.digest())
+        if tag == "stop":
+            return ("result", worker.result())
+        raise ValueError(f"unknown shard message {tag!r}")
+    except Exception:
+        return ("error", traceback.format_exc())
+
+
+def worker_main(conn, config: WorkerConfig) -> None:
+    """Process-backend entry point: serve requests over a Pipe until stop."""
+    try:
+        worker = build_worker(config)
+        startup_error = None
+    except Exception:
+        worker, startup_error = None, traceback.format_exc()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            if startup_error is not None:
+                conn.send(("error", startup_error))
+                break
+            reply = handle_message(worker, message)
+            conn.send(reply)
+            if reply[0] in ("result", "error"):
+                break
+    finally:
+        conn.close()

@@ -37,16 +37,9 @@ class _CoupledSubflow(TcpSource):
         self.parent = parent
 
     def _ca_increase(self, newly_acked: int) -> None:
-        siblings = self.parent.subflows
-        total_cwnd = sum(sf.cwnd for sf in siblings)
-        if total_cwnd <= 0:
+        total_cwnd, max_term, sum_term = self.parent.coupling_terms()
+        if total_cwnd <= 0 or sum_term <= 0:
             return
-        max_term = max(
-            sf.cwnd / (sf.srtt or _DEFAULT_RTT) ** 2 for sf in siblings
-        )
-        sum_term = sum(
-            sf.cwnd / (sf.srtt or _DEFAULT_RTT) for sf in siblings
-        )
         alpha = total_cwnd * max_term / (sum_term * sum_term)
         coupled = alpha * newly_acked * self.mss / total_cwnd
         uncoupled = newly_acked * self.mss / self.cwnd
@@ -113,6 +106,29 @@ class MptcpSource:
         grant = min(nbytes, self.remaining)
         self.remaining -= grant
         return grant
+
+    # --- coupled congestion control ------------------------------------------
+
+    def coupling_terms(self) -> "tuple":
+        """LIA coupling terms over this connection's subflows.
+
+        Returns ``(total_cwnd, max_term, sum_term)`` where ``max_term =
+        max_i cwnd_i / rtt_i^2`` and ``sum_term = sum_i cwnd_i / rtt_i``.
+        Overridable: a plane-sharded run (:mod:`repro.shard`) combines
+        the live local terms with epoch-stale digests of the subflows
+        running on other shards.
+        """
+        total = 0.0
+        max_term = 0.0
+        sum_term = 0.0
+        for sf in self.subflows:
+            rtt = sf.srtt or _DEFAULT_RTT
+            total += sf.cwnd
+            term = sf.cwnd / rtt ** 2
+            if term > max_term:
+                max_term = term
+            sum_term += sf.cwnd / rtt
+        return total, max_term, sum_term
 
     # --- lifecycle -----------------------------------------------------------
 

@@ -238,13 +238,26 @@ class PacketNetwork:
             if on_complete is not None:
                 on_complete(record)
 
+        source = self._make_source(spec, flow_id, finish)
+        self._active[flow_id] = (source, spec)
+        self.loop.schedule_at(at, source.start)
+        return source
+
+    def _make_source(self, spec: FlowSpec, flow_id: int, finish):
+        """Build and wire the transport source for one spec.
+
+        Overridable: the plane-sharded engine (:mod:`repro.shard`)
+        substitutes partial MPTCP sources for flows whose subflows live
+        on other shards.
+        """
+        paths = spec.paths
         if len(paths) == 1:
             from repro.sim.dctcp import DctcpSource
 
             source_cls = DctcpSource if spec.transport == "dctcp" else TcpSource
             source = source_cls(
                 self.loop,
-                size=size,
+                size=spec.size,
                 mss=self.mss,
                 min_rto=self.min_rto,
                 on_complete=finish,
@@ -255,7 +268,7 @@ class PacketNetwork:
         else:
             source = MptcpSource(
                 self.loop,
-                size=size,
+                size=spec.size,
                 n_subflows=len(paths),
                 mss=self.mss,
                 min_rto=self.min_rto,
@@ -265,9 +278,6 @@ class PacketNetwork:
             )
             for subflow, plane_path in zip(source.subflows, paths):
                 self._wire(subflow, plane_path)
-
-        self._active[flow_id] = (source, spec)
-        self.loop.schedule_at(at, source.start)
         return source
 
     # --- in-flight flow inspection ---------------------------------------
@@ -312,6 +322,16 @@ class PacketNetwork:
         backward = self._route_elements(plane_idx, list(reversed(path)))
         tcp_source.route_out = forward + [sink]
         sink.route_back = backward + [tcp_source]
+
+    def wire(self, tcp_source: TcpSource, plane_path: PlanePath) -> None:
+        """Wire a caller-built source/subflow onto one plane path.
+
+        Instantiates queues/pipes along the path (and the reverse ACK
+        path), creates the sink, and connects both routes.  The sharded
+        engine uses this to attach partial MPTCP sources it constructs
+        itself; ordinary callers should go through :meth:`add_flow`.
+        """
+        self._wire(tcp_source, plane_path)
 
     # --- mid-run failures -----------------------------------------------------------
 

@@ -1,0 +1,78 @@
+"""Sharding must never change fault-injection results (satellite 4).
+
+Fault runs resteer flows across planes -- a control-plane reaction the
+plane-partitioned engine cannot decompose -- so the degradation
+experiment forces the serial path via
+:func:`repro.shard.serial_fallback` no matter what ``PNET_SHARDS``
+says.  The contract pinned here: replaying the committed golden
+schedule (``tests/golden/faults_schedule.json``) under
+``PNET_SHARDS=2`` is byte-identical to the serial run, and the
+silently-serial decision is visible on the
+``shard.serial_fallback`` telemetry counter.
+"""
+
+import pathlib
+import pickle
+
+import pytest
+
+from repro.exp import degradation
+from repro.faults.schedule import FaultSchedule
+from repro.obs import Registry
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "faults_schedule.json"
+
+RUN_KWARGS = dict(
+    k=4, n_planes=2, chaos_seed=7, outage_at=0.1,
+    outage=0.2, duration=0.5, sample_period=0.05,
+)
+
+
+@pytest.fixture(scope="module")
+def golden_schedule():
+    assert GOLDEN.exists(), f"missing golden fixture {GOLDEN}"
+    return FaultSchedule.from_file(str(GOLDEN))
+
+
+class TestShardedFaultReplay:
+    def test_golden_replay_byte_identical_at_two_shards(
+        self, golden_schedule, monkeypatch
+    ):
+        monkeypatch.delenv("PNET_SHARDS", raising=False)
+        serial = degradation.run_faulted(
+            schedule=golden_schedule, **RUN_KWARGS
+        )
+        monkeypatch.setenv("PNET_SHARDS", "2")
+        sharded = degradation.run_faulted(
+            schedule=golden_schedule, **RUN_KWARGS
+        )
+        assert pickle.dumps(serial) == pickle.dumps(sharded)
+
+    def test_generated_outage_byte_identical_at_two_shards(
+        self, monkeypatch
+    ):
+        monkeypatch.delenv("PNET_SHARDS", raising=False)
+        serial = degradation.run_faulted(**RUN_KWARGS)
+        monkeypatch.setenv("PNET_SHARDS", "2")
+        sharded = degradation.run_faulted(**RUN_KWARGS)
+        assert pickle.dumps(serial) == pickle.dumps(sharded)
+
+    def test_fallback_is_visible_in_telemetry(
+        self, golden_schedule, monkeypatch
+    ):
+        monkeypatch.setenv("PNET_SHARDS", "2")
+        obs = Registry()
+        degradation.run_faulted(
+            schedule=golden_schedule, obs=obs, **RUN_KWARGS
+        )
+        assert obs.counter(
+            "shard.serial_fallback", feature="fault-resteer"
+        ).value == 1
+
+    def test_no_fallback_noise_when_serial(self, monkeypatch):
+        monkeypatch.delenv("PNET_SHARDS", raising=False)
+        obs = Registry()
+        degradation.run_faulted(obs=obs, **RUN_KWARGS)
+        assert obs.counter(
+            "shard.serial_fallback", feature="fault-resteer"
+        ).value == 0
