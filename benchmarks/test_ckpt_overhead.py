@@ -1,0 +1,102 @@
+"""Benchmark: checkpoint write/restore cost vs an uncheckpointed run.
+
+Runs one fixed packet workload plain and with periodic
+:func:`repro.ckpt.run_checkpointed` snapshots, times a single
+save/restore round trip, and records it all in
+``results/BENCH_ckpt.json``.  Wall-clock ratios vary with the machine,
+so the only hard assertions are the portable ones: the checkpointed
+run's records are byte-identical to the plain run's, and a restore of
+the last snapshot finishes to the same bytes.
+"""
+
+import os
+import pickle
+import tempfile
+import time
+
+from _util import emit_json
+
+from repro.ckpt import restore, run_checkpointed, save
+from repro.ckpt.store import checkpoints_size_bytes, list_checkpoints
+from repro.core.flowspec import FlowSpec
+from repro.sim.network import PacketNetwork
+from repro.topology.graph import HOST, TOR, Topology
+from repro.units import Gbps, MB
+
+FLOW_BYTES = int(4 * MB)
+EVERY = 5e-5  # simulated seconds between snapshots
+
+
+def _dumbbell(cap=100 * Gbps, prop=1e-6):
+    topo = Topology("dumbbell")
+    for i in range(4):
+        topo.add_node(f"h{i}", HOST)
+    topo.add_node("t0", TOR)
+    topo.add_node("t1", TOR)
+    topo.add_link("h0", "t0", cap, prop)
+    topo.add_link("h1", "t0", cap, prop)
+    topo.add_link("h2", "t1", cap, prop)
+    topo.add_link("h3", "t1", cap, prop)
+    topo.add_link("t0", "t1", cap, prop)
+    return topo
+
+
+def _network():
+    net = PacketNetwork([_dumbbell()])
+    net.add_flow(spec=FlowSpec(
+        src="h0", dst="h2", size=FLOW_BYTES,
+        paths=[(0, ["h0", "t0", "t1", "h2"])],
+    ))
+    net.add_flow(spec=FlowSpec(
+        src="h1", dst="h3", size=FLOW_BYTES,
+        paths=[(0, ["h1", "t0", "t1", "h3"])], at=1e-5,
+    ))
+    return net
+
+
+def test_ckpt_overhead(benchmark):
+    plain = _network()
+    started = time.perf_counter()
+    benchmark.pedantic(plain.run, rounds=1, iterations=1)
+    plain_wall = time.perf_counter() - started
+    want = pickle.dumps(plain.records)
+
+    with tempfile.TemporaryDirectory() as root:
+        net = _network()
+        started = time.perf_counter()
+        saved = run_checkpointed(net, root, every=EVERY)
+        checkpointed_wall = time.perf_counter() - started
+        assert pickle.dumps(net.records) == want
+        assert saved, "workload never crossed a checkpoint interval"
+        total_bytes = checkpoints_size_bytes(root)
+        n_checkpoints = len(list_checkpoints(root))
+
+        # One save/restore round trip from a mid-run state.
+        mid = _network()
+        mid.run(until=8e-5)
+        started = time.perf_counter()
+        directory = save(root, mid)
+        save_wall = time.perf_counter() - started
+        started = time.perf_counter()
+        resumed = restore(directory).network
+        restore_wall = time.perf_counter() - started
+        resumed.run()
+        assert pickle.dumps(resumed.records) == want
+
+    emit_json("BENCH_ckpt", {
+        "workload": {
+            "topology": "dumbbell",
+            "engine": "packet",
+            "n_flows": 2,
+            "flow_bytes": FLOW_BYTES,
+        },
+        "checkpoint_every_sim_seconds": EVERY,
+        "cpu_count": os.cpu_count(),
+        "plain_wall_seconds": round(plain_wall, 4),
+        "checkpointed_wall_seconds": round(checkpointed_wall, 4),
+        "overhead_ratio": round(checkpointed_wall / plain_wall, 3),
+        "n_checkpoints": n_checkpoints,
+        "total_checkpoint_bytes": total_bytes,
+        "save_wall_seconds": round(save_wall, 5),
+        "restore_wall_seconds": round(restore_wall, 5),
+    })

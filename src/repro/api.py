@@ -147,6 +147,9 @@ def run_trial(
     network: Network,
     flows: Iterable[FlowSpec],
     until: float = math.inf,
+    checkpoint_dir=None,
+    checkpoint_every: Optional[float] = None,
+    checkpoint_keep_last: Optional[int] = None,
 ) -> TrialResult:
     """Launch ``flows`` on ``network``, run it, and merge the results.
 
@@ -154,14 +157,73 @@ def run_trial(
     keyword-only ``add_flow(spec=...)`` API, the simulation runs to
     completion (or ``until``), and the per-plane statistics are merged
     into a :class:`NetworkMonitor`.
+
+    With ``checkpoint_dir`` and ``checkpoint_every`` the run writes
+    :mod:`repro.ckpt` snapshots every that many simulated seconds;
+    :func:`resume_trial` continues from the newest one with results
+    byte-identical to an uninterrupted run.
     """
     for spec in flows:
         network.add_flow(spec=spec)
+    if checkpoint_every is not None:
+        if checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        from repro.ckpt import run_checkpointed
+
+        run_checkpointed(
+            network,
+            checkpoint_dir,
+            checkpoint_every,
+            until=until,
+            keep_last=checkpoint_keep_last,
+        )
+        return _finish_trial(network)
     if isinstance(network, PacketNetwork):
         network.run(until=until)
-        monitor = NetworkMonitor.from_network(network)
     else:
         network.run(until=None if math.isinf(until) else until)
+    return _finish_trial(network)
+
+
+def resume_trial(
+    checkpoint_dir,
+    until: float = math.inf,
+    checkpoint_every: Optional[float] = None,
+    checkpoint_keep_last: Optional[int] = None,
+) -> TrialResult:
+    """Continue a checkpointed :func:`run_trial` to completion.
+
+    Loads the newest valid checkpoint under ``checkpoint_dir`` (partial
+    directories from a killed run are skipped), resumes the simulation,
+    and returns the same :class:`TrialResult` -- records byte-identical
+    to the run never having stopped.  Pass ``checkpoint_every`` to keep
+    checkpointing on the way.
+    """
+    from repro.ckpt import restore, run_checkpointed
+
+    checkpoint = restore(checkpoint_dir)
+    network = checkpoint.network
+    if checkpoint_every is not None:
+        run_checkpointed(
+            network,
+            checkpoint_dir,
+            checkpoint_every,
+            until=until,
+            injector=checkpoint.injector,
+            rng=checkpoint.rng,
+            keep_last=checkpoint_keep_last,
+        )
+    elif isinstance(network, PacketNetwork):
+        network.run(until=until)
+    else:
+        network.run(until=None if math.isinf(until) else until)
+    return _finish_trial(network)
+
+
+def _finish_trial(network: Network) -> TrialResult:
+    if isinstance(network, PacketNetwork):
+        monitor = NetworkMonitor.from_network(network)
+    else:
         monitor = NetworkMonitor(len(network.planes))
         for record in network.records:
             monitor.record_flow(record.planes, record.size, record.fct)

@@ -1,0 +1,73 @@
+"""repro.ckpt -- deterministic checkpoint/restore for simulations.
+
+Versioned, content-hashed, crash-consistent snapshots of complete
+simulator state, with the hard guarantee that ``run(T1) -> checkpoint
+-> restore -> run(T2)`` is byte-identical to an uninterrupted
+``run(T2)``.
+
+Layers:
+
+* :mod:`repro.ckpt.store` -- the on-disk container (payloads + SHA-256
+  manifest written last, atomic renames, ``ckpt-<N>`` sequencing,
+  pruning).
+* :mod:`repro.ckpt.snapshot` -- save/restore of live simulator object
+  graphs (:func:`save`, :func:`restore`, :func:`run_checkpointed`).
+* :mod:`repro.ckpt.rng` -- :class:`RngBundle`, the serializable home
+  for every random stream a run owns.
+
+Higher layers build on these: the sharded engine checkpoints per-plane
+worker snapshots at epoch barriers, and the experiment runner
+checkpoints sweep progress (``--checkpoint-every`` / ``--resume``).
+"""
+
+from repro.ckpt.rng import RngBundle, get_bundle, set_bundle
+from repro.ckpt.snapshot import (
+    SimCheckpoint,
+    restore,
+    run_checkpointed,
+    save,
+)
+from repro.ckpt.store import (
+    FORMAT_VERSION,
+    CheckpointError,
+    atomic_write_bytes,
+    checkpoints_size_bytes,
+    inspect,
+    is_valid,
+    latest,
+    list_checkpoints,
+    next_step,
+    prune,
+    read_manifest,
+    read_payload,
+    step_dir,
+    step_of,
+    verify,
+    write_checkpoint,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointError",
+    "RngBundle",
+    "SimCheckpoint",
+    "atomic_write_bytes",
+    "checkpoints_size_bytes",
+    "get_bundle",
+    "inspect",
+    "is_valid",
+    "latest",
+    "list_checkpoints",
+    "next_step",
+    "prune",
+    "read_manifest",
+    "read_payload",
+    "restore",
+    "run_checkpointed",
+    "save",
+    "set_bundle",
+    "step_dir",
+    "step_of",
+    "verify",
+    "write_checkpoint",
+]

@@ -11,11 +11,21 @@ Usage::
     python -m repro fig9 --shards 2      # split each trial over 2 plane shards
     python -m repro cache                # show artifact-cache stats
     python -m repro cache --clear        # drop all cached artifacts
+    python -m repro cache stats          # per-kind on-disk inventory
+    python -m repro cache prune --max-bytes 500000000
     python -m repro fig9 --scale tiny --metrics-out metrics.jsonl
     python -m repro fig9 --scale tiny --trace trace.jsonl
     python -m repro obs summarize metrics.jsonl trace.jsonl
     python -m repro faults run --chaos-seed 7 --scale tiny
     python -m repro faults run --schedule faults.json --metrics-out m.jsonl
+    python -m repro fig9 --checkpoint-dir ckpts --checkpoint-every 4
+    python -m repro fig9 --checkpoint-dir ckpts --resume
+    python -m repro ckpt save ckpts --scale tiny --every 0.1
+    python -m repro ckpt restore ckpts
+    python -m repro ckpt inspect ckpts/ckpt-00000000
+    python -m repro ckpt verify ckpts/ckpt-00000000
+    python -m repro ckpt list ckpts
+    python -m repro ckpt prune ckpts --keep-last 2
 
 Each experiment prints the same rows/series the paper reports; ``--csv``
 additionally writes the raw result (flattened) for plotting.  Trials fan
@@ -117,6 +127,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="with 'cache': delete all cached artifacts",
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="sweep checkpoint root (sets PNET_CKPT_DIR)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "write a sweep checkpoint every N completed trials "
+            "(sets PNET_CKPT_EVERY; needs --checkpoint-dir)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "skip trials already completed by a prior (possibly killed) "
+            "checkpointed run (sets PNET_RESUME; needs --checkpoint-dir)"
+        ),
+    )
+    parser.add_argument(
+        "--keep-last",
+        type=int,
+        metavar="N",
+        default=None,
+        help="retain only the newest N sweep checkpoints (sets PNET_CKPT_KEEP)",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="FILE",
         default=None,
@@ -190,6 +231,201 @@ def cache_command(clear: bool) -> int:
     return 0
 
 
+def cache_subcommand(argv: List[str]) -> int:
+    """``python -m repro cache stats|prune|clear [...]``"""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="artifact-cache maintenance",
+    )
+    parser.add_argument("action", choices=["stats", "prune", "clear"])
+    parser.add_argument(
+        "--max-bytes", type=int, metavar="BYTES", default=None,
+        help="with 'prune': evict oldest entries until at most this many "
+        "bytes remain",
+    )
+    args = parser.parse_args(argv)
+    from repro.exp.cache import cache_enabled, get_cache
+
+    cache = get_cache()
+    if args.action == "clear":
+        stats = cache.disk_stats()
+        cache.clear()
+        print(
+            f"cleared {stats['entries']} entries "
+            f"({stats['bytes'] / 1e6:.1f} MB) from {stats['root']}"
+        )
+        return 0
+    if args.action == "prune":
+        if args.max_bytes is None:
+            parser.error("prune requires --max-bytes")
+        removed, freed = cache.prune(args.max_bytes)
+        print(
+            f"pruned {removed} entries ({freed / 1e6:.1f} MB) "
+            f"from {cache.root}"
+        )
+        return 0
+    stats = cache.disk_stats()
+    print(f"cache dir: {stats['root']}"
+          + ("" if cache_enabled() else "  (disabled: PNET_CACHE=0)"))
+    print(f"entries:   {stats['entries']}")
+    print(f"size:      {stats['bytes'] / 1e6:.1f} MB")
+    for kind, bucket in stats["kinds"].items():
+        print(
+            f"  {kind:<10} {bucket['entries']:>6} entries  "
+            f"{bucket['bytes'] / 1e6:>8.1f} MB"
+        )
+    return 0
+
+
+def ckpt_command(argv: List[str]) -> int:
+    """``python -m repro ckpt save|restore|inspect|verify|list|prune``
+
+    ``save`` runs the degradation scenario writing simulator
+    checkpoints; ``restore`` finishes it from the newest one with
+    output identical to an uninterrupted run -- a zero-code
+    demonstration of the checkpoint contract.  ``inspect``/``verify``/
+    ``list``/``prune`` operate on any :mod:`repro.ckpt` container
+    (simulator, shard-engine, or sweep checkpoints alike).
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro ckpt",
+        description="deterministic simulation checkpoints",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    save = sub.add_parser("save", help="run the degradation scenario, "
+                          "checkpointing as it goes")
+    save.add_argument("root", metavar="DIR")
+    save.add_argument("--scale", choices=SCALES, default=None)
+    save.add_argument("--chaos-seed", type=int, default=7, metavar="N")
+    save.add_argument(
+        "--every", type=float, default=None, metavar="SECONDS",
+        help="checkpoint interval in simulated seconds "
+        "(default: duration / 5)",
+    )
+    save.add_argument("--keep-last", type=int, default=None, metavar="N")
+    save.add_argument(
+        "--stop-after", type=float, default=None, metavar="SECONDS",
+        help="abandon the run at this simulated time (simulates "
+        "preemption; 'restore' then finishes it)",
+    )
+
+    rest = sub.add_parser("restore", help="finish a checkpointed run "
+                          "from its newest valid snapshot")
+    rest.add_argument("root", metavar="DIR")
+
+    insp = sub.add_parser("inspect", help="print a checkpoint's manifest "
+                          "summary")
+    insp.add_argument("paths", nargs="+", metavar="PATH")
+
+    ver = sub.add_parser("verify", help="verify payload hashes; exit "
+                         "nonzero on any corrupt/partial checkpoint")
+    ver.add_argument("paths", nargs="+", metavar="PATH")
+
+    lst = sub.add_parser("list", help="list checkpoints under a root")
+    lst.add_argument("root", metavar="DIR")
+
+    prn = sub.add_parser("prune", help="drop all but the newest N valid "
+                         "checkpoints (invalid ones always go)")
+    prn.add_argument("root", metavar="DIR")
+    prn.add_argument("--keep-last", type=int, required=True, metavar="N")
+
+    args = parser.parse_args(argv)
+    import json
+
+    from repro import ckpt
+
+    if args.action == "save":
+        from repro.exp.common import get_scale
+        from repro.exp.degradation import PRESETS, run_faulted
+
+        params = dict(PRESETS[get_scale(args.scale)])
+        duration = params["duration"]
+        every = args.every if args.every is not None else duration / 5
+        out = run_faulted(
+            k=params["k"],
+            n_planes=params["n_planes"],
+            chaos_seed=args.chaos_seed,
+            outage_at=params["outage_at"],
+            outage=params["outage"],
+            duration=duration,
+            sample_period=params["sample_period"],
+            checkpoint_dir=args.root,
+            checkpoint_every=every,
+            checkpoint_keep_last=args.keep_last,
+            stop_after=args.stop_after,
+        )
+        written = ckpt.list_checkpoints(args.root)
+        ran_to = (
+            duration if args.stop_after is None
+            else min(duration, args.stop_after)
+        )
+        print(
+            f"[ckpt] {len(written)} checkpoint(s) under {args.root} "
+            f"(ran to t={ran_to}, every={every})"
+        )
+        if args.stop_after is None:
+            print(f"[ckpt] final fraction "
+                  f"{out['stats']['final_fraction']:.3f}")
+        else:
+            print("[ckpt] run abandoned; 'repro ckpt restore "
+                  f"{args.root}' finishes it")
+        return 0
+
+    if args.action == "restore":
+        from repro.exp.degradation import resume_faulted
+
+        out = resume_faulted(args.root)
+        print("t (s)    normalised throughput")
+        for t, fraction in out["samples"]:
+            print(f"{t:>7.3f}  {fraction:.3f}")
+        stats = out["stats"]
+        print(
+            f"[ckpt] resumed run complete: "
+            f"min={stats['min_fraction']:.3f} "
+            f"final={stats['final_fraction']:.3f} "
+            f"resteered={int(stats['flows_resteered'])}"
+        )
+        return 0
+
+    if args.action == "inspect":
+        for path in args.paths:
+            print(json.dumps(ckpt.inspect(path), indent=2, sort_keys=True))
+        return 0
+
+    if args.action == "verify":
+        failed = 0
+        for path in args.paths:
+            try:
+                ckpt.verify(path)
+                print(f"{path}: OK")
+            except ckpt.CheckpointError as exc:
+                print(f"{path}: FAILED -- {exc}")
+                failed += 1
+        return 1 if failed else 0
+
+    if args.action == "list":
+        entries = ckpt.list_checkpoints(args.root)
+        if not entries:
+            print(f"no checkpoints under {args.root}")
+            return 0
+        for path in entries:
+            try:
+                manifest = ckpt.verify(path)
+                meta = manifest.get("meta", {})
+                print(
+                    f"{path.name}  kind={meta.get('kind', '?'):<6} "
+                    f"t={meta.get('t', meta.get('completed', '?'))}  valid"
+                )
+            except ckpt.CheckpointError as exc:
+                print(f"{path.name}  INVALID -- {exc}")
+        return 0
+
+    removed = ckpt.prune(args.root, args.keep_last)
+    print(f"pruned {len(removed)} checkpoint(s) from {args.root}")
+    return 0
+
+
 def obs_command(argv: List[str]) -> int:
     """``python -m repro obs summarize FILE [FILE ...]``"""
     parser = argparse.ArgumentParser(
@@ -238,8 +474,7 @@ def faults_command(argv: List[str]) -> int:
     )
     args = parser.parse_args(argv)
 
-    import random
-
+    from repro.ckpt.rng import RngBundle
     from repro.exp.common import get_scale
     from repro.exp.degradation import PRESETS, run_faulted
     from repro.faults import FaultSchedule, plane_outage
@@ -250,7 +485,9 @@ def faults_command(argv: List[str]) -> int:
         schedule = FaultSchedule.from_file(args.schedule)
     else:
         # Generate against a throwaway copy of the trial's network so the
-        # run itself starts from pristine state.
+        # run itself starts from pristine state.  The chaos stream lives
+        # in an RngBundle (checkpointable position) seeded explicitly so
+        # the schedule matches the historic random.Random sequence.
         from repro.core.pnet import PNet
         from repro.topology.parallel import ParallelTopology
 
@@ -258,7 +495,10 @@ def faults_command(argv: List[str]) -> int:
             lambda: build_fat_tree(params["k"]), params["n_planes"]
         ))
         schedule = plane_outage(
-            pnet, random.Random(args.chaos_seed),
+            pnet,
+            RngBundle(args.chaos_seed).stream(
+                "faults.chaos", seed=args.chaos_seed
+            ),
             at=params["outage_at"], outage=params["outage"],
         )
     if args.schedule_out is not None:
@@ -311,6 +551,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return obs_command(argv[1:])
     if argv and argv[0] == "faults":
         return faults_command(argv[1:])
+    if argv and argv[0] == "ckpt":
+        return ckpt_command(argv[1:])
+    if (
+        argv
+        and argv[0] == "cache"
+        and len(argv) > 1
+        and argv[1] in ("stats", "prune")
+    ):
+        # `cache` / `cache --clear` keep their historic route through
+        # the main parser; the new maintenance verbs get their own.
+        return cache_subcommand(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, module in sorted(EXPERIMENTS.items()):
@@ -318,7 +569,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.experiment == "cache":
         return cache_command(args.clear)
-    if args.jobs is not None or args.shards is not None or args.epoch is not None:
+    if (
+        args.jobs is not None
+        or args.shards is not None
+        or args.epoch is not None
+        or args.checkpoint_dir is not None
+        or args.checkpoint_every is not None
+        or args.keep_last is not None
+        or args.resume
+    ):
         import os
 
         if args.jobs is not None:
@@ -327,6 +586,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             os.environ["PNET_SHARDS"] = str(args.shards)
         if args.epoch is not None:
             os.environ["PNET_EPOCH"] = repr(args.epoch)
+        if args.checkpoint_dir is not None:
+            os.environ["PNET_CKPT_DIR"] = args.checkpoint_dir
+        if args.checkpoint_every is not None:
+            os.environ["PNET_CKPT_EVERY"] = str(args.checkpoint_every)
+        if args.keep_last is not None:
+            os.environ["PNET_CKPT_KEEP"] = str(args.keep_last)
+        if args.resume:
+            os.environ["PNET_RESUME"] = "1"
     registry = None
     if args.metrics_out is not None or args.trace is not None:
         from repro.api import attach_telemetry

@@ -28,9 +28,9 @@ import hashlib
 import os
 import pathlib
 import pickle
-import tempfile
 from typing import Any, Dict, Iterable, Optional, Tuple
 
+from repro.ckpt.store import atomic_write_bytes, remove_oldest_until
 from repro.topology.graph import Topology
 
 #: Bump when the on-disk format or key semantics change; old entries are
@@ -195,21 +195,10 @@ class ArtifactCache:
         """Store ``value`` atomically (temp file + rename)."""
         if not cache_enabled():
             return
-        path = self._path(kind, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        atomic_write_bytes(
+            self._path(kind, key),
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
         )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
 
     def get_or_compute(self, kind: str, key: Any, compute) -> Any:
         """``get`` falling back to ``compute()`` (whose result is stored)."""
@@ -243,6 +232,52 @@ class ArtifactCache:
 
     def size_bytes(self) -> int:
         return sum(p.stat().st_size for p in self.entries())
+
+    def disk_stats(self) -> Dict[str, Any]:
+        """On-disk inventory: entry count and bytes, total and per kind.
+
+        ``kinds`` maps each artifact kind ("routes", "lp", "trial", ...)
+        to ``{"entries", "bytes"}``; drives ``repro cache stats``.
+        """
+        kinds: Dict[str, Dict[str, int]] = {}
+        total_entries = 0
+        total_bytes = 0
+        for path in self.entries():
+            kind = path.parent.name
+            bucket = kinds.setdefault(kind, {"entries": 0, "bytes": 0})
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+            total_entries += 1
+            total_bytes += size
+        return {
+            "root": str(self.root),
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "kinds": dict(sorted(kinds.items())),
+        }
+
+    def prune(self, max_bytes: int) -> Tuple[int, int]:
+        """Evict oldest entries (by mtime) until at most ``max_bytes`` remain.
+
+        Returns ``(entries_removed, bytes_freed)``.  Eviction order is
+        deterministic for equal mtimes (path tiebreak); a vanished file
+        (concurrent prune) is skipped, not an error.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        triples = []
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            triples.append((path, stat.st_size, stat.st_mtime))
+        removed, freed = remove_oldest_until(triples, max_bytes)
+        return len(removed), freed
 
 
 # Per-root instances so PNET_CACHE_DIR changes (e.g. in tests) take

@@ -25,10 +25,10 @@ exposes the same run with ``--metrics-out``.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.ckpt.rng import RngBundle
 from repro.core.failures import FailureAwareSelector
 from repro.core.flowspec import FlowSpec
 from repro.core.path_selection import KspMultipathPolicy
@@ -98,6 +98,30 @@ def _build(k: int, n_planes: int, seed: int):
     return pnet, selector
 
 
+class _RateSampler:
+    """Self-rescheduling aggregate-rate sampler.
+
+    A class instance, not a closure: pending sample timers sit in the
+    simulator's heap, and :mod:`repro.ckpt` pickles the whole loop --
+    closures don't pickle, this does, and its accumulated ``samples``
+    ride along in the same graph.
+    """
+
+    def __init__(self, sim, baseline, sample_period, duration):
+        self.sim = sim
+        self.baseline = baseline
+        self.sample_period = sample_period
+        self.duration = duration
+        self.samples: List[Tuple[float, float]] = []
+
+    def __call__(self) -> None:
+        self.samples.append(
+            (self.sim.now, self.sim.aggregate_rate() / self.baseline)
+        )
+        if self.sim.now + self.sample_period <= self.duration + 1e-12:
+            self.sim.schedule(self.sim.now + self.sample_period, self)
+
+
 def run_faulted(
     k: int,
     n_planes: int,
@@ -109,17 +133,35 @@ def run_faulted(
     schedule: Optional[FaultSchedule] = None,
     obs=None,
     seed: int = 0,
+    checkpoint_dir=None,
+    checkpoint_every: Optional[float] = None,
+    checkpoint_keep_last: Optional[int] = None,
+    stop_after: Optional[float] = None,
 ) -> Dict[str, object]:
     """One degradation run; returns samples plus outcome stats.
 
     With ``schedule=None`` a plane outage is generated from
     ``chaos_seed`` (the CLI's ``--schedule`` passes an explicit one).
     An empty schedule is the no-fault control.
+
+    With ``checkpoint_dir`` and ``checkpoint_every`` (simulated
+    seconds) the run snapshots the live simulator -- injector schedule
+    position, sampler, and RNG bundle included -- and
+    :func:`resume_faulted` finishes an interrupted run with output
+    identical to this function never having stopped.  ``stop_after``
+    abandons the run at that simulated time (simulated preemption: the
+    sampler still carries the full ``duration``, so a later resume
+    finishes the whole run).
     """
     pnet, selector = _build(k, n_planes, seed)
+    # One bundle owns every random stream of the run; seeding the chaos
+    # stream explicitly keeps the generated schedule byte-identical to
+    # the historic random.Random(chaos_seed) sequence.
+    rng = RngBundle(chaos_seed)
     if schedule is None:
         schedule = plane_outage(
-            pnet, random.Random(chaos_seed), at=outage_at, outage=outage
+            pnet, rng.stream("faults.chaos", seed=chaos_seed),
+            at=outage_at, outage=outage,
         )
     registry = obs if obs is not None else Registry()
     # Fault runs resteer flows across planes (control-plane reaction),
@@ -142,18 +184,45 @@ def run_faulted(
     from repro.units import DEFAULT_LINK_RATE
 
     baseline = len(hosts) * n_planes * DEFAULT_LINK_RATE
-    samples: List[Tuple[float, float]] = []
-
-    def sample() -> None:
-        samples.append((sim.now, sim.aggregate_rate() / baseline))
-        if sim.now + sample_period <= duration + 1e-12:
-            sim.schedule(sim.now + sample_period, sample)
-
+    sampler = _RateSampler(sim, baseline, sample_period, duration)
     # Offset by half a period so samples never land on an event instant
     # (rates at an event time are ambiguous: before or after?).
-    sim.schedule(sample_period / 2, sample)
-    sim.run(until=duration)
+    sim.schedule(sample_period / 2, sampler)
+    horizon = (
+        duration if stop_after is None else min(duration, stop_after)
+    )
+    if checkpoint_every is not None:
+        from repro.ckpt import run_checkpointed
 
+        run_checkpointed(
+            sim, checkpoint_dir, checkpoint_every, until=horizon,
+            injector=injector, rng=rng,
+            extra={"sampler": sampler, "pnet": pnet},
+            keep_last=checkpoint_keep_last,
+            meta={"scenario": "degradation"},
+        )
+    else:
+        sim.run(until=horizon)
+    return _faulted_output(sampler.samples, injector, pnet, registry)
+
+
+def resume_faulted(checkpoint_dir) -> Dict[str, object]:
+    """Finish an interrupted :func:`run_faulted` from its newest
+    checkpoint; the returned samples and stats match an uninterrupted
+    run exactly (same values, same schedule position, same reroutes)."""
+    from repro.ckpt import restore
+
+    checkpoint = restore(checkpoint_dir)
+    sim = checkpoint.network
+    sampler = checkpoint.extra["sampler"]
+    pnet = checkpoint.extra["pnet"]
+    sim.run(until=sampler.duration)
+    return _faulted_output(
+        sampler.samples, checkpoint.injector, pnet, sim.obs
+    )
+
+
+def _faulted_output(samples, injector, pnet, registry) -> Dict[str, object]:
     reroutes = registry.histogram("faults.reroute_seconds").values
     stats: Dict[str, float] = {
         "events_applied": injector.stats.events_applied,
@@ -163,8 +232,8 @@ def run_faulted(
         "flows_stranded": injector.stats.flows_stranded,
         "routes_repaired": injector.stats.routes_repaired,
         "routes_reenumerated": injector.stats.routes_reenumerated,
-        "min_fraction": min(f for __, f in samples),
-        "final_fraction": samples[-1][1],
+        "min_fraction": min((f for __, f in samples), default=0.0),
+        "final_fraction": samples[-1][1] if samples else 0.0,
         "surviving_capacity_end": surviving_capacity(pnet.planes),
         "reroute_count": float(len(reroutes)),
         "reroute_max_s": max(reroutes) if reroutes else 0.0,

@@ -24,16 +24,33 @@ import importlib
 import inspect
 import multiprocessing
 import os
+import pathlib
 import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.ckpt.store import (
+    CheckpointError,
+    latest,
+    next_step,
+    prune,
+    read_manifest,
+    read_payload,
+    step_dir,
+    write_checkpoint,
+)
 from repro.exp import cache as _cache
 from repro.obs import get_registry
 from repro.shard.partition import get_epoch, get_shards
 
 _MISS = object()
+
+#: ``meta["kind"]`` of sweep-progress checkpoints: one pickle mapping
+#: each completed trial's content hash to its result.
+KIND_SWEEP = "sweep"
+
+SWEEP_PAYLOAD = "sweep.pkl"
 
 
 @dataclass(frozen=True)
@@ -73,9 +90,14 @@ class RunStats:
     cache_hits: int = 0
     cache_misses: int = 0
     trial_cache_hits: int = 0
+    #: Trials skipped because a sweep checkpoint already held their
+    #: result (``--resume`` / ``PNET_RESUME``).
+    resumed_trials: int = 0
+    #: Sweep-progress checkpoints written this run.
+    checkpoints_written: int = 0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.n_trials} trials, jobs={self.jobs} "
             f"(x{self.shards} shards -> {self.trial_workers} trial "
             f"workers), "
@@ -83,6 +105,12 @@ class RunStats:
             f"{self.cache_misses} misses "
             f"({self.trial_cache_hits} whole-trial hits)"
         )
+        if self.resumed_trials or self.checkpoints_written:
+            text += (
+                f", {self.resumed_trials} resumed / "
+                f"{self.checkpoints_written} checkpoints"
+            )
+        return text
 
 
 #: Stats of the most recent run_trials call in this process (for CLI and
@@ -184,9 +212,98 @@ def _pool_context():
     )
 
 
+# --- sweep checkpoints ------------------------------------------------------
+#
+# A preemptible sweep writes its accumulated {trial content hash ->
+# result} map every N completions; a resumed run loads the newest valid
+# checkpoint and skips every trial whose hash is present.  Hashes are
+# the same content keys the artifact cache uses (code hash included), so
+# a checkpoint can never resurrect results from changed code, and
+# checkpoints written by one sweep are usable by any superset sweep.
+
+
+def get_checkpoint_dir(override=None) -> Optional[pathlib.Path]:
+    """Resolve the sweep checkpoint root (arg > $PNET_CKPT_DIR > off)."""
+    if override is not None:
+        return pathlib.Path(override)
+    raw = os.environ.get("PNET_CKPT_DIR")
+    return pathlib.Path(raw) if raw else None
+
+
+def get_checkpoint_every(override: Optional[int] = None) -> Optional[int]:
+    """Checkpoint after every N completed trials (arg > $PNET_CKPT_EVERY)."""
+    if override is None:
+        raw = os.environ.get("PNET_CKPT_EVERY", "")
+        if not raw:
+            return None
+        try:
+            override = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"PNET_CKPT_EVERY must be an integer, got {raw!r}"
+            )
+    if override < 1:
+        raise ValueError(f"checkpoint interval must be >= 1, got {override}")
+    return override
+
+
+def get_resume(override: Optional[bool] = None) -> bool:
+    """Whether to resume from sweep checkpoints (arg > $PNET_RESUME)."""
+    if override is not None:
+        return override
+    return os.environ.get("PNET_RESUME", "0") not in ("", "0")
+
+
+def get_checkpoint_keep(override: Optional[int] = None) -> Optional[int]:
+    """Retention for sweep checkpoints (arg > $PNET_CKPT_KEEP > all)."""
+    if override is None:
+        raw = os.environ.get("PNET_CKPT_KEEP", "")
+        if not raw:
+            return None
+        try:
+            override = int(raw)
+        except ValueError:
+            raise ValueError(f"PNET_CKPT_KEEP must be an integer, got {raw!r}")
+    if override < 1:
+        raise ValueError(f"keep-last must be >= 1, got {override}")
+    return override
+
+
+def _load_sweep_checkpoint(root) -> Dict[str, Any]:
+    """The completed-trial map from the newest valid checkpoint (or {})."""
+    chosen = latest(root)
+    if chosen is None:
+        return {}
+    meta = read_manifest(chosen).get("meta", {})
+    if meta.get("kind") != KIND_SWEEP:
+        raise CheckpointError(
+            f"{chosen} is a {meta.get('kind')!r} checkpoint, not sweep "
+            "progress; point PNET_CKPT_DIR at a sweep checkpoint root"
+        )
+    return pickle.loads(read_payload(chosen, SWEEP_PAYLOAD))
+
+
+def _write_sweep_checkpoint(
+    root, done: Dict[str, Any], total: int, keep_last: Optional[int]
+) -> None:
+    write_checkpoint(
+        step_dir(root, next_step(root)),
+        {SWEEP_PAYLOAD: pickle.dumps(
+            done, protocol=pickle.HIGHEST_PROTOCOL
+        )},
+        {"kind": KIND_SWEEP, "completed": len(done), "total": total},
+    )
+    if keep_last is not None:
+        prune(root, keep_last)
+
+
 def run_trials(
     specs: Sequence[TrialSpec],
     jobs: Optional[int] = None,
+    checkpoint_dir=None,
+    checkpoint_every: Optional[int] = None,
+    resume: Optional[bool] = None,
+    checkpoint_keep_last: Optional[int] = None,
 ) -> Dict[Tuple, Any]:
     """Run every trial and return ``{spec.key: result}`` in spec order.
 
@@ -195,10 +312,29 @@ def run_trials(
     regardless of which worker finished first, and the values are
     identical across job counts; per-run cost is recorded in
     :func:`last_stats`.
+
+    Sweep checkpointing (all default from the environment:
+    ``PNET_CKPT_DIR`` / ``PNET_CKPT_EVERY`` / ``PNET_RESUME`` /
+    ``PNET_CKPT_KEEP``): with a checkpoint dir and interval, the run
+    writes crash-consistent progress snapshots every
+    ``checkpoint_every`` completed trials plus one at the end; with
+    ``resume``, trials whose results a prior (possibly killed) run
+    already checkpointed are skipped.  Results are keyed by the same
+    content hash as the artifact cache, so resumed values are exactly
+    the values an uninterrupted run would have produced.
     """
     global _last_stats
     _check_specs(specs)
     jobs = get_jobs(jobs)
+    checkpoint_dir = get_checkpoint_dir(checkpoint_dir)
+    checkpoint_every = get_checkpoint_every(checkpoint_every)
+    resume = get_resume(resume)
+    checkpoint_keep_last = get_checkpoint_keep(checkpoint_keep_last)
+    if checkpoint_every is not None and checkpoint_dir is None:
+        raise ValueError(
+            "checkpoint_every requires a checkpoint dir "
+            "(PNET_CKPT_DIR or checkpoint_dir=)"
+        )
     # PNET_JOBS budgets *total* processes.  A sharded trial (PNET_SHARDS
     # > 1, epoch > 0) spawns one worker per plane shard, so the pool
     # gets jobs // shards trial slots (floor 1 -- a single sharded
@@ -219,16 +355,46 @@ def run_trials(
     parent_hits0, parent_misses0 = cache.hits, cache.misses
     results: Dict[Tuple, Any] = {}
 
-    # Whole-trial cache first: anything already computed (by any prior
-    # run or process) never reaches the pool.
+    # Resume state first, then the whole-trial cache: anything already
+    # computed (by a prior possibly-killed sweep, any prior run, or any
+    # other process) never reaches the pool.
+    content_hash = {
+        spec.key: _cache.stable_hash(_trial_cache_key(spec))
+        for spec in specs
+    }
+    done: Dict[str, Any] = (
+        _load_sweep_checkpoint(checkpoint_dir)
+        if resume and checkpoint_dir is not None else {}
+    )
     pending: List[TrialSpec] = []
     for spec in specs:
+        if content_hash[spec.key] in done:
+            results[spec.key] = done[content_hash[spec.key]]
+            stats.resumed_trials += 1
+            continue
         value = cache.get("trial", _trial_cache_key(spec), _MISS)
         if value is _MISS:
             pending.append(spec)
         else:
             results[spec.key] = value
             stats.trial_cache_hits += 1
+            done[content_hash[spec.key]] = value
+
+    fresh = 0
+
+    def _completed(key: Tuple, value: Any) -> None:
+        nonlocal fresh
+        results[key] = value
+        done[content_hash[key]] = value
+        fresh += 1
+        if (
+            checkpoint_every is not None
+            and fresh % checkpoint_every == 0
+        ):
+            _write_sweep_checkpoint(
+                checkpoint_dir, done, len(specs), checkpoint_keep_last
+            )
+            stats.checkpoints_written += 1
 
     if trial_workers == 1 or len(pending) <= 1:
         for spec in pending:
@@ -237,16 +403,24 @@ def run_trials(
             # a pool worker's unpickled result would: without this,
             # in-process results can share interned objects across
             # trials and their combined pickle differs by job count.
-            results[key] = pickle.loads(pickle.dumps(value))
+            _completed(key, pickle.loads(pickle.dumps(value)))
     else:
         ctx = _pool_context()
         with ctx.Pool(processes=min(trial_workers, len(pending))) as pool:
             for key, value, hits, misses in pool.imap_unordered(
                 _execute, pending
             ):
-                results[key] = value
+                _completed(key, value)
                 stats.cache_hits += hits
                 stats.cache_misses += misses
+
+    if checkpoint_every is not None and fresh % checkpoint_every != 0:
+        # Final partial interval: a completed sweep's checkpoint lets a
+        # superset sweep resume from everything computed here.
+        _write_sweep_checkpoint(
+            checkpoint_dir, done, len(specs), checkpoint_keep_last
+        )
+        stats.checkpoints_written += 1
 
     # Parent-side delta (trial-cache probes, and serial-path artifact
     # traffic); worker deltas were added as results streamed in.

@@ -30,6 +30,7 @@ order, so a (seed, schedule) pair replays byte-for-byte.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -157,8 +158,10 @@ class FaultInjector:
                 )
         self._network = network
         self._publish_gauges()
+        # Partials, not lambdas: pending fault events must pickle so a
+        # checkpoint taken mid-schedule resumes the remaining events.
         for event in self.schedule:
-            schedule_at(event.at, lambda e=event: self._apply(e))
+            schedule_at(event.at, functools.partial(self._apply, event))
 
     def apply_all(self) -> InjectionStats:
         """Apply the whole schedule directly to the topologies.
@@ -292,10 +295,7 @@ class FaultInjector:
             return
         t_event = self._now()
         when = t_event + self.detection_delay
-
-        def react() -> None:
-            self._react(t_event, rebalance)
-
+        react = functools.partial(self._react, t_event, rebalance)
         if isinstance(net, PacketNetwork):
             net.loop.schedule_at(when, react)
         else:

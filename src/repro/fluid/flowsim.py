@@ -24,7 +24,6 @@ Closed-loop workloads hook ``on_complete`` to inject the next flow.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 import time
 from dataclasses import dataclass, field
@@ -180,8 +179,10 @@ class FluidSimulator:
         self._active: List[_Flow] = []
         self._arrivals: List[Tuple[float, int, _Flow]] = []
         self._timers: List[Tuple[float, int, Callable[[], None]]] = []
-        self._ids = itertools.count()
-        self._seq = itertools.count()
+        # Plain ints (not itertools.count) so the simulator pickles for
+        # checkpointing with its id/tie-break sequences intact.
+        self._next_id = 0
+        self._seq = 0
         self.records: List[FlowRecord] = []
 
     # --- flow submission ---------------------------------------------------
@@ -273,11 +274,13 @@ class FluidSimulator:
             if not links:
                 raise ValueError("subflow path must traverse at least one link")
             subflows.append(_Subflow(links, rtt, line_rate))
-        flow_id = next(self._ids)
+        flow_id = self._next_id
+        self._next_id += 1
         flow = _Flow(flow_id, spec.src, spec.dst, float(spec.size), start,
                      subflows, spec.on_complete, spec.tag, spec.planes,
                      paths=spec.paths)
-        heapq.heappush(self._arrivals, (start, next(self._seq), flow))
+        heapq.heappush(self._arrivals, (start, self._seq, flow))
+        self._seq += 1
         return flow_id
 
     # --- control-plane hooks ------------------------------------------------
@@ -290,7 +293,8 @@ class FluidSimulator:
         """
         if at < self.now - _EPS:
             raise ValueError(f"cannot schedule in the past ({at} < {self.now})")
-        heapq.heappush(self._timers, (at, next(self._seq), fn))
+        heapq.heappush(self._timers, (at, self._seq, fn))
+        self._seq += 1
 
     def active_flows(self) -> List[Tuple[int, str, str, float]]:
         """(flow_id, src, dst, current total rate) of in-flight flows."""
@@ -519,13 +523,27 @@ class FluidSimulator:
         self,
         until: Optional[float] = None,
         max_events: int = 10_000_000,
+        stop_after: Optional[float] = None,
     ) -> List[FlowRecord]:
-        """Run to completion (or ``until``); returns all flow records."""
+        """Run to completion (or ``until``); returns all flow records.
+
+        ``stop_after`` pauses the engine at the first *event boundary* at
+        or past that time, without the horizon crediting ``until``
+        performs.  That keeps the paused state a pure event-boundary
+        state: resuming with a later ``run()`` call replays the exact
+        floating-point trajectory of an uninterrupted run, which is what
+        :mod:`repro.ckpt` snapshots rely on (crediting partial intervals
+        at an arbitrary cut point would perturb downstream completion
+        times by ulps).  Use ``until`` for the final segment, where the
+        horizon-exact ``delivered_bytes`` semantics matter.
+        """
         events = 0
         recomputes_before = self.rate_recomputations
         timing = self.obs.enabled
         t0 = time.perf_counter() if timing else 0.0
         while self._active or self._arrivals or self._timers:
+            if stop_after is not None and self.now >= stop_after:
+                break
             events += 1
             if events > max_events:
                 raise RuntimeError(f"exceeded {max_events} events")

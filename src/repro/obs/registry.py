@@ -265,6 +265,23 @@ class Registry:
                 )
         return rows
 
+    # --- pickling -----------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle without sinks (they hold open file handles).
+
+        A registry restored from a checkpoint keeps every instrument and
+        the tracer ring, but starts with no sinks attached -- callers
+        re-attach output files after :func:`repro.ckpt.restore`.
+        """
+        state = self.__dict__.copy()
+        state["metric_sinks"] = []
+        state["trace_sinks"] = []
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
     # --- worker-state transport ---------------------------------------------
 
     def export_state(self) -> List[Tuple]:
@@ -406,6 +423,16 @@ class NullRegistry(Registry):
 
     def trace(self, kind: str, t: float, **fields: Any) -> None:
         pass
+
+    def __reduce__(self):
+        # Stateless by construction: every pickled NullRegistry -- e.g.
+        # inside a repro.ckpt snapshot of a telemetry-free simulator --
+        # restores as the shared process singleton.
+        return (_null_registry, ())
+
+
+def _null_registry() -> "NullRegistry":
+    return NULL_REGISTRY
 
 
 #: The process-wide default: telemetry off until someone attaches it.

@@ -29,9 +29,20 @@ channel backends.
 from __future__ import annotations
 
 import math
+import pathlib
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.ckpt.store import (
+    CheckpointError,
+    latest,
+    next_step,
+    prune,
+    read_payload,
+    step_dir,
+    write_checkpoint,
+)
 from repro.core.flowspec import FlowSpec
 from repro.core.pnet import PNet
 from repro.obs import get_registry
@@ -53,6 +64,7 @@ from repro.shard.partition import (
 )
 from repro.shard.worker import (
     WorkerConfig,
+    _next_event_time,
     build_worker,
     handle_message,
     worker_main,
@@ -68,6 +80,84 @@ MAX_ROUNDS = 1_000_000
 
 class ShardSafetyError(RuntimeError):
     """The requested run cannot be sharded without changing results."""
+
+
+#: ``meta["kind"]`` of checkpoints the shard engine writes: one payload
+#: per worker (the worker pickles itself at an epoch barrier) plus
+#: ``engine.pkl`` holding the barrier-loop state.
+KIND_SHARD = "shard"
+
+
+def _write_shard_checkpoint(
+    root, channels, t, rounds, digests, spanning, shares, plan, epoch,
+    backend, keep_last=None,
+) -> pathlib.Path:
+    """Snapshot every worker at the barrier and write one checkpoint.
+
+    Workers are quiescent at the barrier (their event loops stopped at
+    ``t``), so the per-worker pickles plus the engine's own loop state
+    form a globally consistent cut.  The container write is manifest-
+    last, so a crash mid-write is indistinguishable from no checkpoint.
+    """
+    payloads = {
+        f"shard-{shard:02d}.pkl": ch.rpc(("snapshot",))[1]
+        for shard, ch in enumerate(channels)
+    }
+    payloads["engine.pkl"] = pickle.dumps(
+        {
+            "t": t,
+            "rounds": rounds,
+            "digests": digests,
+            "spanning": spanning,
+            "shares": shares,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    meta = {
+        "kind": KIND_SHARD,
+        "engine": "packet",
+        "t": t,
+        "rounds": rounds,
+        "n_shards": plan.n_shards,
+        "epoch": epoch,
+        "backend": backend,
+    }
+    directory = write_checkpoint(step_dir(root, next_step(root)), payloads, meta)
+    if keep_last is not None:
+        prune(root, keep_last)
+    return directory
+
+
+def _load_shard_checkpoint(root, n_shards: int) -> Optional[Dict[str, Any]]:
+    """The newest valid shard checkpoint under ``root`` (None if empty).
+
+    Shard count must match the resuming run: worker pickles are
+    per-shard slices of the workload and cannot be re-partitioned.
+    """
+    chosen = latest(root)
+    if chosen is None:
+        return None
+    from repro.ckpt.store import read_manifest
+
+    meta = read_manifest(chosen).get("meta", {})
+    if meta.get("kind") != KIND_SHARD:
+        raise CheckpointError(
+            f"{chosen} is a {meta.get('kind')!r} checkpoint, not a shard-"
+            "engine one; resume it through its own entry point"
+        )
+    if meta.get("n_shards") != n_shards:
+        raise CheckpointError(
+            f"{chosen} was taken with {meta.get('n_shards')} shard(s); "
+            f"this run has {n_shards} -- resume must keep the shard count"
+        )
+    return {
+        "path": chosen,
+        "workers": [
+            read_payload(chosen, f"shard-{shard:02d}.pkl")
+            for shard in range(n_shards)
+        ],
+        "engine": pickle.loads(read_payload(chosen, "engine.pkl")),
+    }
 
 
 @dataclass
@@ -168,6 +258,10 @@ def run_packet_trial(
     schedule=None,
     until: float = math.inf,
     obs=None,
+    checkpoint_dir=None,
+    checkpoint_every: Optional[float] = None,
+    resume: bool = False,
+    checkpoint_keep_last: Optional[int] = None,
     **sim_kwargs: Any,
 ) -> ShardResult:
     """Run a packet-level trial, sharded by plane.
@@ -191,6 +285,18 @@ def run_packet_trial(
         until: simulated-time horizon (default: run to completion).
         obs: telemetry registry absorbing the per-shard registries in
             shard order; defaults to the process-wide registry.
+        checkpoint_dir: root for ``repro.ckpt`` snapshots.  With
+            ``checkpoint_every``, a checkpoint is written at the first
+            epoch barrier at or past each multiple of that many
+            simulated seconds (workers are quiescent at barriers, so
+            the cut is globally consistent).
+        checkpoint_every: checkpoint spacing in simulated seconds.
+        resume: load the newest valid checkpoint under
+            ``checkpoint_dir`` and continue from its barrier; a fresh
+            start when none exists.  The shard count must match the
+            checkpointed run.
+        checkpoint_keep_last: prune to the newest N checkpoints after
+            each write (default: keep all).
         sim_kwargs: forwarded to ``PacketNetwork`` (queue_packets, mss,
             min_rto, ecn_threshold).
 
@@ -209,10 +315,23 @@ def run_packet_trial(
     events = _check_schedule(schedule, len(planes))
     plan = ShardPlan.build(len(planes), n_shards)
     backend = get_backend(backend) if plan.n_shards > 1 else "local"
+    if checkpoint_every is not None:
+        if checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be > 0, got {checkpoint_every}"
+            )
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume requires checkpoint_dir")
 
     if plan.n_shards == 1:
         return _run_serial_packet(
-            planes, specs, events, until, obs, epoch, sim_kwargs
+            planes, specs, events, until, obs, epoch, sim_kwargs,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            checkpoint_keep_last=checkpoint_keep_last,
         )
 
     if any(spec.on_complete is not None for spec in specs):
@@ -270,11 +389,31 @@ def run_packet_trial(
             collect_obs=collect_obs,
         ))
 
+    restored = (
+        _load_shard_checkpoint(checkpoint_dir, plan.n_shards)
+        if resume else None
+    )
+    if restored is not None:
+        for config, blob in zip(configs, restored["workers"]):
+            config.restore_blob = blob
+
     channels = _make_channels(configs, backend)
     try:
-        digests = [ch.rpc(("digest",))[1] for ch in channels]
-        rounds = 0
-        t = 0.0
+        if restored is None:
+            digests = [ch.rpc(("digest",))[1] for ch in channels]
+            rounds = 0
+            t = 0.0
+        else:
+            engine_state = restored["engine"]
+            digests = engine_state["digests"]
+            rounds = engine_state["rounds"]
+            t = engine_state["t"]
+            spanning = engine_state["spanning"]
+            shares = engine_state["shares"]
+        ckpt_next = (
+            (math.floor(t / checkpoint_every) + 1) * checkpoint_every
+            if checkpoint_every is not None else math.inf
+        )
         while True:
             if rounds > MAX_ROUNDS:
                 raise RuntimeError(
@@ -345,6 +484,15 @@ def run_packet_trial(
             ]
             t = t_next
             rounds += 1
+            if t >= ckpt_next:
+                _write_shard_checkpoint(
+                    checkpoint_dir, channels, t, rounds, digests,
+                    spanning, shares, plan, epoch, backend,
+                    keep_last=checkpoint_keep_last,
+                )
+                ckpt_next = (
+                    math.floor(t / checkpoint_every) + 1
+                ) * checkpoint_every
 
         results = [ch.rpc(("stop",))[1] for ch in channels]
     finally:
@@ -499,15 +647,22 @@ def _publish_flow_obs(obs, record: SimFlowRecord) -> None:
 
 
 def _run_serial_packet(
-    planes, specs, events, until, obs, epoch, sim_kwargs
+    planes, specs, events, until, obs, epoch, sim_kwargs,
+    checkpoint_dir=None, checkpoint_every=None, resume=False,
+    checkpoint_keep_last=None,
 ) -> ShardResult:
     """One-shard path: the literal serial simulator, no barriers.
 
     Flows keep their completion callbacks and the caller's registry is
     used directly, so a ``PNET_SHARDS=1`` run is byte-identical to a
-    plain ``PacketNetwork`` run of the same workload.
+    plain ``PacketNetwork`` run of the same workload.  Checkpoints use
+    the same ``kind="shard"`` container as the multi-shard path (one
+    worker payload), so resume works across either entry.
     """
     plan = ShardPlan.build(len(planes), 1)
+    restored = (
+        _load_shard_checkpoint(checkpoint_dir, 1) if resume else None
+    )
     config = WorkerConfig(
         shard=0,
         plan=plan,
@@ -517,11 +672,62 @@ def _run_serial_packet(
         entries=list(enumerate(specs)),
         fault_events=events,
         collect_obs=False,
-        obs_registry=obs,
+        obs_registry=obs if restored is None else None,
+        restore_blob=restored["workers"][0] if restored else None,
     )
     worker = build_worker(config)
-    worker.advance(until)
+    t = restored["engine"]["t"] if restored else 0.0
+    if checkpoint_every is None:
+        worker.advance(until)
+    else:
+        while True:
+            t_next = (
+                math.floor(t / checkpoint_every) + 1
+            ) * checkpoint_every
+            if t_next >= until:
+                worker.advance(until)
+                break
+            worker.advance(t_next)
+            t = t_next
+            if _next_event_time(worker.net.loop) is None:
+                break
+            payloads = {
+                "shard-00.pkl": pickle.dumps(
+                    worker, protocol=pickle.HIGHEST_PROTOCOL
+                ),
+                "engine.pkl": pickle.dumps(
+                    {
+                        "t": t,
+                        "rounds": 0,
+                        "digests": [],
+                        "spanning": {},
+                        "shares": {},
+                    },
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                ),
+            }
+            meta = {
+                "kind": KIND_SHARD,
+                "engine": "packet",
+                "t": t,
+                "rounds": 0,
+                "n_shards": 1,
+                "epoch": epoch,
+                "backend": "local",
+            }
+            write_checkpoint(
+                step_dir(checkpoint_dir, next_step(checkpoint_dir)),
+                payloads,
+                meta,
+            )
+            if checkpoint_keep_last is not None:
+                prune(checkpoint_dir, checkpoint_keep_last)
     result = worker.result()
+    if restored is not None and obs.enabled and worker.obs is not obs:
+        # The restored worker continued on its checkpointed registry
+        # (which holds the pre-checkpoint counters); fold the whole
+        # run's telemetry into the caller's registry.
+        obs.absorb(worker.obs.export_state())
     records = sorted(result["records"], key=lambda r: r.flow_id)
     return ShardResult(
         records=records,

@@ -24,7 +24,9 @@ cross-plane and stay serial; see ``resolve_shards`` in the engine.
 
 from __future__ import annotations
 
+import functools
 import heapq
+import pickle
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -64,6 +66,10 @@ class WorkerConfig:
     #: one-shard path injects the caller's registry here so telemetry
     #: is byte-identical to a plain un-sharded run.
     obs_registry: Optional[Registry] = None
+    #: A pickled worker from a prior ``("snapshot",)`` reply.  When set,
+    #: :func:`build_worker` unpickles it instead of constructing fresh
+    #: state, resuming the worker mid-run (see :mod:`repro.ckpt`).
+    restore_blob: Optional[bytes] = None
 
 
 def _next_event_time(loop) -> Optional[float]:
@@ -97,9 +103,11 @@ class PacketShardWorker:
         #: Refcounted held-down links, mirroring FaultInjector semantics
         #: for overlapping down events: (plane, link-key) -> count.
         self._down_count: Dict[Tuple[int, Tuple[str, str]], int] = {}
+        # Partials, not lambdas: the pending events must pickle for the
+        # engine's epoch-barrier checkpoints.
         for event in config.fault_events:
             self.net.loop.schedule_at(
-                event.at, lambda e=event: self._apply_fault(e)
+                event.at, functools.partial(self._apply_fault, event)
             )
 
     # --- construction helpers ----------------------------------------------
@@ -267,6 +275,12 @@ class FluidShardWorker:
 
 
 def build_worker(config: WorkerConfig):
+    if config.restore_blob is not None:
+        # The restored worker keeps its *checkpointed* registry (it holds
+        # the first segment's counters); callers that injected a live
+        # registry absorb the worker's state after the run instead of
+        # swapping it out, which would orphan net.obs publications.
+        return pickle.loads(config.restore_blob)
     if config.engine == "packet":
         return PacketShardWorker(config)
     if config.engine == "fluid":
@@ -290,6 +304,13 @@ def handle_message(worker, message: Tuple) -> Tuple:
             return ("digest", worker.digest())
         if tag == "digest":
             return ("digest", worker.digest())
+        if tag == "snapshot":
+            # The worker pickles *itself* -- event heap, transport
+            # state, fault refcounts and telemetry in one graph -- so a
+            # restored worker resumes byte-identically.
+            return ("snapshot", pickle.dumps(
+                worker, protocol=pickle.HIGHEST_PROTOCOL
+            ))
         if tag == "stop":
             return ("result", worker.result())
         raise ValueError(f"unknown shard message {tag!r}")

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 import time
 from typing import Callable, List, Optional, Tuple
@@ -41,7 +40,9 @@ class EventLoop:
     def __init__(self, obs=None):
         self.now = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
-        self._seq = itertools.count()
+        # Plain int (not itertools.count): checkpointing pickles the
+        # whole loop, and the tie-break sequence must survive exactly.
+        self._seq = 0
         self.events_processed = 0
         #: Deepest the heap has ever been (cancelled events included).
         self.max_heap_depth = 0
@@ -59,7 +60,8 @@ class EventLoop:
                 f"cannot schedule in the past ({time} < {self.now})"
             )
         event = Event(time, fn)
-        heapq.heappush(self._heap, (time, next(self._seq), event))
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._seq += 1
         if len(self._heap) > self.max_heap_depth:
             self.max_heap_depth = len(self._heap)
         return event

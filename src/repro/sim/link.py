@@ -8,6 +8,7 @@ abstraction: output-queued switches with per-port FIFO buffers.
 
 from __future__ import annotations
 
+import functools
 from collections import deque
 from typing import Deque, Optional  # noqa: F401 (Optional used in sig)
 
@@ -156,7 +157,11 @@ class Queue:
 
     def _serve(self, packet: Packet) -> None:
         service_time = packet.size * 8 / self.rate
-        self.loop.schedule(service_time, lambda: self._done(packet))
+        # partial, not a lambda: the pending event must pickle for
+        # checkpointing (repro.ckpt snapshots the live event heap).
+        self.loop.schedule(
+            service_time, functools.partial(self._done, packet)
+        )
 
     def _done(self, packet: Packet) -> None:
         self.packets_forwarded += 1

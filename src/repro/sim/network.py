@@ -16,7 +16,7 @@ simulation's hot paths are untouched.
 
 from __future__ import annotations
 
-import itertools
+import functools
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -93,7 +93,9 @@ class PacketNetwork:
             obs=self.obs if self.obs.enabled else None
         )
         self._elements: Dict[Tuple[int, str, str], Tuple[Queue, Pipe]] = {}
-        self._flow_ids = itertools.count()
+        # Plain int (not itertools.count) so the network pickles for
+        # checkpointing with its id sequence intact.
+        self._next_flow_id = 0
         self.records: List[SimFlowRecord] = []
         #: In-flight flows by id -- (source, spec) -- so fault injection
         #: can find flows pinned to a failed element and resteer them.
@@ -195,53 +197,54 @@ class PacketNetwork:
             raise ValueError(f"unknown transport {spec.transport!r}")
         if spec.transport == "dctcp" and len(spec.paths) > 1:
             raise ValueError("DCTCP is single-path; use one path")
-        src, dst, size = spec.src, spec.dst, spec.size
-        paths = spec.paths
-        planes = spec.planes
-        on_complete = spec.on_complete
         at = 0.0 if spec.at is None else spec.at
-        flow_id = next(self._flow_ids)
-        obs = self.obs if self.obs.enabled else None
-
-        def finish(source) -> None:
-            record = SimFlowRecord(
-                flow_id=flow_id,
-                src=src,
-                dst=dst,
-                size=size,
-                start=source.start_time,
-                finish=source.finish_time,
-                n_subflows=len(paths),
-                retransmits=source.retransmits,
-                packets_sent=source.packets_sent,
-                tag=spec.tag,
-                planes=planes,
-            )
-            self.records.append(record)
-            self._active.pop(flow_id, None)
-            if obs is not None:
-                # Even byte split across planes -- the same attribution
-                # NetworkMonitor.record_flow applies, so the two views
-                # agree exactly.
-                share = size / len(planes)
-                for plane in planes:
-                    obs.counter("net.flow.bytes", plane=plane).inc(share)
-                    obs.counter("net.flows", plane=plane).inc()
-                    obs.histogram("net.fct_seconds", plane=plane).observe(
-                        record.fct
-                    )
-                obs.trace(
-                    "flow.complete", self.loop.now, flow_id=flow_id,
-                    src=src, dst=dst, size=size, fct=record.fct,
-                    planes=list(planes), retransmits=record.retransmits,
-                )
-            if on_complete is not None:
-                on_complete(record)
-
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        # A bound-method partial (not a closure) so in-flight flows --
+        # whose sources hold this completion hook -- pickle for
+        # checkpointing.
+        finish = functools.partial(self._finish_flow, flow_id, spec)
         source = self._make_source(spec, flow_id, finish)
         self._active[flow_id] = (source, spec)
         self.loop.schedule_at(at, source.start)
         return source
+
+    def _finish_flow(self, flow_id: int, spec: FlowSpec, source) -> None:
+        record = SimFlowRecord(
+            flow_id=flow_id,
+            src=spec.src,
+            dst=spec.dst,
+            size=spec.size,
+            start=source.start_time,
+            finish=source.finish_time,
+            n_subflows=len(spec.paths),
+            retransmits=source.retransmits,
+            packets_sent=source.packets_sent,
+            tag=spec.tag,
+            planes=spec.planes,
+        )
+        self.records.append(record)
+        self._active.pop(flow_id, None)
+        if self.obs.enabled:
+            obs = self.obs
+            planes = spec.planes
+            # Even byte split across planes -- the same attribution
+            # NetworkMonitor.record_flow applies, so the two views
+            # agree exactly.
+            share = spec.size / len(planes)
+            for plane in planes:
+                obs.counter("net.flow.bytes", plane=plane).inc(share)
+                obs.counter("net.flows", plane=plane).inc()
+                obs.histogram("net.fct_seconds", plane=plane).observe(
+                    record.fct
+                )
+            obs.trace(
+                "flow.complete", self.loop.now, flow_id=flow_id,
+                src=spec.src, dst=spec.dst, size=spec.size, fct=record.fct,
+                planes=list(planes), retransmits=record.retransmits,
+            )
+        if spec.on_complete is not None:
+            spec.on_complete(record)
 
     def _make_source(self, spec: FlowSpec, flow_id: int, finish):
         """Build and wire the transport source for one spec.

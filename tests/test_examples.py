@@ -16,6 +16,7 @@ EXPECTED = {
     "mixed_planes.py": "performance isolation",
     "rolling_upgrade.py": "bulk transfer to the new rack",
     "operator_console.py": "suspect planes vs baseline: [3]",
+    "resumable_sweep.py": "resumed byte-identically: True",
 }
 
 
