@@ -1,16 +1,25 @@
 """Benchmark: plane-sharded engine wall-clock vs the serial simulator.
 
-Runs one fixed fig9-style packet trial (4-plane Jellyfish, permutation
-traffic, 4-way KSP MPTCP) serial and at 2 and 4 plane shards, and
-records the wall-clocks plus the resulting FCT deviation in
-``results/BENCH_shard.json``.  Speedup needs real cores: on the 1-CPU
-CI container the sharded runs are *expected* to be no faster (barrier
-and pickling overhead with zero parallelism), so nothing here asserts
-on wall-clock.  What must hold everywhere: repeat runs at a fixed
-shard count are byte-identical, and the sharded FCT deviation from
-serial stays within the documented epoch-staleness bound.
+Two scenarios, both recorded in ``results/BENCH_shard.json``:
+
+* ``coupled`` -- the fig9-style workload where every flow is a
+  spanning MPTCP connection across all four planes: the epoch-barrier
+  path (lookahead batching, shm digest exchange) is what's timed, under
+  both the ``shm`` and ``process`` channel backends.
+* ``bulk`` -- plane-local bulk transfers, the paper's bread-and-butter
+  scale-out case: no coupling, infinite lookahead, every worker
+  free-runs to completion.  This is where sharding must *beat* serial
+  on real cores, and the speedup assertion enforces it wherever the
+  machine has >= 2 CPUs.
+
+Portable guarantees asserted everywhere (including 1-CPU CI, where the
+coupled scenario is expected to be slower than serial): repeat runs at
+a fixed shard count are byte-identical, the bulk decomposition is
+byte-identical to serial, and coupled FCT deviation stays inside the
+documented epoch-staleness envelope.
 """
 
+import math
 import os
 import pickle
 import random
@@ -25,58 +34,81 @@ from repro.exp.common import (
     PARALLEL_HOMOGENEOUS,
     network_for_label,
 )
+from repro.routing.shortest import all_shortest_paths
 from repro.shard import DEFAULT_EPOCH, run_packet_trial
 from repro.traffic.patterns import permutation
-from repro.units import KB
+from repro.units import KB, MB
 
-#: Fixed tiny fig9 workload: every host pair runs one spanning MPTCP
-#: connection across all four planes, so the epoch-coupling path (not
-#: just the embarrassingly parallel local-flow path) is what's timed.
 SWITCHES, DEGREE, HOSTS_PER, N_PLANES = 12, 5, 2, 4
-FLOW_BYTES = 200 * KB
+FLOW_BYTES = 200 * KB  # coupled: per spanning MPTCP connection
+BULK_BYTES = 2 * MB  # bulk: per plane-local flow
 
 
-def _workload():
+def _pnet():
     family = JellyfishFamily(SWITCHES, DEGREE, HOSTS_PER)
-    pnet = network_for_label(family, PARALLEL_HOMOGENEOUS, N_PLANES)
+    return network_for_label(family, PARALLEL_HOMOGENEOUS, N_PLANES)
+
+
+def _coupled_workload(pnet):
+    """Every host pair spans all four planes: barrier-dominated."""
     pairs = permutation(pnet.hosts, random.Random("fig9-pkt"))
     policy = KspMultipathPolicy(pnet, k=N_PLANES, seed=0)
-    specs = [
+    return [
         FlowSpec(
             src=src, dst=dst, size=FLOW_BYTES,
             paths=policy.select(src, dst, flow_id),
         )
         for flow_id, (src, dst) in enumerate(pairs)
     ]
-    return pnet, specs
 
 
-def _timed_run(pnet, specs, shards):
+def _bulk_workload(pnet):
+    """Plane-local bulk transfers, round-robined over the planes."""
+    pairs = permutation(pnet.hosts, random.Random("bulk"))
+    specs = []
+    for flow_id, (src, dst) in enumerate(pairs):
+        plane = flow_id % N_PLANES
+        path = all_shortest_paths(pnet.planes[plane], src, dst)[0]
+        specs.append(FlowSpec(
+            src=src, dst=dst, size=BULK_BYTES, paths=[(plane, path)],
+        ))
+    return specs
+
+
+def _timed_run(pnet, specs, shards, backend=None):
     started = time.perf_counter()
     result = run_packet_trial(
-        pnet.planes, specs, shards=shards, epoch=DEFAULT_EPOCH
+        pnet.planes, specs, shards=shards, epoch=DEFAULT_EPOCH,
+        backend=backend,
     )
     wall = time.perf_counter() - started
     return result, wall
 
 
+def _config_entry(result, wall, serial_wall, serial_fcts):
+    deviations = [
+        abs(fct - base) / base
+        for fct, base in zip(result.fcts, serial_fcts)
+    ]
+    return {
+        "n_shards": result.n_shards,
+        "backend": result.backend,
+        "rounds": result.rounds,
+        "lookahead": None if math.isinf(result.lookahead)
+        else result.lookahead,
+        "stride": result.stride,
+        "wall_seconds": round(wall, 4),
+        "speedup_vs_serial": round(serial_wall / wall, 3),
+        "mean_fct_seconds": sum(result.fcts) / len(result.fcts),
+        "max_fct_deviation": max(deviations),
+        "mean_fct_deviation": sum(deviations) / len(deviations),
+    }
+
+
 def test_shard_scaling(benchmark):
-    pnet, specs = _workload()
-
-    serial, serial_wall = benchmark.pedantic(
-        _timed_run, args=(pnet, specs, 1), rounds=1, iterations=1
-    )
-    runs = {1: (serial, serial_wall)}
-    for shards in (2, 4):
-        runs[shards] = _timed_run(pnet, specs, shards)
-        # Determinism across repeats is the portable guarantee (the
-        # 1-CPU CI container cannot show speedup): same shard count,
-        # same bytes out.
-        repeat, __ = _timed_run(pnet, specs, shards)
-        assert pickle.dumps(repeat.records) == pickle.dumps(
-            runs[shards][0].records
-        )
-
+    pnet = _pnet()
+    coupled = _coupled_workload(pnet)
+    bulk = _bulk_workload(pnet)
     payload = {
         "workload": {
             "experiment": "fig9-packet",
@@ -85,31 +117,62 @@ def test_shard_scaling(benchmark):
             "degree": DEGREE,
             "hosts_per": HOSTS_PER,
             "n_planes": N_PLANES,
-            "flow_bytes": FLOW_BYTES,
-            "n_flows": len(specs),
+            "coupled_flow_bytes": FLOW_BYTES,
+            "bulk_flow_bytes": BULK_BYTES,
+            "n_flows": len(coupled),
         },
         "epoch": DEFAULT_EPOCH,
         "cpu_count": os.cpu_count(),
-        "configs": {},
+        "scenarios": {"coupled": {}, "bulk": {}},
     }
-    serial_fcts = serial.fcts
-    for shards, (result, wall) in sorted(runs.items()):
-        deviations = [
-            abs(fct - base) / base
-            for fct, base in zip(result.fcts, serial_fcts)
+
+    # --- coupled: barrier-dominated spanning MPTCP ----------------------
+    serial, serial_wall = benchmark.pedantic(
+        _timed_run, args=(pnet, coupled, 1), rounds=1, iterations=1
+    )
+    configs = payload["scenarios"]["coupled"]
+    configs["1"] = _config_entry(serial, serial_wall, serial_wall, serial.fcts)
+    for shards, backend in ((2, "shm"), (4, "shm"), (4, "process")):
+        result, wall = _timed_run(pnet, coupled, shards, backend=backend)
+        # Determinism across repeats is the portable guarantee: same
+        # shard count, same bytes out.
+        repeat, __ = _timed_run(pnet, coupled, shards, backend=backend)
+        assert pickle.dumps(repeat.records) == pickle.dumps(result.records)
+        entry = _config_entry(result, wall, serial_wall, serial.fcts)
+        configs[f"{shards}-{backend}"] = entry
+        # Generous envelope: tests/test_shard_coupling.py pins the real
+        # epoch-staleness bound; this file's job is the timing record.
+        assert entry["max_fct_deviation"] < 0.50
+
+    # --- bulk: plane-local free-running scale-out -----------------------
+    bulk_serial, bulk_serial_wall = _timed_run(pnet, bulk, 1)
+    configs = payload["scenarios"]["bulk"]
+    configs["1"] = _config_entry(
+        bulk_serial, bulk_serial_wall, bulk_serial_wall, bulk_serial.fcts
+    )
+    for shards in (2, 4):
+        result, wall = _timed_run(pnet, bulk, shards, backend="shm")
+        # The decomposition is exact: zero barrier rounds and records
+        # byte-identical to serial, at every shard count.  Per-record
+        # pickles, not one list blob: pickle memoizes shared host
+        # strings within a process, so the merged cross-process list
+        # encodes differently even when every record is identical.
+        assert result.rounds == 0
+        assert [pickle.dumps(r) for r in result.records] == [
+            pickle.dumps(r) for r in bulk_serial.records
         ]
-        payload["configs"][str(shards)] = {
-            "n_shards": result.n_shards,
-            "backend": result.backend,
-            "rounds": result.rounds,
-            "wall_seconds": round(wall, 4),
-            "speedup_vs_serial": round(serial_wall / wall, 3),
-            "mean_fct_seconds": sum(result.fcts) / len(result.fcts),
-            "max_fct_deviation": max(deviations),
-            "mean_fct_deviation": sum(deviations) / len(deviations),
-        }
-        # The epoch-staleness bound tests/test_shard_coupling.py pins
-        # down; generous here because this file's job is the timing
-        # record, not the convergence proof.
-        assert max(deviations) < 0.50
+        configs[str(shards)] = _config_entry(
+            result, wall, bulk_serial_wall, bulk_serial.fcts
+        )
+    if os.cpu_count() and os.cpu_count() >= 2:
+        # The headline claim -- sharding beats serial -- only needs the
+        # machine to actually have parallel cores.
+        best = max(
+            configs[str(s)]["speedup_vs_serial"] for s in (2, 4)
+        )
+        assert best > 1.0, (
+            f"plane-sharded bulk run slower than serial on "
+            f"{os.cpu_count()} cores: {configs}"
+        )
+
     emit_json("BENCH_shard", payload)

@@ -9,6 +9,7 @@ Usage::
     python -m repro fig6 --csv results/
     python -m repro fig9 --jobs 8        # fan trials over 8 workers
     python -m repro fig9 --shards 2      # split each trial over 2 plane shards
+    python -m repro fig9 --shards 2 --lookahead auto --shard-backend shm
     python -m repro cache                # show artifact-cache stats
     python -m repro cache --clear        # drop all cached artifacts
     python -m repro cache stats          # per-kind on-disk inventory
@@ -119,6 +120,25 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "override PNET_EPOCH (sharded barrier spacing in simulated "
             "seconds; 0 forces the byte-identical serial path)"
+        ),
+    )
+    parser.add_argument(
+        "--lookahead",
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "override PNET_LOOKAHEAD (barrier-batching window in simulated "
+            "seconds; 'auto' derives it from the minimum spanning-path RTT, "
+            "0 disables batching)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-backend",
+        choices=["local", "process", "shm"],
+        default=None,
+        help=(
+            "override PNET_SHARD_BACKEND (shard channel transport; "
+            "results are byte-identical across backends)"
         ),
     )
     parser.add_argument(
@@ -573,6 +593,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.jobs is not None
         or args.shards is not None
         or args.epoch is not None
+        or args.lookahead is not None
+        or args.shard_backend is not None
         or args.checkpoint_dir is not None
         or args.checkpoint_every is not None
         or args.keep_last is not None
@@ -586,6 +608,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             os.environ["PNET_SHARDS"] = str(args.shards)
         if args.epoch is not None:
             os.environ["PNET_EPOCH"] = repr(args.epoch)
+        if args.lookahead is not None:
+            if args.lookahead != "auto":
+                try:
+                    value = float(args.lookahead)
+                except ValueError:
+                    print(
+                        f"--lookahead must be a number or 'auto', got "
+                        f"{args.lookahead!r}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                if value < 0:
+                    print(
+                        "--lookahead must be non-negative", file=sys.stderr
+                    )
+                    return 2
+            os.environ["PNET_LOOKAHEAD"] = args.lookahead
+        if args.shard_backend is not None:
+            os.environ["PNET_SHARD_BACKEND"] = args.shard_backend
         if args.checkpoint_dir is not None:
             os.environ["PNET_CKPT_DIR"] = args.checkpoint_dir
         if args.checkpoint_every is not None:

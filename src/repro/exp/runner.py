@@ -42,7 +42,7 @@ from repro.ckpt.store import (
 )
 from repro.exp import cache as _cache
 from repro.obs import get_registry
-from repro.shard.partition import get_epoch, get_shards
+from repro.shard.partition import get_epoch, get_lookahead, get_shards
 
 _MISS = object()
 
@@ -174,6 +174,14 @@ def _trial_cache_key(spec: TrialSpec) -> Tuple:
         epoch = get_epoch()
         if epoch > 0:
             key += (("PNET_SHARDS", shards), ("PNET_EPOCH", epoch))
+            # An explicit lookahead changes the barrier stride and so
+            # the (bounded) results; auto-derived lookahead is a pure
+            # function of the workload and needs no tag.  The channel
+            # backend is byte-identical by contract and is never
+            # tagged.
+            lookahead = get_lookahead()
+            if lookahead is not None:
+                key += (("PNET_LOOKAHEAD", lookahead),)
     return key
 
 

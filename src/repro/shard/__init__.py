@@ -11,11 +11,14 @@ barrier.
 
 Entry points:
 
-* :func:`run_packet_trial` -- epoch-synced packet simulation.
+* :func:`run_packet_trial` -- epoch-synced packet simulation with
+  conservative-PDES lookahead (barrier rounds batched up to the
+  minimum spanning-path RTT; uncoupled workers free-run).
 * :func:`run_fluid_trial` -- exact (barrier-free) fluid decomposition.
-* ``PNET_SHARDS`` / ``PNET_EPOCH`` / ``PNET_SHARD_BACKEND``
-  environment knobs, resolved by :func:`get_shards` /
-  :func:`get_epoch` / :func:`get_backend`.
+* ``PNET_SHARDS`` / ``PNET_EPOCH`` / ``PNET_LOOKAHEAD`` /
+  ``PNET_SHARD_BACKEND`` / ``PNET_SHARD_TIMEOUT`` environment knobs,
+  resolved by :func:`get_shards` / :func:`get_epoch` /
+  :func:`get_lookahead` / :func:`get_backend` / :func:`get_timeout`.
 
 Guarantees: ``PNET_SHARDS=1`` (or ``epoch=0``) is byte-identical to
 the pre-shard serial simulators; multi-shard results are deterministic
@@ -25,18 +28,24 @@ only spanning MPTCP connections see the epoch-staleness approximation
 (bounded, and converging to serial as ``epoch -> 0``).
 """
 
-from repro.shard.channel import ShardWorkerError, get_backend
+from repro.shard.channel import (
+    ShardWorkerError,
+    get_backend,
+    get_timeout,
+)
 from repro.shard.engine import (
     ShardResult,
     ShardSafetyError,
     run_fluid_trial,
     run_packet_trial,
 )
+from repro.shard.lookahead import derive_lookahead, epochs_per_sync
 from repro.shard.partition import (
     DEFAULT_EPOCH,
     ShardPlan,
     classify,
     get_epoch,
+    get_lookahead,
     get_shards,
     serial_fallback,
 )
@@ -48,9 +57,13 @@ __all__ = [
     "ShardSafetyError",
     "ShardWorkerError",
     "classify",
+    "derive_lookahead",
+    "epochs_per_sync",
     "get_backend",
     "get_epoch",
+    "get_lookahead",
     "get_shards",
+    "get_timeout",
     "run_fluid_trial",
     "run_packet_trial",
     "serial_fallback",

@@ -1,49 +1,103 @@
 """Barrier channels between the shard engine and its workers.
 
-Two interchangeable backends drive the *same* worker logic
+Three interchangeable backends drive the *same* worker logic
 (:func:`repro.shard.worker.handle_message`):
 
 * ``local`` -- the worker object lives in the engine process and
   messages are plain function calls.  Zero IPC cost; used for
   ``PNET_SHARD_BACKEND=local``, for tests, and as the reference
-  behaviour the process backend must match byte-for-byte.
+  behaviour the other backends must match byte-for-byte.
 * ``process`` -- one ``multiprocessing.Process`` per shard, messages
-  over a duplex ``Pipe``.  Fork start method preferred (cheap topology
-  hand-off); falls back to the platform default where fork is
+  pickled over a duplex ``Pipe``.  Fork start method preferred (cheap
+  topology hand-off); falls back to the platform default where fork is
   unavailable, in which case the worker config is pickled across.
+* ``shm`` -- one process per shard, messages over a
+  ``multiprocessing.shared_memory`` ring buffer with fixed-layout
+  numpy-packed coupling digests (:mod:`repro.shard.shm`).  The default
+  where shared memory is available: barrier digests skip pickling and
+  pipe syscalls entirely.
 
-Both present the same two calls to the engine: ``rpc(message) ->
-reply`` and ``close()``.  Every reply is a ``(tag, payload)`` tuple;
-a worker-side exception comes back as ``("error", traceback_text)``
-and is re-raised in the engine as :class:`ShardWorkerError`.
+Every backend presents the same calls to the engine: ``post(message)``
+enqueues a request without waiting, ``collect() -> reply`` blocks for
+the matching reply, and ``rpc(message)`` is the post+collect
+convenience.  The post/collect split is what lets the engine dispatch
+one barrier to *all* workers before waiting on any of them -- the
+difference between serialised and parallel epoch execution.
+
+Replies are ``(tag, payload)`` tuples; a worker-side exception comes
+back as ``("error", traceback_text)`` and is re-raised in the engine
+as :class:`ShardWorkerError`.  ``collect`` never hangs on a dead
+worker: both process-backed channels poll worker liveness while
+waiting and honour the optional ``PNET_SHARD_TIMEOUT`` deadline.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Any, Tuple
+import time
+from collections import deque
+from typing import Any, Callable, Optional, Tuple
 
 Message = Tuple[Any, ...]
 
+#: Seconds between liveness/deadline checks while waiting for a reply.
+POLL_INTERVAL = 0.05
+
+BACKENDS = ("local", "process", "shm")
+
 
 class ShardWorkerError(RuntimeError):
-    """A shard worker raised; carries the worker-side traceback."""
+    """A shard worker failed; carries the worker-side traceback or a
+    death/timeout diagnosis when the worker never replied."""
 
 
-def get_backend(override: str = None) -> str:
+def _default_backend() -> str:
+    """``shm`` where POSIX shared memory exists, else ``process``."""
+    try:
+        import multiprocessing.shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - very old/exotic platforms
+        return "process"
+    return "shm"
+
+
+def get_backend(override: Optional[str] = None) -> str:
     """Resolve the channel backend: override, else ``PNET_SHARD_BACKEND``.
 
-    Defaults to ``process`` (real parallelism).  ``local`` runs every
-    shard in the engine process -- same results, no speedup, handy for
-    debugging and for pickling-free profiling.
+    Defaults to ``shm`` (shared-memory rings, real parallelism without
+    per-barrier pickling) where available, else ``process``.  ``local``
+    runs every shard in the engine process -- same results, no
+    speedup, handy for debugging and pickling-free profiling.
     """
-    backend = override or os.environ.get("PNET_SHARD_BACKEND", "process")
-    if backend not in ("local", "process"):
+    backend = override or os.environ.get("PNET_SHARD_BACKEND", "")
+    if not backend:
+        backend = _default_backend()
+    if backend not in BACKENDS:
         raise ValueError(
-            f"shard backend must be 'local' or 'process', got {backend!r}"
+            f"shard backend must be one of {'/'.join(BACKENDS)}, "
+            f"got {backend!r}"
         )
     return backend
+
+
+def get_timeout(override: Optional[float] = None) -> Optional[float]:
+    """Barrier reply deadline in seconds (``PNET_SHARD_TIMEOUT``).
+
+    ``None`` (unset/empty/non-positive) waits forever -- worker *death*
+    is still detected promptly either way; the deadline additionally
+    catches live-but-stuck workers.
+    """
+    if override is None:
+        raw = os.environ.get("PNET_SHARD_TIMEOUT", "").strip()
+        if not raw:
+            return None
+        try:
+            override = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"PNET_SHARD_TIMEOUT must be a number, got {raw!r}"
+            ) from None
+    return override if override > 0 else None
 
 
 def _mp_context():
@@ -55,27 +109,43 @@ def _mp_context():
 
 
 class LocalChannel:
-    """In-process endpoint: the worker is a plain object, rpc is a call."""
+    """In-process endpoint: the worker is a plain object, rpc is a call.
+
+    ``post`` executes the request immediately (there is no concurrency
+    to gain in-process) and queues the reply for ``collect``, so the
+    engine's post-all-then-collect-all barrier code is backend-
+    agnostic.
+    """
 
     def __init__(self, worker, handler):
         self._worker = worker
         self._handler = handler
+        self._replies: deque = deque()
 
-    def rpc(self, message: Message) -> Message:
-        reply = self._handler(self._worker, message)
+    def post(self, message: Message) -> None:
+        self._replies.append(self._handler(self._worker, message))
+
+    def collect(self) -> Message:
+        reply = self._replies.popleft()
         if reply[0] == "error":
             raise ShardWorkerError(reply[1])
         return reply
 
+    def rpc(self, message: Message) -> Message:
+        self.post(message)
+        return self.collect()
+
     def close(self) -> None:
         self._worker = None
+        self._replies.clear()
 
 
 class ProcessChannel:
     """Pipe endpoint to a forked worker process."""
 
-    def __init__(self, target, config):
+    def __init__(self, target, config, timeout: Optional[float] = None):
         ctx = _mp_context()
+        self._timeout = get_timeout(timeout)
         self._conn, child_conn = ctx.Pipe(duplex=True)
         self._proc = ctx.Process(
             target=target, args=(child_conn, config), daemon=True
@@ -83,19 +153,59 @@ class ProcessChannel:
         self._proc.start()
         child_conn.close()  # parent keeps only its end
 
-    def rpc(self, message: Message) -> Message:
-        self._conn.send(message)
+    def post(self, message: Message) -> None:
+        try:
+            self._conn.send(message)
+        except (BrokenPipeError, OSError):
+            raise ShardWorkerError(
+                f"shard worker (pid {self._proc.pid}) died before the "
+                f"barrier request (exitcode={self._proc.exitcode})"
+            ) from None
+
+    def collect(self) -> Message:
+        self._wait_for_reply()
         try:
             reply = self._conn.recv()
-        except EOFError:
+        except (EOFError, OSError):
+            # EOFError on a clean close; ConnectionResetError (an
+            # OSError) when the worker was killed outright.
+            self._proc.join(timeout=5)
             raise ShardWorkerError(
-                "shard worker exited without replying "
-                f"(exitcode={self._proc.exitcode})"
+                f"shard worker (pid {self._proc.pid}) died mid-barrier "
+                f"without replying (exitcode={self._proc.exitcode})"
             ) from None
         if reply[0] == "error":
             self.close()
             raise ShardWorkerError(reply[1])
         return reply
+
+    def _wait_for_reply(self) -> None:
+        """Block until a reply is readable, failing fast on a dead or
+        stuck worker instead of hanging the barrier."""
+        deadline = (
+            time.monotonic() + self._timeout
+            if self._timeout is not None else None
+        )
+        while not self._conn.poll(POLL_INTERVAL):
+            if not self._proc.is_alive():
+                # One last poll: the reply may have landed in the pipe
+                # buffer just before the worker died.
+                if self._conn.poll(0):
+                    return
+                raise ShardWorkerError(
+                    f"shard worker (pid {self._proc.pid}) died "
+                    f"mid-barrier (exitcode={self._proc.exitcode})"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise ShardWorkerError(
+                    f"shard worker (pid {self._proc.pid}) sent no "
+                    f"barrier reply within {self._timeout}s "
+                    "(PNET_SHARD_TIMEOUT)"
+                )
+
+    def rpc(self, message: Message) -> Message:
+        self.post(message)
+        return self.collect()
 
     def close(self) -> None:
         try:

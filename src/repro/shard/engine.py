@@ -28,6 +28,7 @@ channel backends.
 
 from __future__ import annotations
 
+import functools
 import math
 import pathlib
 import pickle
@@ -56,10 +57,15 @@ from repro.shard.coupling import (
     lia_terms,
     split_bytes,
 )
+from repro.shard.lookahead import (
+    derive_lookahead,
+    epochs_per_sync,
+)
 from repro.shard.partition import (
     ShardPlan,
     classify,
     get_epoch,
+    get_lookahead,
     get_shards,
 )
 from repro.shard.worker import (
@@ -99,8 +105,10 @@ def _write_shard_checkpoint(
     form a globally consistent cut.  The container write is manifest-
     last, so a crash mid-write is indistinguishable from no checkpoint.
     """
+    for ch in channels:
+        ch.post(("snapshot",))
     payloads = {
-        f"shard-{shard:02d}.pkl": ch.rpc(("snapshot",))[1]
+        f"shard-{shard:02d}.pkl": ch.collect()[1]
         for shard, ch in enumerate(channels)
     }
     payloads["engine.pkl"] = pickle.dumps(
@@ -176,6 +184,14 @@ class ShardResult:
     events_processed: int
     plane_totals: Dict[int, Dict[str, int]] = field(default_factory=dict)
     delivered_bytes: Optional[float] = None
+    #: Effective lookahead (simulated seconds) and the barrier stride it
+    #: quantised to: one digest exchange covers ``stride`` epochs.
+    lookahead: float = 0.0
+    stride: int = 1
+    #: Barrier trace ``[(t, jumped), ...]`` when ``trace_barriers`` was
+    #: requested (None otherwise): ``jumped`` marks idle jumps past the
+    #: regular stride, which are exact (all coupled workers idle).
+    barriers: Optional[List[Tuple[float, bool]]] = None
 
     @property
     def total_drops(self) -> int:
@@ -221,7 +237,20 @@ def _make_channels(configs: List[WorkerConfig], backend: str):
             LocalChannel(build_worker(config), handle_message)
             for config in configs
         ]
-    return [ProcessChannel(worker_main, config) for config in configs]
+    if backend == "shm":
+        from repro.shard.shm import ShmChannel
+
+        make = ShmChannel
+    else:
+        make = functools.partial(ProcessChannel, worker_main)
+    channels = []
+    try:
+        for config in configs:
+            channels.append(make(config))
+    except BaseException:
+        _close_all(channels)
+        raise
+    return channels
 
 
 def _close_all(channels) -> None:
@@ -230,6 +259,17 @@ def _close_all(channels) -> None:
             channel.close()
         except Exception:  # pragma: no cover - teardown best effort
             pass
+
+
+def _describe_spanning(gid: int, spec: FlowSpec, plan: ShardPlan) -> str:
+    """Name a spanning flow and exactly where it spans, for refusals."""
+    planes_used = sorted({p for p, __ in spec.paths})
+    shard_ids = plan.shards_of(spec)
+    return (
+        f"flow {gid} ({spec.src}->{spec.dst}) places subflows on "
+        f"plane(s) {', '.join(map(str, planes_used))}, spanning "
+        f"shard(s) {', '.join(map(str, shard_ids))}"
+    )
 
 
 class _SpanningState:
@@ -254,6 +294,7 @@ def run_packet_trial(
     *,
     shards: Optional[int] = None,
     epoch: Optional[float] = None,
+    lookahead: Optional[float] = None,
     backend: Optional[str] = None,
     schedule=None,
     until: float = math.inf,
@@ -262,6 +303,7 @@ def run_packet_trial(
     checkpoint_every: Optional[float] = None,
     resume: bool = False,
     checkpoint_keep_last: Optional[int] = None,
+    trace_barriers: bool = False,
     **sim_kwargs: Any,
 ) -> ShardResult:
     """Run a packet-level trial, sharded by plane.
@@ -277,8 +319,14 @@ def run_packet_trial(
         epoch: barrier spacing in simulated seconds; defaults to
             ``PNET_EPOCH`` (else :data:`~repro.shard.partition.
             DEFAULT_EPOCH`).  Only spanning MPTCP connections feel it.
-        backend: ``"local"`` or ``"process"`` channel backend;
-            defaults to ``PNET_SHARD_BACKEND`` (else ``process``).
+        lookahead: conservative-PDES lookahead in simulated seconds;
+            defaults to ``PNET_LOOKAHEAD``, else it is derived as the
+            minimum spanning-path RTT.  Barrier rounds are batched to
+            ``max(1, floor(lookahead / epoch))`` epochs per digest
+            exchange; ``0`` forces one exchange per epoch.
+        backend: ``"local"``, ``"process"`` or ``"shm"`` channel
+            backend; defaults to ``PNET_SHARD_BACKEND`` (else ``shm``
+            where shared memory is available).
         schedule: optional iterable of fault events, routed to the
             owning shards (dataplane semantics only -- injector-style
             resteering is cross-plane and must stay serial).
@@ -297,6 +345,9 @@ def run_packet_trial(
             checkpointed run.
         checkpoint_keep_last: prune to the newest N checkpoints after
             each write (default: keep all).
+        trace_barriers: record every barrier as ``(t, jumped)`` on the
+            result (test/diagnostic aid; off by default to keep long
+            runs lean).
         sim_kwargs: forwarded to ``PacketNetwork`` (queue_packets, mss,
             min_rto, ecn_threshold).
 
@@ -334,9 +385,16 @@ def run_packet_trial(
             checkpoint_keep_last=checkpoint_keep_last,
         )
 
-    if any(spec.on_complete is not None for spec in specs):
+    with_callbacks = [
+        gid for gid, spec in enumerate(specs)
+        if spec.on_complete is not None
+    ]
+    if with_callbacks:
         raise ShardSafetyError(
-            "completion callbacks cannot run under PNET_SHARDS > 1: the "
+            f"flow {with_callbacks[0]} "
+            f"({specs[with_callbacks[0]].src}->"
+            f"{specs[with_callbacks[0]].dst}) carries a completion "
+            "callback, which cannot run under PNET_SHARDS > 1: the "
             "engine only sees flow completion at epoch barriers, so "
             "closed-loop workloads must run serial (shards=1)"
         )
@@ -349,7 +407,9 @@ def run_packet_trial(
         size = int(spec.size)
         if size != spec.size:
             raise ShardSafetyError(
-                f"spanning flow {gid} has non-integer size {spec.size!r}"
+                f"spanning {_describe_spanning(gid, spec, plan)}, but "
+                f"has non-integer size {spec.size!r}: the shared pool "
+                "splits whole bytes across shards"
             )
         shard_ids = plan.shards_of(spec)
         counts = [
@@ -397,10 +457,29 @@ def run_packet_trial(
         for config, blob in zip(configs, restored["workers"]):
             config.restore_blob = blob
 
+    # Conservative lookahead: coupling digests cannot change faster
+    # than one spanning-path RTT, so one digest exchange may safely
+    # cover several epochs (the epoch stays the staleness quantum; the
+    # stride only batches the exchanges).
+    la = get_lookahead(lookahead)
+    if la is None:
+        la = derive_lookahead(planes, specs, spanning_gids)
+    stride = epochs_per_sync(la, epoch)
+    sync_dt = epoch * stride
+
+    checkpointing = checkpoint_every is not None
+    barriers: Optional[List[Tuple[float, bool]]] = (
+        [] if trace_barriers else None
+    )
+    all_shards = set(range(plan.n_shards))
+    freed: set = set()
+
     channels = _make_channels(configs, backend)
     try:
         if restored is None:
-            digests = [ch.rpc(("digest",))[1] for ch in channels]
+            for ch in channels:
+                ch.post(("digest",))
+            digests = [ch.collect()[1] for ch in channels]
             rounds = 0
             t = 0.0
         else:
@@ -427,6 +506,7 @@ def run_packet_trial(
             ]
             any_grants = False
             incomplete = 0
+            coupled: set = set()
             for gid in spanning_gids:
                 state = spanning[gid]
                 if state.complete:
@@ -442,6 +522,7 @@ def run_packet_trial(
                         updates[shard]["finalize"].append(gid)
                     continue
                 incomplete += 1
+                coupled.update(state.shards)
                 moves = _rebalance(parts, state.shards, state.prev_acked)
                 state.prev_acked = [part["acked"] for part in parts]
                 for shard, delta in moves:
@@ -456,10 +537,48 @@ def run_packet_trial(
                     ]
                     updates[shard]["views"][gid] = lia_terms(remote)
 
-            nexts = [
-                d["next"] for d in digests if d["next"] is not None
-            ]
             finalizing = any(u["finalize"] for u in updates)
+            if checkpointing:
+                # Consistent cuts need *every* worker quiescent at the
+                # barrier, so nobody free-runs while checkpoints may be
+                # written.
+                need = set(all_shards)
+            else:
+                # A worker holding no incomplete spanning slice and no
+                # pending update exchanges nothing with anyone: promote
+                # it to free-running (one unbounded run, collected at
+                # shutdown).  Exact, not an approximation -- its planes
+                # share no state with the barriered ones.
+                need = coupled | {
+                    shard
+                    for shard in all_shards
+                    if updates[shard]["views"]
+                    or updates[shard]["grants"]
+                    or updates[shard]["finalize"]
+                }
+                for shard in sorted(all_shards - need - freed):
+                    channels[shard].post((
+                        "run",
+                        None if math.isinf(until) else until,
+                        {},
+                    ))
+                    freed.add(shard)
+                if not need:
+                    break
+
+            # Idle jumps and stall detection steer by the workers that
+            # can still influence coupling; in checkpoint mode the
+            # uncoupled workers keep barriering (for the cut) but must
+            # not steer t, or the coupled barrier sequence -- and with
+            # it the results -- would differ from an uncheckpointed run.
+            steer = sorted(coupled) if coupled else sorted(
+                all_shards - freed
+            )
+            nexts = [
+                digests[shard]["next"]
+                for shard in steer
+                if digests[shard]["next"] is not None
+            ]
             if not nexts and not any_grants and not finalizing:
                 if incomplete:
                     raise RuntimeError(
@@ -470,18 +589,22 @@ def run_packet_trial(
                 break
             if t >= until:
                 break
-            t_next = t + epoch
+            t_next = t + sync_dt
+            jumped = False
             if not any_grants and nexts and min(nexts) > t_next:
-                # Every worker is idle past the next barrier and no
-                # revival is in flight: digests cannot change while
-                # idle, so jumping straight to the next real event is
-                # exact, not an approximation.
+                # Every steering worker is idle past the next barrier
+                # and no revival is in flight: digests cannot change
+                # while idle, so jumping straight to the next real
+                # event is exact, not an approximation.
                 t_next = min(nexts)
+                jumped = True
             t_next = min(t_next, until)
-            digests = [
-                ch.rpc(("run", t_next, updates[shard]))[1]
-                for shard, ch in enumerate(channels)
-            ]
+            for shard in sorted(need):
+                channels[shard].post(("run", t_next, updates[shard]))
+            for shard in sorted(need):
+                digests[shard] = channels[shard].collect()[1]
+            if barriers is not None:
+                barriers.append((t_next, jumped))
             t = t_next
             rounds += 1
             if t >= ckpt_next:
@@ -494,7 +617,13 @@ def run_packet_trial(
                     math.floor(t / checkpoint_every) + 1
                 ) * checkpoint_every
 
-        results = [ch.rpc(("stop",))[1] for ch in channels]
+        for shard in sorted(freed):
+            # The free-run grant's digest reply is still in flight;
+            # drain it so the stop request pairs with the right reply.
+            channels[shard].collect()
+        for ch in channels:
+            ch.post(("stop",))
+        results = [ch.collect()[1] for ch in channels]
     finally:
         _close_all(channels)
 
@@ -522,6 +651,9 @@ def run_packet_trial(
         rounds=rounds,
         events_processed=events_processed,
         plane_totals=plane_totals,
+        lookahead=la,
+        stride=stride,
+        barriers=barriers,
     )
 
 
@@ -771,9 +903,11 @@ def run_fluid_trial(
 
     __, spanning_gids = classify(specs, plan)
     if spanning_gids:
+        first = spanning_gids[0]
         raise ShardSafetyError(
             f"{len(spanning_gids)} flow(s) span multiple shards under "
-            f"{plan.n_shards} shards (e.g. flow {spanning_gids[0]}); the "
+            f"{plan.n_shards} shards -- e.g. spanning "
+            f"{_describe_spanning(first, specs[first], plan)}; the "
             "fluid model couples them through the global max-min solve. "
             "Run with shards=1 or use the packet engine."
         )
@@ -800,9 +934,16 @@ def run_fluid_trial(
     ]
     channels = _make_channels(configs, backend)
     try:
+        # Post the single run-to-horizon to every worker before
+        # collecting any reply: the workers solve their planes in
+        # parallel, not one after another.
         for ch in channels:
-            ch.rpc(("run", until, {}))
-        results = [ch.rpc(("stop",))[1] for ch in channels]
+            ch.post(("run", until, {}))
+        for ch in channels:
+            ch.collect()
+        for ch in channels:
+            ch.post(("stop",))
+        results = [ch.collect()[1] for ch in channels]
     finally:
         _close_all(channels)
 

@@ -1,0 +1,91 @@
+"""Conservative-PDES lookahead for the epoch-lockstep shard engine.
+
+The only cross-shard state in the model is MPTCP coupling: a spanning
+connection's subflows influence each other through the LIA aggregate
+terms and the shared send-buffer pool, and both only change when ACKs
+arrive -- i.e. no faster than one subflow round-trip.  The minimum
+RTT over all spanning subflow paths is therefore a safe *lookahead*:
+between two barriers closer than that, no cross-plane influence can
+materialise that the next digest exchange would not capture.  This is
+the classic conservative-parallel-simulation bound (the same
+token-batched window FireSim's switch model uses, sized by the link
+latency): each plane may free-run for up to the lookahead before it
+must synchronise.
+
+The engine quantises the lookahead to whole epochs
+(:func:`epochs_per_sync`), so the epoch remains the staleness unit and
+``PNET_LOOKAHEAD=0`` (or a lookahead smaller than one epoch, the
+common case at the default 100 us epoch) degenerates to exactly the
+one-digest-per-epoch behaviour of the pre-lookahead engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.core.flowspec import FlowSpec
+from repro.shard.partition import ShardPlan
+from repro.topology.graph import Topology
+
+
+def path_rtt(plane: Topology, path: Sequence[str]) -> float:
+    """Round-trip propagation of one path: twice the one-way sum."""
+    one_way = sum(
+        plane.link(u, v).propagation for u, v in zip(path, path[1:])
+    )
+    return 2.0 * one_way
+
+
+def derive_lookahead(
+    planes: Sequence[Topology],
+    specs: Sequence[FlowSpec],
+    spanning_gids: Sequence[int],
+) -> float:
+    """Minimum subflow-path RTT over all spanning connections.
+
+    Cross-shard influence travels only via ACK feedback on a spanning
+    subflow, so no coupling digest can change in less simulated time
+    than the fastest spanning path's round trip.  ``inf`` when nothing
+    spans (no coupling at all -- every worker free-runs).
+    """
+    lookahead = math.inf
+    for gid in spanning_gids:
+        for plane_idx, path in specs[gid].paths:
+            rtt = path_rtt(planes[plane_idx], path)
+            if rtt < lookahead:
+                lookahead = rtt
+    return lookahead
+
+
+def epochs_per_sync(lookahead: float, epoch: float) -> int:
+    """Barrier stride: how many epochs one digest exchange may cover.
+
+    Always >= 1 (the effective lookahead ``stride * epoch`` is never
+    below the epoch itself -- the engine's staleness floor), and never
+    admits more than the lookahead: ``stride * epoch <= max(epoch,
+    lookahead)``, so batched barriers cannot skip past the soonest
+    possible cross-plane influence by more than the epoch the caller
+    already accepted as the staleness bound.
+    """
+    if epoch <= 0:
+        return 1
+    if not math.isfinite(lookahead):
+        return 1
+    return max(1, int(lookahead // epoch))
+
+
+def spanning_rtts(
+    planes: Sequence[Topology],
+    specs: Sequence[FlowSpec],
+    spanning_gids: Sequence[int],
+) -> List[Tuple[int, float]]:
+    """Per-connection minimum path RTT, for diagnostics/benchmarks."""
+    out = []
+    for gid in spanning_gids:
+        rtt = min(
+            path_rtt(planes[plane_idx], path)
+            for plane_idx, path in specs[gid].paths
+        )
+        out.append((gid, rtt))
+    return out

@@ -85,6 +85,32 @@ def get_epoch(override: Optional[float] = None) -> float:
     return override
 
 
+def get_lookahead(override: Optional[float] = None) -> Optional[float]:
+    """Resolve the barrier lookahead: override, else ``PNET_LOOKAHEAD``.
+
+    Returns ``None`` for "auto" (unset, empty, or the literal string
+    ``auto``): the engine derives the lookahead from the minimum
+    cross-plane path RTT of the spanning connections (see
+    :func:`repro.shard.lookahead.derive_lookahead`).  ``0`` disables
+    barrier batching (one digest exchange per epoch, the pre-lookahead
+    behaviour); a positive value is an explicit lookahead in simulated
+    seconds.
+    """
+    if override is None:
+        raw = os.environ.get("PNET_LOOKAHEAD", "").strip()
+        if not raw or raw == "auto":
+            return None
+        try:
+            override = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"PNET_LOOKAHEAD must be a number or 'auto', got {raw!r}"
+            ) from None
+    if override < 0:
+        raise ValueError(f"lookahead must be >= 0, got {override}")
+    return override
+
+
 @dataclass(frozen=True)
 class ShardPlan:
     """Assignment of plane indices to shards (contiguous balanced blocks).

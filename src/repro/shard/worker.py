@@ -77,6 +77,8 @@ def _next_event_time(loop) -> Optional[float]:
     heap = loop._heap
     while heap and heap[0][2].cancelled:
         heapq.heappop(heap)
+        if loop._cancelled > 0:
+            loop._cancelled -= 1
     return heap[0][0] if heap else None
 
 
@@ -178,7 +180,11 @@ class PacketShardWorker:
         self.net.run(until=float("inf") if t is None else t)
 
     def digest(self) -> Dict[str, Any]:
-        payload: Dict[str, Any] = {
+        # Coupling state only: telemetry travels once, in ``result`` --
+        # exporting the registry at every barrier was pure overhead the
+        # engine never read, and it would break the fixed numpy digest
+        # layout of the shm backend.
+        return {
             "t": self.net.loop.now,
             "next": _next_event_time(self.net.loop),
             "flows": {
@@ -186,9 +192,6 @@ class PacketShardWorker:
                 for gid, source in sorted(self._spanning.items())
             },
         }
-        if self.config.collect_obs:
-            payload["obs"] = self.obs.export_state()
-        return payload
 
     def result(self) -> Dict[str, Any]:
         local_planes = set(
@@ -254,12 +257,7 @@ class FluidShardWorker:
         self.sim.run(until=t)
 
     def digest(self) -> Dict[str, Any]:
-        payload: Dict[str, Any] = {
-            "t": self.sim.now, "next": None, "flows": {},
-        }
-        if self.config.collect_obs:
-            payload["obs"] = self.obs.export_state()
-        return payload
+        return {"t": self.sim.now, "next": None, "flows": {}}
 
     def result(self) -> Dict[str, Any]:
         for record in self.sim.records:

@@ -37,6 +37,17 @@ class EventLoop:
             not per event.
     """
 
+    #: Class-level fallback so loops pickled before the compaction
+    #: counter existed unpickle cleanly.
+    _cancelled = 0
+
+    #: Compaction trigger: rebuild the heap once at least this many
+    #: cancelled events linger *and* they are the majority.  Rebuilding
+    #: is O(n) against the O(log n) per-event pop tax, so amortised it
+    #: is free; pop order is a total order on (time, seq), so heapify
+    #: of the surviving entries cannot change results.
+    COMPACT_MIN = 512
+
     def __init__(self, obs=None):
         self.now = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
@@ -46,6 +57,7 @@ class EventLoop:
         self.events_processed = 0
         #: Deepest the heap has ever been (cancelled events included).
         self.max_heap_depth = 0
+        self._cancelled = 0
         self._obs = obs
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
@@ -66,6 +78,30 @@ class EventLoop:
             self.max_heap_depth = len(self._heap)
         return event
 
+    def cancel(self, event: Event) -> None:
+        """Cancel through the loop so dead heap entries get compacted.
+
+        ``Event.cancel`` alone stays valid (the loop skips cancelled
+        events on pop); this entry point additionally counts the dead
+        weight and rebuilds the heap when cancelled entries dominate --
+        per-ACK retransmission-timer churn otherwise leaves thousands
+        of tombstones inflating every push/pop.
+        """
+        if event.cancelled:
+            return
+        event.cancelled = True
+        self._cancelled += 1
+        if (
+            self._cancelled >= self.COMPACT_MIN
+            and self._cancelled * 2 >= len(self._heap)
+        ):
+            # In place: ``run`` holds a local alias of the heap list.
+            self._heap[:] = [
+                entry for entry in self._heap if not entry[2].cancelled
+            ]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
+
     def run(
         self,
         until: float = math.inf,
@@ -84,6 +120,8 @@ class EventLoop:
                 break
             heapq.heappop(heap)
             if event.cancelled:
+                if self._cancelled > 0:
+                    self._cancelled -= 1
                 continue
             self.now = event_time
             event.fn()

@@ -189,7 +189,10 @@ class TcpSource:
 
     def _cancel_timer(self) -> None:
         if self._rtx_event is not None:
-            self._rtx_event.cancel()
+            # Through the loop, not Event.cancel: per-ACK timer churn is
+            # the dominant source of dead heap entries, and the loop
+            # compacts them once they outnumber live events.
+            self.loop.cancel(self._rtx_event)
             self._rtx_event = None
 
     def _on_timeout(self) -> None:

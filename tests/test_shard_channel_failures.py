@@ -1,0 +1,212 @@
+"""Failure modes of the shard barrier channels.
+
+A sharded run is only as debuggable as its worst failure message: a
+worker that dies or wedges mid-barrier must surface a clear
+``ShardWorkerError`` promptly -- never hang the engine -- on both the
+pipe and shared-memory backends.  These tests kill and stall real
+worker processes and time the diagnosis.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.shard.channel import (
+    ProcessChannel,
+    ShardWorkerError,
+    get_timeout,
+)
+from repro.shard.partition import ShardPlan
+from repro.shard.shm import ShmChannel
+from repro.shard.worker import WorkerConfig, worker_main
+from repro.topology.graph import HOST, TOR, Topology
+
+#: Generous wall-clock bound on "promptly": actual detection is one
+#: poll interval (~50 ms); anything near this bound is a hang.
+DETECT_SECONDS = 10.0
+
+
+def tiny_planes():
+    planes = []
+    for i in range(2):
+        plane = Topology(name=f"plane{i}")
+        plane.add_node("h0", HOST)
+        plane.add_node("h1", HOST)
+        plane.add_node("s", TOR)
+        plane.add_link("h0", "s", capacity=10e9)
+        plane.add_link("s", "h1", capacity=10e9)
+        planes.append(plane)
+    return planes
+
+
+def tiny_config(engine="fluid"):
+    """A worker with no flows: cheap to build, parks on its channel."""
+    return WorkerConfig(
+        shard=0,
+        plan=ShardPlan.build(2, 2),
+        planes=tiny_planes(),
+        engine=engine,
+    )
+
+
+def _exit_after_request(conn, config):
+    conn.recv()
+    os._exit(3)  # die mid-barrier, reply never sent
+
+
+def _sleep_forever(conn, config):
+    time.sleep(600)
+
+
+def _force_close(channel):
+    """Tear down without waiting out close()'s graceful join."""
+    proc = channel._proc
+    if proc.is_alive():
+        proc.kill()
+        proc.join(timeout=5)
+    channel.close()
+
+
+class TestProcessBackendFailures:
+    def test_death_mid_barrier_is_diagnosed_promptly(self):
+        channel = ProcessChannel(_exit_after_request, tiny_config())
+        try:
+            channel.post(("digest",))
+            started = time.monotonic()
+            with pytest.raises(ShardWorkerError, match="died mid-barrier"):
+                channel.collect()
+            assert time.monotonic() - started < DETECT_SECONDS
+        finally:
+            _force_close(channel)
+
+    def test_death_message_names_pid_and_exitcode(self):
+        channel = ProcessChannel(_exit_after_request, tiny_config())
+        try:
+            channel.post(("digest",))
+            with pytest.raises(
+                ShardWorkerError,
+                match=rf"pid {channel._proc.pid}.*exitcode=3",
+            ):
+                channel.collect()
+        finally:
+            _force_close(channel)
+
+    def test_kill_while_waiting_is_diagnosed(self):
+        channel = ProcessChannel(worker_main, tiny_config())
+        try:
+            channel._proc.kill()
+            started = time.monotonic()
+            with pytest.raises(ShardWorkerError, match="died|exited"):
+                channel.post(("digest",))
+                channel.collect()
+            assert time.monotonic() - started < DETECT_SECONDS
+        finally:
+            _force_close(channel)
+
+    def test_stuck_worker_hits_deadline(self):
+        channel = ProcessChannel(
+            _sleep_forever, tiny_config(), timeout=0.3
+        )
+        try:
+            started = time.monotonic()
+            with pytest.raises(
+                ShardWorkerError,
+                match=r"no barrier reply within 0\.3s \(PNET_SHARD_TIMEOUT\)",
+            ):
+                channel.collect()
+            assert time.monotonic() - started < DETECT_SECONDS
+            assert channel._proc.is_alive()  # stuck, not dead
+        finally:
+            _force_close(channel)
+
+    def test_deadline_comes_from_env(self, monkeypatch):
+        monkeypatch.setenv("PNET_SHARD_TIMEOUT", "0.25")
+        assert get_timeout() == 0.25
+        channel = ProcessChannel(_sleep_forever, tiny_config())
+        try:
+            with pytest.raises(
+                ShardWorkerError, match="PNET_SHARD_TIMEOUT"
+            ):
+                channel.collect()
+        finally:
+            _force_close(channel)
+
+    def test_worker_exception_carries_traceback(self):
+        channel = ProcessChannel(worker_main, tiny_config(engine="bogus"))
+        try:
+            with pytest.raises(
+                ShardWorkerError, match="unknown shard engine"
+            ):
+                channel.rpc(("digest",))
+        finally:
+            _force_close(channel)
+
+
+class TestShmBackendFailures:
+    def test_healthy_rpc_roundtrip(self):
+        channel = ShmChannel(tiny_config())
+        try:
+            tag, payload = channel.rpc(("digest",))
+            assert tag == "digest"
+            assert payload["flows"] == {}
+        finally:
+            channel.close()
+
+    def test_death_mid_barrier_is_diagnosed_promptly(self):
+        channel = ShmChannel(tiny_config())
+        try:
+            channel._proc.kill()
+            started = time.monotonic()
+            with pytest.raises(ShardWorkerError, match="died mid-barrier"):
+                channel.collect()
+            assert time.monotonic() - started < DETECT_SECONDS
+        finally:
+            channel.close()
+
+    def test_death_message_names_pid(self):
+        channel = ShmChannel(tiny_config())
+        try:
+            pid = channel._proc.pid
+            channel._proc.kill()
+            with pytest.raises(ShardWorkerError, match=rf"pid {pid}"):
+                channel.collect()
+        finally:
+            channel.close()
+
+    def test_stuck_worker_hits_deadline(self):
+        # The worker is alive but parked on the command ring; a collect
+        # with nothing posted must hit the deadline, not hang.
+        channel = ShmChannel(tiny_config(), timeout=0.3)
+        try:
+            started = time.monotonic()
+            with pytest.raises(
+                ShardWorkerError,
+                match=r"no barrier reply within 0\.3s \(PNET_SHARD_TIMEOUT\)",
+            ):
+                channel.collect()
+            assert time.monotonic() - started < DETECT_SECONDS
+            assert channel._proc.is_alive()
+        finally:
+            channel.close()
+
+    def test_worker_exception_carries_traceback(self):
+        channel = ShmChannel(tiny_config(engine="bogus"))
+        try:
+            with pytest.raises(
+                ShardWorkerError, match="unknown shard engine"
+            ):
+                channel.rpc(("digest",))
+        finally:
+            channel.close()
+
+    def test_close_reaps_worker_and_segment(self):
+        channel = ShmChannel(tiny_config())
+        name = channel._shm.name
+        channel.close()
+        assert not channel._proc.is_alive()
+        # The segment is unlinked: reattaching by name must fail.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)

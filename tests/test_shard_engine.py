@@ -97,22 +97,26 @@ class TestSerialByteIdentity:
 
 
 class TestMultiShardDeterminism:
-    def test_local_and_process_backends_identical(self):
+    def test_all_backends_byte_identical(self):
+        # local is the reference; the pipe and shared-memory transports
+        # must reproduce it byte-for-byte (the shm backend additionally
+        # swaps pickled digests for fixed-layout numpy blocks, so this
+        # also pins the codec's exactness end to end).
         pnet, specs = jellyfish_workload()
         results = {
             backend: run_packet_trial(
                 pnet.planes, specs, shards=2, backend=backend
             )
-            for backend in ("local", "process")
+            for backend in ("local", "process", "shm")
         }
-        assert results["local"].backend == "local"
-        assert results["process"].backend == "process"
-        assert pickle.dumps(results["local"].records) == pickle.dumps(
-            results["process"].records
-        )
-        assert (
-            results["local"].plane_totals == results["process"].plane_totals
-        )
+        want = pickle.dumps(results["local"].records)
+        for backend in ("process", "shm"):
+            assert results[backend].backend == backend
+            assert pickle.dumps(results[backend].records) == want, backend
+            assert (
+                results[backend].plane_totals
+                == results["local"].plane_totals
+            ), backend
 
     def test_repeat_runs_identical(self):
         pnet, specs = jellyfish_workload()
@@ -163,6 +167,32 @@ class TestShardSafety:
         with pytest.raises(ShardSafetyError, match="non-integer"):
             run_packet_trial(pnet.planes, specs, shards=2)
 
+    def test_refusals_name_flow_and_endpoints(self):
+        # A refusal the user can act on names the offending flow id and
+        # its endpoints -- not just the rule it broke.
+        pnet, specs = jellyfish_workload(n_flows=3)
+        specs[1] = specs[1].replace(on_complete=lambda record: None)
+        with pytest.raises(
+            ShardSafetyError,
+            match=rf"flow 1 \({specs[1].src}->{specs[1].dst}\)",
+        ):
+            run_packet_trial(pnet.planes, specs, shards=2)
+
+    def test_non_integer_refusal_names_planes_and_shards(self):
+        pnet, specs = jellyfish_workload(n_flows=3)
+        specs[2] = specs[2].replace(size=1000.5)
+        planes_used = sorted({p for p, __ in specs[2].paths})
+        message = (
+            rf"flow 2 \({specs[2].src}->{specs[2].dst}\).*"
+            rf"plane\(s\) {', '.join(map(str, planes_used))}.*"
+            r"spanning shard\(s\)"
+        )
+        with pytest.raises(ShardSafetyError, match=message):
+            run_packet_trial(pnet.planes, specs, shards=2)
+        # The message also carries the bad size itself.
+        with pytest.raises(ShardSafetyError, match="1000.5"):
+            run_packet_trial(pnet.planes, specs, shards=2)
+
     def test_schedule_naming_missing_plane_refused(self):
         pnet, specs = jellyfish_workload(n_flows=2)
         event = FaultEvent(at=1e-5, kind="plane_down", plane=9)
@@ -188,11 +218,11 @@ class TestFaultRouting:
                 pnet.planes, specs, shards=2, backend=backend,
                 schedule=schedule,
             )
-            for backend in ("local", "process")
+            for backend in ("local", "process", "shm")
         }
-        assert pickle.dumps(runs["local"].records) == pickle.dumps(
-            runs["process"].records
-        )
+        want = pickle.dumps(runs["local"].records)
+        for backend in ("process", "shm"):
+            assert pickle.dumps(runs[backend].records) == want, backend
         # The outage actually bit: same workload without it differs.
         healthy = run_packet_trial(
             pnet.planes, specs, shards=2, backend="local"
@@ -248,6 +278,12 @@ class TestFluidSharding:
             ],
         )
         with pytest.raises(ShardSafetyError, match="span"):
+            run_fluid_trial(pnet.planes, [spanning], shards=2)
+        # The refusal names the offending flow and where it spans.
+        with pytest.raises(
+            ShardSafetyError,
+            match=rf"flow 0 \({src}->{dst}\).*plane\(s\) 0, 1",
+        ):
             run_fluid_trial(pnet.planes, [spanning], shards=2)
 
 
