@@ -1,0 +1,159 @@
+"""Benchmark: hybrid fidelity's accuracy-vs-speed envelope.
+
+Runs the fig9-style permutation workload (spanning MPTCP over a 4-plane
+Jellyfish) three ways -- pure packet, pure fluid, and hybrid with a
+pinned deterministic sample of flows promoted to packet fidelity -- and
+records the envelope in ``results/BENCH_hybrid.json``:
+
+* **speed**: hybrid wall-clock vs pure packet.  With <= 10% of flows
+  promoted the co-simulation must be at least 3x faster (in practice
+  ~10x: the fluid side is near-free and the packet side only carries
+  the promoted flows plus bridge bookkeeping).
+* **accuracy**: promoted-flow FCTs vs the same flows in the pure packet
+  run.  The deviation must stay inside the packet-vs-fluid differential
+  envelope (rel 0.10) already accepted elsewhere in the suite -- i.e.
+  promoting a flow buys packet-level fidelity, not a third behaviour.
+
+The promotion sample (p, seed) is pinned so the promoted set -- and
+with it the accuracy number -- is reproducible run to run; a repeat
+hybrid run must be byte-identical.
+"""
+
+import pickle
+import time
+
+from _util import emit_json
+
+from repro.api import build_network, run_trial
+from repro.core.flowspec import FlowSpec
+from repro.core.path_selection import KspMultipathPolicy
+from repro.exp.common import (
+    JellyfishFamily,
+    PARALLEL_HOMOGENEOUS,
+    network_for_label,
+)
+from repro.traffic.patterns import permutation
+from repro.units import MB
+
+import random
+
+SWITCHES, DEGREE, HOSTS_PER, N_PLANES = 16, 5, 2, 4
+FLOW_BYTES = 1 * MB
+#: Pinned Bernoulli sample: realized promoted fraction must stay <= 10%.
+PROMOTE_P, PROMOTE_SEED = 0.08, 1
+
+MAX_PROMOTED_FRACTION = 0.10
+MAX_PROMOTED_DEVIATION = 0.10  # the suite's packet-vs-fluid rel bound
+MIN_SPEEDUP = 3.0
+
+
+def _pnet():
+    family = JellyfishFamily(SWITCHES, DEGREE, HOSTS_PER)
+    return network_for_label(family, PARALLEL_HOMOGENEOUS, N_PLANES)
+
+
+def _workload(pnet):
+    pairs = permutation(pnet.hosts, random.Random("hybrid-bench"))
+    policy = KspMultipathPolicy(pnet, k=N_PLANES, seed=0)
+    return [
+        FlowSpec(
+            src=src, dst=dst, size=FLOW_BYTES,
+            paths=policy.select(src, dst, flow_id),
+        )
+        for flow_id, (src, dst) in enumerate(pairs)
+    ]
+
+
+def _timed_trial(pnet, specs, kind, **kwargs):
+    started = time.perf_counter()
+    net = build_network(pnet.planes, kind=kind, **kwargs)
+    result = run_trial(net, specs)
+    return result, time.perf_counter() - started
+
+
+def test_hybrid_envelope(benchmark):
+    pnet = _pnet()
+    specs = _workload(pnet)
+    promote = f"sampled:{PROMOTE_P}:{PROMOTE_SEED}"
+
+    packet, packet_wall = benchmark.pedantic(
+        _timed_trial, args=(pnet, specs, "packet"), rounds=1, iterations=1
+    )
+    fluid, fluid_wall = _timed_trial(
+        pnet, specs, "fluid", slow_start=True
+    )
+    hybrid, hybrid_wall = _timed_trial(
+        pnet, specs, "hybrid", slow_start=True, promotion=promote
+    )
+
+    # The pinned sample is deterministic: a repeat run reproduces the
+    # promoted set and every record byte for byte.
+    repeat, __ = _timed_trial(
+        pnet, specs, "hybrid", slow_start=True, promotion=promote
+    )
+    assert repeat.fidelity == hybrid.fidelity
+    assert [pickle.dumps(r) for r in repeat.records] == [
+        pickle.dumps(r) for r in hybrid.records
+    ]
+
+    promoted = sorted(
+        fid for fid, f in hybrid.fidelity.items() if f == "packet"
+    )
+    fraction = len(promoted) / len(specs)
+    assert 0 < fraction <= MAX_PROMOTED_FRACTION, (
+        f"pinned sample promoted {len(promoted)}/{len(specs)} flows"
+    )
+
+    packet_fct = {r.flow_id: r.fct for r in packet.records}
+    hybrid_fct = {r.flow_id: r.fct for r in hybrid.records}
+    deviations = [
+        abs(hybrid_fct[fid] - packet_fct[fid]) / packet_fct[fid]
+        for fid in promoted
+    ]
+    assert max(deviations) <= MAX_PROMOTED_DEVIATION, (
+        f"promoted-set FCT deviation {max(deviations):.3f} exceeds "
+        f"{MAX_PROMOTED_DEVIATION}"
+    )
+
+    speedup = packet_wall / hybrid_wall
+    assert speedup >= MIN_SPEEDUP, (
+        f"hybrid ({hybrid_wall:.2f}s) only {speedup:.1f}x faster than "
+        f"pure packet ({packet_wall:.2f}s)"
+    )
+
+    emit_json("BENCH_hybrid", {
+        "workload": {
+            "experiment": "fig9-hybrid",
+            "network": PARALLEL_HOMOGENEOUS,
+            "switches": SWITCHES,
+            "degree": DEGREE,
+            "hosts_per": HOSTS_PER,
+            "n_planes": N_PLANES,
+            "flow_bytes": FLOW_BYTES,
+            "n_flows": len(specs),
+        },
+        "promotion": {
+            "policy": promote,
+            "promoted_flows": len(promoted),
+            "promoted_fraction": round(fraction, 4),
+        },
+        "wall_seconds": {
+            "packet": round(packet_wall, 4),
+            "fluid": round(fluid_wall, 4),
+            "hybrid": round(hybrid_wall, 4),
+        },
+        "speedup_vs_packet": round(speedup, 2),
+        "promoted_fct_deviation": {
+            "mean": sum(deviations) / len(deviations),
+            "max": max(deviations),
+            "bound": MAX_PROMOTED_DEVIATION,
+        },
+        "mean_fct_seconds": {
+            "packet": sum(packet_fct.values()) / len(packet_fct),
+            "fluid": (
+                sum(r.fct for r in fluid.records) / len(fluid.records)
+            ),
+            "hybrid": sum(hybrid_fct.values()) / len(hybrid_fct),
+        },
+        "bridge_refreshes": hybrid.meta.get("bridge_refreshes"),
+    })

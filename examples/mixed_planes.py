@@ -16,8 +16,8 @@ never share a queue.
 Run:  python examples/mixed_planes.py
 """
 
+from repro import api
 from repro.core import FlowSpec, PNet
-from repro.fluid.flowsim import FluidSimulator
 from repro.topology import build_fat_tree, build_jellyfish
 from repro.units import GB, MB
 
@@ -59,15 +59,17 @@ def main() -> None:
     )
 
     # Latency class on the expander planes, bulk class on the fat trees.
-    sim = FluidSimulator(pnet.planes)
+    net = api.build_network(pnet.planes, kind="fluid")
     rpc_paths = isolated_paths(pnet, src, dst, JF_PLANES)[:1]
     bulk_paths = isolated_paths(pnet, src, dst, FT_PLANES)
 
-    sim.add_flow(spec=FlowSpec(src=src, dst=dst, size=100 * 1000,
-                                paths=rpc_paths, tag="latency-class"))
-    sim.add_flow(spec=FlowSpec(src=src, dst=dst, size=2 * GB,
-                                paths=bulk_paths, tag="bulk-class"))
-    records = {r.tag: r for r in sim.run()}
+    result = api.run_trial(net, [
+        FlowSpec(src=src, dst=dst, size=100 * 1000,
+                 paths=rpc_paths, tag="latency-class"),
+        FlowSpec(src=src, dst=dst, size=2 * GB,
+                 paths=bulk_paths, tag="bulk-class"),
+    ])
+    records = {r.tag: r for r in result.records}
 
     rpc = records["latency-class"]
     bulk = records["bulk-class"]

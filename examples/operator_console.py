@@ -18,7 +18,7 @@ from repro.core import FlowSpec, PNet
 from repro.core.isolation import PlaneAllocator
 from repro.core.monitoring import NetworkMonitor
 from repro.core.path_selection import EcmpPolicy, MinHopPlanePolicy
-from repro.sim.network import PacketNetwork
+from repro import api
 from repro.topology import ParallelTopology, build_jellyfish
 from repro.units import KB, MTU
 
@@ -37,7 +37,7 @@ def run_workload(pnet: PNet, monitor: NetworkMonitor) -> None:
     frontend = alloc.policy("frontend", MinHopPlanePolicy)
     analytics = alloc.policy("analytics", EcmpPolicy)
 
-    net = PacketNetwork(pnet.planes)
+    net = api.build_network(pnet.planes, kind="packet")
     hosts = pnet.hosts
 
     def launch(policy, src, dst, size, flow_id):
@@ -61,7 +61,7 @@ def run_probes(pnet: PNet, monitor: NetworkMonitor) -> None:
     Like a production prober, each plane gets the *same* traffic so its
     statistics are directly comparable across planes.
     """
-    net = PacketNetwork(pnet.planes)
+    net = api.build_network(pnet.planes, kind="packet")
     hosts = pnet.hosts
     flow_id = 0
     for i, src in enumerate(hosts):

@@ -12,8 +12,8 @@ Walks the public API end to end:
 Run:  python examples/quickstart.py
 """
 
+from repro import api
 from repro.core import EndHost, FlowSpec, PNet, TrafficClass
-from repro.fluid.flowsim import FluidSimulator
 from repro.topology import ParallelTopology, build_jellyfish
 from repro.units import GB, Gbps, pretty_rate, pretty_size
 
@@ -60,21 +60,21 @@ def main() -> None:
 
     # -- 3. a quick simulation ----------------------------------------------
     print("\nsimulating the 2 GB transfer...")
-    sim = FluidSimulator(pnet.planes)
-    sim.add_flow(spec=FlowSpec(src=src, dst=dst, size=bulk.size,
-                                paths=bulk.paths))
-    record = sim.run()[0]
+    net = api.build_network(pnet.planes, kind="fluid")
+    result = api.run_trial(net, [FlowSpec(src=src, dst=dst, size=bulk.size,
+                                          paths=bulk.paths)])
+    record = result.records[0]
     rate = record.size * 8 / record.fct
     print(
         f"  P-Net MPTCP:   {record.fct * 1e3:7.2f} ms "
         f"({pretty_rate(rate)} effective)"
     )
 
-    sim = FluidSimulator(serial_high.planes)
+    net = api.build_network(serial_high.planes, kind="fluid")
     single = serial_high.shortest_paths(0, src, dst)[0]
-    sim.add_flow(spec=FlowSpec(src=src, dst=dst, size=bulk.size,
-                                paths=[(0, single)]))
-    record = sim.run()[0]
+    result = api.run_trial(net, [FlowSpec(src=src, dst=dst, size=bulk.size,
+                                          paths=[(0, single)])])
+    record = result.records[0]
     rate = record.size * 8 / record.fct
     print(
         f"  serial 400G:   {record.fct * 1e3:7.2f} ms "

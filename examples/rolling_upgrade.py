@@ -18,7 +18,7 @@ import random
 
 from repro.core import EndHost, FlowSpec, PNet
 from repro.core.path_selection import KspMultipathPolicy
-from repro.fluid.flowsim import FluidSimulator
+from repro import api
 from repro.topology import ParallelTopology, build_jellyfish
 from repro.topology.expansion import expand_pnet
 from repro.units import GB, pretty_rate
@@ -32,9 +32,11 @@ def measure_transfer(pnet: PNet, src: str, dst: str) -> float:
     paths = [
         pp for pp in policy.select(src, dst, 0)
     ]
-    sim = FluidSimulator(pnet.planes, slow_start=False)
-    sim.add_flow(spec=FlowSpec(src=src, dst=dst, size=1 * GB, paths=paths))
-    record = sim.run()[0]
+    net = api.build_network(pnet.planes, kind="fluid", slow_start=False)
+    result = api.run_trial(net, [
+        FlowSpec(src=src, dst=dst, size=1 * GB, paths=paths)
+    ])
+    record = result.records[0]
     return record.size * 8 / record.fct
 
 

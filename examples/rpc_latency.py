@@ -19,7 +19,7 @@ Run:  python examples/rpc_latency.py
 from repro.analysis.stats import summarize
 from repro.core import MinHopPlanePolicy, PNet
 from repro.core.path_selection import EcmpPolicy
-from repro.sim.network import PacketNetwork
+from repro import api
 from repro.sim.rpc import RpcClient
 from repro.topology import ParallelTopology, build_jellyfish
 from repro.traffic.rpc_workload import RpcWorkload
@@ -31,7 +31,7 @@ ROUNDS = 40
 def run_service(pnet: PNet, policy) -> list:
     """Every host ping-pongs MTU-sized RPCs to random servers."""
     workload = RpcWorkload(pnet.hosts, rounds=ROUNDS, seed=7)
-    net = PacketNetwork(pnet.planes)
+    net = api.build_network(pnet.planes, kind="packet")
     clients = []
     for idx, (client_host, chain) in enumerate(workload.chains()):
         client = RpcClient(

@@ -30,7 +30,14 @@ from repro.topology import (
     build_xpander,
 )
 from repro import api
-from repro.api import TrialResult, attach_telemetry, build_network, run_trial
+from repro.api import (
+    TrialResult,
+    attach_telemetry,
+    build_network,
+    register_engine,
+    resume_trial,
+    run_trial,
+)
 from repro.core.flowspec import FlowSpec
 from repro.faults import FaultEvent, FaultInjector, FaultSchedule
 
@@ -52,6 +59,8 @@ __all__ = [
     "TrialResult",
     "attach_telemetry",
     "build_network",
+    "register_engine",
+    "resume_trial",
     "run_trial",
     "__version__",
 ]

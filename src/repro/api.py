@@ -7,28 +7,50 @@ directly::
     from repro import FlowSpec, api
 
     obs = api.attach_telemetry(trace=True, metrics_path="metrics.jsonl")
-    net = api.build_network(pnet.planes, kind="packet")
+    net = api.build_network(pnet.planes, kind="hybrid")
     result = api.run_trial(net, [
         FlowSpec(src="h0", dst="h1", size=10**6, paths=paths),
-    ])
+    ], promotion="sampled:0.1")
     print(result.monitor.report())
     obs.close()
 
+Engines are pluggable: ``kind=`` strings resolve through a registry
+(:func:`register_engine`), so ``"packet"``, ``"fluid"`` and ``"hybrid"``
+are just the built-in entries and external engines join without editing
+the facade.  :func:`run_trial` is the single run surface for all of
+them -- it threads ``promotion=`` (hybrid), ``checkpoint_*`` and the
+horizon uniformly and always returns the one documented
+:class:`TrialResult` shape.
+
 The facade is intentionally small and **stable**: experiment code and
 external users should prefer it over the underlying constructors, whose
-signatures may still evolve.
+signatures may still evolve (importing the constructors from the
+``repro.sim``/``repro.fluid`` package level is deprecated and warns).
 """
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.flowspec import FlowSpec
 from repro.core.monitoring import NetworkMonitor
 from repro.core.pnet import PNet
 from repro.fluid.flowsim import FluidSimulator
+from repro.hybrid.engine import HybridSimulator
+from repro.hybrid.promotion import resolve_policy
 from repro.obs import (
     CsvSink,
     JsonlSink,
@@ -42,7 +64,7 @@ from repro.topology import ParallelTopology, Topology
 #: Anything that names a set of dataplanes.
 PlanesLike = Union[PNet, ParallelTopology, Sequence[Topology], Topology]
 
-Network = Union[PacketNetwork, FluidSimulator]
+Network = Union[PacketNetwork, FluidSimulator, HybridSimulator]
 
 
 def _as_planes(planes: PlanesLike) -> List[Topology]:
@@ -53,6 +75,109 @@ def _as_planes(planes: PlanesLike) -> List[Topology]:
     if isinstance(planes, Topology):
         return [planes]
     return list(planes)
+
+
+# --- engine registry ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Engine:
+    """One pluggable simulation engine.
+
+    Attributes:
+        name: the ``kind=`` string :func:`build_network` resolves.
+        cls: the concrete network type; :func:`run_trial` dispatches on
+            it with ``isinstance``, so instances built outside the
+            facade work too.
+        build: ``build(planes, obs=..., **kwargs) -> network``.
+        run: ``run(network, until)`` advancing the network to the
+            horizon (``until`` may be ``math.inf``).
+        description: one-line summary shown in error messages/docs.
+    """
+
+    name: str
+    cls: type
+    build: Callable[..., Any]
+    run: Callable[[Any, float], Any]
+    description: str = ""
+
+
+_ENGINES: Dict[str, Engine] = {}
+
+
+def register_engine(
+    name: str,
+    *,
+    cls: type,
+    build: Optional[Callable[..., Any]] = None,
+    run: Optional[Callable[[Any, float], Any]] = None,
+    description: str = "",
+    replace: bool = False,
+) -> Engine:
+    """Plug an engine into :func:`build_network`/:func:`run_trial`.
+
+    The engine's network object must quack like the built-ins:
+    ``add_flow(spec=...)``, ``planes``, ``records`` (each record with
+    ``flow_id``/``planes``/``size``/``fct``), and ``obs``.
+
+    Args:
+        name: the ``kind=`` string to register.
+        cls: concrete network type (used for ``isinstance`` dispatch).
+        build: constructor wrapper; defaults to
+            ``cls(planes, obs=obs, **kwargs)``.
+        run: horizon-aware runner; defaults to the fluid convention
+            ``network.run(until=None-if-inf)``.
+        description: one-line summary.
+        replace: allow overwriting an existing registration.
+    """
+    if name in _ENGINES and not replace:
+        raise ValueError(
+            f"engine {name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    if build is None:
+        def build(planes, obs=None, _cls=cls, **kwargs):
+            return _cls(planes, obs=obs, **kwargs)
+    if run is None:
+        run = _run_fluid_style
+    engine = Engine(
+        name=name, cls=cls, build=build, run=run, description=description
+    )
+    _ENGINES[name] = engine
+    return engine
+
+
+def engine_names() -> List[str]:
+    """Registered ``kind=`` strings, in registration order."""
+    return list(_ENGINES)
+
+
+def _engine_named(kind: str) -> Engine:
+    try:
+        return _ENGINES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown network kind {kind!r} ({'|'.join(_ENGINES)})"
+        ) from None
+
+
+def _engine_of(network: Any) -> Engine:
+    """Resolve a live network object back to its registered engine."""
+    for engine in _ENGINES.values():
+        if isinstance(network, engine.cls):
+            return engine
+    raise TypeError(
+        f"{type(network).__name__} is not a registered engine type "
+        f"(known: {'|'.join(_ENGINES)}); see repro.api.register_engine"
+    )
+
+
+def _run_packet_style(network: Any, until: float) -> None:
+    network.run(until=until)
+
+
+def _run_fluid_style(network: Any, until: float) -> None:
+    network.run(until=None if math.isinf(until) else until)
 
 
 def attach_telemetry(
@@ -111,58 +236,143 @@ def build_network(
     Args:
         planes: a :class:`PNet`, :class:`ParallelTopology`, single
             :class:`Topology`, or sequence of topologies.
-        kind: ``"packet"`` (:class:`PacketNetwork`) or ``"fluid"``
-            (:class:`FluidSimulator`).
+        kind: a registered engine name -- built-ins are ``"packet"``
+            (:class:`PacketNetwork`), ``"fluid"``
+            (:class:`FluidSimulator`) and ``"hybrid"``
+            (:class:`HybridSimulator`); see :func:`register_engine`.
         obs: telemetry registry; defaults to the process-wide one.
-        **kwargs: forwarded to the simulator constructor
-            (``queue_packets``, ``ecn_threshold``, ``slow_start``, ...).
+        **kwargs: forwarded to the engine constructor
+            (``queue_packets``, ``ecn_threshold``, ``slow_start``,
+            ``promotion``, ...).
     """
     plane_list = _as_planes(planes)
-    if kind == "packet":
-        return PacketNetwork(plane_list, obs=obs, **kwargs)
-    if kind == "fluid":
-        return FluidSimulator(plane_list, obs=obs, **kwargs)
-    raise ValueError(f"unknown network kind {kind!r} (packet|fluid)")
+    return _engine_named(kind).build(plane_list, obs=obs, **kwargs)
+
+
+#: Schema identifier stamped into :meth:`TrialResult.to_json`.
+TRIAL_RESULT_SCHEMA = "repro.TrialResult/1"
 
 
 @dataclass
 class TrialResult:
-    """What one :func:`run_trial` produced.
+    """What one :func:`run_trial` produced -- same shape for every engine.
 
     Attributes:
         records: per-flow completion records, in completion order
             (``SimFlowRecord`` or ``FlowRecord`` depending on the
-            simulator).
+            engine that ran each flow; hybrid merges both kinds).
         monitor: merged per-plane view of the trial.
         metrics: the registry's deterministic snapshot rows (empty when
             telemetry is disabled).
+        fidelity: flow id -> ``"packet"`` | ``"fluid"`` for every
+            completed flow (pure engines report their own fidelity for
+            all flows).
+        engine: registered name of the engine that ran the trial.
+        meta: engine metadata (plane count, record count, promotion
+            split for hybrid runs, ...).
     """
 
     records: List[Any]
     monitor: NetworkMonitor
     metrics: List[Dict[str, Any]] = field(default_factory=list)
+    fidelity: Dict[int, str] = field(default_factory=dict)
+    engine: str = ""
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Canonical JSON rendering of the result.
+
+        Stable across runs and Python versions for deterministic
+        engines: keys are sorted, records are normalised to one field
+        vocabulary regardless of engine (``start``/``finish``/``fct``),
+        floats round-trip by ``repr``.  Pinned by the golden fixture
+        ``tests/golden/trial_result.json``.
+        """
+        payload = {
+            "schema": TRIAL_RESULT_SCHEMA,
+            "engine": self.engine,
+            "meta": self.meta,
+            "fidelity": {str(k): v for k, v in self.fidelity.items()},
+            "records": [self._record_row(r) for r in self.records],
+            "monitor": {
+                str(plane): {
+                    "flows": stats.flows,
+                    "bytes_carried": stats.bytes_carried,
+                    "packets_forwarded": stats.packets_forwarded,
+                    "drops": stats.drops,
+                    "fcts": list(stats.fcts),
+                }
+                for plane, stats in sorted(self.monitor.stats.items())
+            },
+            "metrics": self.metrics,
+        }
+        return json.dumps(payload, sort_keys=True, indent=indent)
+
+    def _record_row(self, record: Any) -> Dict[str, Any]:
+        start = getattr(record, "start", None)
+        if start is None:
+            start = record.arrival
+        finish = getattr(record, "finish", None)
+        if finish is None:
+            finish = record.completion
+        row = {
+            "flow_id": record.flow_id,
+            "src": record.src,
+            "dst": record.dst,
+            "size": record.size,
+            "start": start,
+            "finish": finish,
+            "fct": record.fct,
+            "n_subflows": record.n_subflows,
+            "planes": list(record.planes),
+            "tag": record.tag,
+            "fidelity": self.fidelity.get(record.flow_id, self.engine),
+        }
+        for extra in ("retransmits", "packets_sent"):
+            value = getattr(record, extra, None)
+            if value is not None:
+                row[extra] = value
+        return row
 
 
 def run_trial(
     network: Network,
     flows: Iterable[FlowSpec],
     until: float = math.inf,
+    promotion: Optional[Any] = None,
     checkpoint_dir=None,
     checkpoint_every: Optional[float] = None,
     checkpoint_keep_last: Optional[int] = None,
 ) -> TrialResult:
     """Launch ``flows`` on ``network``, run it, and merge the results.
 
-    Works with either simulator: every spec is submitted via the
-    keyword-only ``add_flow(spec=...)`` API, the simulation runs to
-    completion (or ``until``), and the per-plane statistics are merged
-    into a :class:`NetworkMonitor`.
+    The single run surface for every registered engine: every spec is
+    submitted via the keyword-only ``add_flow(spec=...)`` API, the
+    simulation runs to completion (or ``until``) through the engine's
+    registered runner, and per-plane statistics merge into a
+    :class:`NetworkMonitor` inside one :class:`TrialResult`.
+
+    ``promotion`` (a :class:`repro.hybrid.PromotionPolicy`, probability,
+    or policy string) installs the promotion policy on a hybrid network
+    before submission; per-flow ``FlowSpec.fidelity`` hints override it
+    flow by flow.  Pure engines reject ``promotion=`` (the flows already
+    run at a fixed fidelity).
 
     With ``checkpoint_dir`` and ``checkpoint_every`` the run writes
     :mod:`repro.ckpt` snapshots every that many simulated seconds;
     :func:`resume_trial` continues from the newest one with results
-    byte-identical to an uninterrupted run.
+    byte-identical to an uninterrupted run.  This works for all three
+    built-in engines (hybrid snapshots carry both sub-engines, the
+    bridge, and the promotion policy in one object graph).
     """
+    engine = _engine_of(network)
+    if promotion is not None:
+        if not isinstance(network, HybridSimulator):
+            raise ValueError(
+                f"promotion= requires a hybrid network, "
+                f"got kind={engine.name!r}"
+            )
+        network.promotion = resolve_policy(promotion)
     for spec in flows:
         network.add_flow(spec=spec)
     if checkpoint_every is not None:
@@ -177,12 +387,9 @@ def run_trial(
             until=until,
             keep_last=checkpoint_keep_last,
         )
-        return _finish_trial(network)
-    if isinstance(network, PacketNetwork):
-        network.run(until=until)
-    else:
-        network.run(until=None if math.isinf(until) else until)
-    return _finish_trial(network)
+        return _finish_trial(network, engine)
+    engine.run(network, until)
+    return _finish_trial(network, engine)
 
 
 def resume_trial(
@@ -194,15 +401,17 @@ def resume_trial(
     """Continue a checkpointed :func:`run_trial` to completion.
 
     Loads the newest valid checkpoint under ``checkpoint_dir`` (partial
-    directories from a killed run are skipped), resumes the simulation,
-    and returns the same :class:`TrialResult` -- records byte-identical
-    to the run never having stopped.  Pass ``checkpoint_every`` to keep
-    checkpointing on the way.
+    directories from a killed run are skipped), resumes the simulation
+    through the engine's registered runner, and returns the same
+    :class:`TrialResult` -- records byte-identical to the run never
+    having stopped.  Pass ``checkpoint_every`` to keep checkpointing on
+    the way.
     """
     from repro.ckpt import restore, run_checkpointed
 
     checkpoint = restore(checkpoint_dir)
     network = checkpoint.network
+    engine = _engine_of(network)
     if checkpoint_every is not None:
         run_checkpointed(
             network,
@@ -213,25 +422,67 @@ def resume_trial(
             rng=checkpoint.rng,
             keep_last=checkpoint_keep_last,
         )
-    elif isinstance(network, PacketNetwork):
-        network.run(until=until)
     else:
-        network.run(until=None if math.isinf(until) else until)
-    return _finish_trial(network)
+        engine.run(network, until)
+    return _finish_trial(network, engine)
 
 
-def _finish_trial(network: Network) -> TrialResult:
+def _finish_trial(network: Network, engine: Engine) -> TrialResult:
+    meta: Dict[str, Any] = {"n_planes": len(network.planes)}
     if isinstance(network, PacketNetwork):
         monitor = NetworkMonitor.from_network(network)
+        fidelity = {r.flow_id: "packet" for r in network.records}
+    elif isinstance(network, HybridSimulator):
+        monitor = NetworkMonitor(len(network.planes))
+        for record in network.records:
+            monitor.record_flow(record.planes, record.size, record.fct)
+        monitor.ingest_queue_counters(network.packet)
+        fidelity = {
+            r.flow_id: network.fidelity[r.flow_id]
+            for r in network.records
+        }
+        meta["fidelity_counts"] = network.fidelity_counts()
+        meta["bridge_refreshes"] = network.bridge.refreshes
     else:
         monitor = NetworkMonitor(len(network.planes))
         for record in network.records:
             monitor.record_flow(record.planes, record.size, record.fct)
+        fidelity = {r.flow_id: "fluid" for r in network.records}
+    meta["n_records"] = len(network.records)
+    # Duck-typed third-party engines may not carry a registry at all.
+    obs = getattr(network, "obs", None)
     metrics = (
-        network.obs.snapshot(include_wallclock=False)
-        if network.obs.enabled
+        obs.snapshot(include_wallclock=False)
+        if obs is not None and obs.enabled
         else []
     )
     return TrialResult(
-        records=list(network.records), monitor=monitor, metrics=metrics
+        records=list(network.records),
+        monitor=monitor,
+        metrics=metrics,
+        fidelity=fidelity,
+        engine=engine.name,
+        meta=meta,
     )
+
+
+# --- built-in engines --------------------------------------------------
+
+register_engine(
+    "packet",
+    cls=PacketNetwork,
+    run=_run_packet_style,
+    description="discrete-event packet simulation (TCP/MPTCP)",
+)
+register_engine(
+    "fluid",
+    cls=FluidSimulator,
+    run=_run_fluid_style,
+    description="max-min fair fluid rate model",
+)
+register_engine(
+    "hybrid",
+    cls=HybridSimulator,
+    run=_run_fluid_style,
+    description="fluid bulk with a promoted packet-fidelity sample",
+)

@@ -73,9 +73,15 @@ def _engine_of(network) -> str:
         return "packet"
     if isinstance(network, FluidSimulator):
         return "fluid"
+    # Lazy: repro.hybrid imports repro.ckpt.rng, so a module-level
+    # import here would cycle through the package __init__.
+    from repro.hybrid.engine import HybridSimulator
+
+    if isinstance(network, HybridSimulator):
+        return "hybrid"
     raise TypeError(
         f"cannot checkpoint {type(network).__name__}; expected "
-        "PacketNetwork or FluidSimulator"
+        "PacketNetwork, FluidSimulator or HybridSimulator"
     )
 
 
@@ -187,6 +193,10 @@ def _has_pending(network) -> bool:
     if isinstance(network, PacketNetwork):
         heap = network.loop._heap
         return any(not event.cancelled for __, __s, event in heap)
+    from repro.hybrid.engine import HybridSimulator
+
+    if isinstance(network, HybridSimulator):
+        return _has_pending(network.packet) or _has_pending(network.fluid)
     return bool(
         network._active or network._arrivals or network._timers
     )
@@ -212,12 +222,12 @@ def run_checkpointed(
 ) -> List[pathlib.Path]:
     """Run to ``until``, checkpointing every ``every`` simulated seconds.
 
-    Respects the byte-identity contract for both engines: packet chunks
+    Respects the byte-identity contract for every engine: packet chunks
     use plain horizons (absolute event times make any cut exact), fluid
-    chunks pause at event boundaries via ``stop_after`` and only the
-    final segment runs with the horizon-crediting ``until``.  Resuming
-    the returned checkpoints therefore replays the uninterrupted run
-    exactly.
+    and hybrid chunks pause at event boundaries via ``stop_after`` and
+    only the final segment runs with the horizon-crediting ``until``.
+    Resuming the returned checkpoints therefore replays the
+    uninterrupted run exactly.
 
     Returns the checkpoint directories written, oldest first.
     """

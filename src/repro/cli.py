@@ -9,6 +9,8 @@ Usage::
     python -m repro fig6 --csv results/
     python -m repro fig9 --jobs 8        # fan trials over 8 workers
     python -m repro fig9 --shards 2      # split each trial over 2 plane shards
+    python -m repro hybrid --scale tiny --promote sampled:0.1:0
+    python -m repro hybrid --fidelity hybrid --promote 0.25
     python -m repro fig9 --shards 2 --lookahead auto --shard-backend shm
     python -m repro cache                # show artifact-cache stats
     python -m repro cache --clear        # drop all cached artifacts
@@ -60,6 +62,7 @@ EXPERIMENTS = {
     "fig14": "repro.exp.fig14",
     "appendix": "repro.exp.appendix",
     "degradation": "repro.exp.degradation",
+    "hybrid": "repro.exp.hybrid",
     "incast": "repro.exp.incast",
     "ablation": "repro.exp.ablation",
     "adaptive": "repro.exp.adaptive_routing",
@@ -176,6 +179,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         default=None,
         help="retain only the newest N sweep checkpoints (sets PNET_CKPT_KEEP)",
+    )
+    parser.add_argument(
+        "--fidelity",
+        choices=["packet", "fluid", "hybrid"],
+        default=None,
+        help=(
+            "restrict the hybrid experiment to one engine "
+            "(sets PNET_FIDELITY)"
+        ),
+    )
+    parser.add_argument(
+        "--promote",
+        metavar="POLICY",
+        default=None,
+        help=(
+            "promotion policy for hybrid runs (sets PNET_PROMOTE; e.g. "
+            "'sampled:0.1:0', 'tagged:probe+0.05', or a bare probability)"
+        ),
     )
     parser.add_argument(
         "--metrics-out",
@@ -598,6 +619,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         or args.checkpoint_dir is not None
         or args.checkpoint_every is not None
         or args.keep_last is not None
+        or args.fidelity is not None
+        or args.promote is not None
         or args.resume
     ):
         import os
@@ -633,6 +656,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             os.environ["PNET_CKPT_EVERY"] = str(args.checkpoint_every)
         if args.keep_last is not None:
             os.environ["PNET_CKPT_KEEP"] = str(args.keep_last)
+        if args.fidelity is not None:
+            os.environ["PNET_FIDELITY"] = args.fidelity
+        if args.promote is not None:
+            os.environ["PNET_PROMOTE"] = args.promote
         if args.resume:
             os.environ["PNET_RESUME"] = "1"
     registry = None

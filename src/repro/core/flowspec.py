@@ -38,10 +38,15 @@ class FlowSpec:
         transport: ``"tcp"`` or ``"dctcp"`` (packet simulator only; the
             fluid model has no transport knob and ignores it).
         on_complete: callback fired with the flow record at completion.
+        fidelity: per-flow fidelity hint for the hybrid engine --
+            ``"packet"`` or ``"fluid"`` forces that engine for this flow,
+            bypassing the :class:`repro.hybrid.PromotionPolicy`;
+            ``None`` (default) lets the policy decide.  Pure engines
+            ignore the hint (the flow already runs at their fidelity).
     """
 
     __slots__ = ("src", "dst", "size", "paths", "at", "tag", "transport",
-                 "on_complete")
+                 "on_complete", "fidelity")
 
     def __init__(
         self,
@@ -54,9 +59,15 @@ class FlowSpec:
         tag: Optional[str] = None,
         transport: str = "tcp",
         on_complete: Optional[Callable[[Any], None]] = None,
+        fidelity: Optional[str] = None,
     ):
         if size < 0:
             raise ValueError(f"size must be >= 0, got {size}")
+        if fidelity not in (None, "packet", "fluid"):
+            raise ValueError(
+                f"fidelity must be None, 'packet' or 'fluid', "
+                f"got {fidelity!r}"
+            )
         if not paths:
             raise ValueError("need at least one path")
         for plane_idx, path in paths:
@@ -72,6 +83,7 @@ class FlowSpec:
         self.tag = tag
         self.transport = transport
         self.on_complete = on_complete
+        self.fidelity = fidelity
 
     @property
     def planes(self) -> Tuple[int, ...]:

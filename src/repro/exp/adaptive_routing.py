@@ -29,7 +29,7 @@ from repro.core.adaptive import AdaptiveRouter
 from repro.core.flowspec import FlowSpec
 from repro.core.path_selection import EcmpPolicy, KspMultipathPolicy
 from repro.exp.common import JellyfishFamily, format_table, get_scale
-from repro.fluid.flowsim import FluidSimulator
+from repro.api import build_network
 from repro.traffic.patterns import permutation
 from repro.units import GB, MB
 
@@ -76,7 +76,7 @@ def run(scale: Optional[str] = None) -> AdaptiveResult:
         )
 
         def run_variant(adaptive: bool, multipath: bool) -> float:
-            sim = FluidSimulator(pnet.planes, slow_start=False)
+            sim = build_network(pnet.planes, kind="fluid", slow_start=False)
             router = AdaptiveRouter(
                 sim, pnet, epoch=params["epoch"]
             ) if adaptive else None

@@ -37,7 +37,7 @@ from repro.exp.runner import TrialSpec, run_trials
 from repro.faults.generators import plane_outage
 from repro.faults.injector import FaultInjector, surviving_capacity
 from repro.faults.schedule import FaultSchedule
-from repro.fluid.flowsim import FluidSimulator
+from repro.api import build_network
 from repro.obs import Registry
 from repro.shard import serial_fallback
 
@@ -168,7 +168,8 @@ def run_faulted(
     # which cannot be decomposed by plane: force the serial path, so
     # degradation output is byte-identical at any PNET_SHARDS.
     serial_fallback("fault-resteer", obs=registry)
-    sim = FluidSimulator(pnet.planes, slow_start=False, obs=registry)
+    sim = build_network(pnet.planes, kind="fluid", slow_start=False,
+                        obs=registry)
     injector = FaultInjector(pnet, schedule, selector=selector, obs=registry)
     injector.attach(sim)
 

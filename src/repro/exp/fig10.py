@@ -30,7 +30,7 @@ from repro.exp.common import (
     network_for_label,
 )
 from repro.exp.runner import TrialSpec, run_trials
-from repro.sim.network import PacketNetwork
+from repro.api import build_network
 from repro.sim.rpc import RpcClient
 from repro.traffic.rpc_workload import RpcWorkload
 from repro.units import MTU
@@ -106,7 +106,7 @@ def run_rpc_network(
         seed=seed,
     )
     policy = single_path_policy(label, pnet, seed)
-    net = PacketNetwork(pnet.planes)
+    net = build_network(pnet.planes, kind="packet")
     clients = []
     for chain_idx, (client_host, chain) in enumerate(workload.chains()):
         client = RpcClient(

@@ -29,7 +29,7 @@ from repro.exp.common import (
 )
 from repro.exp.fig10 import LABELS, single_path_policy
 from repro.exp.runner import TrialSpec, run_trials
-from repro.fluid.flowsim import FluidSimulator
+from repro.api import build_network
 from repro.traffic.shuffle import ShuffleFlow, ShuffleJob
 from repro.units import GB, MB
 
@@ -76,7 +76,7 @@ def _run_stage(
 
     Returns the completion time of each worker's last flow.
     """
-    sim = FluidSimulator(pnet.planes, slow_start=True)
+    sim = build_network(pnet.planes, kind="fluid", slow_start=True)
     queues: Dict[str, List[ShuffleFlow]] = {}
     for flow in flows:
         queues.setdefault(flow.worker, []).append(flow)

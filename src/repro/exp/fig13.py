@@ -28,7 +28,7 @@ from repro.exp.common import (
 )
 from repro.exp.fig10 import LABELS, single_path_policy
 from repro.exp.runner import TrialSpec, run_trials
-from repro.fluid.flowsim import FluidSimulator
+from repro.api import build_network
 from repro.traffic.traces import TRACES, FlowSizeCDF
 
 PRESETS = {
@@ -79,7 +79,7 @@ def replay_trace(
     per-host completion budget is exhausted.  All chains draw from
     deterministic per-chain RNGs, so runs are reproducible.
     """
-    sim = FluidSimulator(pnet.planes, slow_start=True)
+    sim = build_network(pnet.planes, kind="fluid", slow_start=True)
     hosts = pnet.hosts
     flow_ids = iter(range(10**9))
     budget = {host: completions_per_host for host in hosts}

@@ -42,7 +42,7 @@ from repro.exp.common import (
     network_for_label,
 )
 from repro.exp.runner import TrialSpec, run_trials
-from repro.fluid.flowsim import FluidSimulator
+from repro.api import build_network
 from repro.traffic.patterns import permutation
 from repro.units import GB, KB, MB
 
@@ -103,7 +103,7 @@ def fct_trial(
     pnet = network_for_label(family, label, n_planes)
     pairs = permutation(pnet.hosts, random.Random(f"fig9-{seed}"))
     policy = _best_policy(label, pnet, seed)
-    sim = FluidSimulator(pnet.planes, slow_start=True)
+    sim = build_network(pnet.planes, kind="fluid", slow_start=True)
     for flow_id, (src, dst) in enumerate(pairs):
         paths = policy.select(src, dst, flow_id)
         sim.add_flow(spec=FlowSpec(src=src, dst=dst, size=size, paths=paths))

@@ -24,7 +24,7 @@ from repro.analysis.stats import summarize
 from repro.core.flowspec import FlowSpec
 from repro.exp.common import JellyfishFamily, format_table, get_scale
 from repro.exp.fig10 import single_path_policy
-from repro.sim.network import PacketNetwork
+from repro.api import build_network
 from repro.units import KB
 
 PRESETS = {
@@ -79,7 +79,7 @@ def run(scale: Optional[str] = None) -> IncastResult:
                 raise ValueError(
                     f"need {fan_in} senders, have {len(senders)}"
                 )
-            net = PacketNetwork(pnet.planes, ecn_threshold=ecn)
+            net = build_network(pnet.planes, kind="packet", ecn_threshold=ecn)
             for i, sender in enumerate(senders):
                 paths = policy.select(sender, receiver, i)
                 net.add_flow(spec=FlowSpec(

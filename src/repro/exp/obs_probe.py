@@ -20,7 +20,7 @@ from repro.core.monitoring import NetworkMonitor
 from repro.core.path_selection import KspMultipathPolicy
 from repro.exp.common import JellyfishFamily
 from repro.obs import Registry, Tracer
-from repro.sim.network import PacketNetwork
+from repro.api import build_network
 from repro.traffic.patterns import permutation
 
 
@@ -46,7 +46,7 @@ def traced_trial(
     family = JellyfishFamily(switches, degree, hosts_per)
     pnet = family.parallel_homogeneous(n_planes)
     registry = Registry(tracer=Tracer(verbose=verbose))
-    net = PacketNetwork(pnet.planes, obs=registry)
+    net = build_network(pnet.planes, kind="packet", obs=registry)
     policy = KspMultipathPolicy(pnet, k=2 * n_planes, seed=seed)
     pairs = permutation(pnet.hosts, random.Random(f"obs-probe-{seed}"))
     for flow_id, (src, dst) in enumerate(pairs):

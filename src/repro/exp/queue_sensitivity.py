@@ -20,7 +20,7 @@ from typing import Dict, Optional, Tuple
 from repro.analysis.stats import Summary, summarize
 from repro.exp.common import JellyfishFamily, format_table, get_scale
 from repro.exp.fig10 import single_path_policy
-from repro.sim.network import PacketNetwork
+from repro.api import build_network
 from repro.sim.rpc import RpcClient
 from repro.traffic.rpc_workload import RpcWorkload
 from repro.units import KB, MTU
@@ -73,7 +73,7 @@ def run(scale: Optional[str] = None) -> QueueSensitivityResult:
                 seed=0,
             )
             policy = single_path_policy(label, pnet)
-            net = PacketNetwork(pnet.planes, queue_packets=depth)
+            net = build_network(pnet.planes, kind="packet", queue_packets=depth)
             clients = []
             for idx, (client_host, chain) in enumerate(workload.chains()):
                 client = RpcClient(

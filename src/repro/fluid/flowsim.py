@@ -464,13 +464,14 @@ class FluidSimulator:
         if len(self._active) > self.max_active_flows:
             self.max_active_flows = len(self._active)
 
-    def _recompute_rates(self) -> None:
+    def _recompute_rates(self, count: bool = True) -> None:
         subflows: List[_Subflow] = [
             sf for flow in self._active for sf in flow.subflows
         ]
         if not subflows:
             return
-        self.rate_recomputations += 1
+        if count:
+            self.rate_recomputations += 1
         rates = max_min_rates(
             self._capacities,
             [sf.links for sf in subflows],
@@ -494,6 +495,41 @@ class FluidSimulator:
                 if math.isfinite(sf.next_double):
                     candidates.append(sf.next_double)
         return min(candidates) if candidates else None
+
+    def peek_next_event_time(self) -> Optional[float]:
+        """When the next event boundary falls, without advancing anything.
+
+        Returns ``None`` when the engine is fully drained, the current
+        clock when admissions/callbacks are already due, ``math.inf``
+        when active flows are stalled (a subsequent :meth:`run` raises),
+        and the boundary time otherwise.  The co-simulation layer
+        (:mod:`repro.hybrid`) uses this to advance the packet engine up
+        to each fluid boundary before stepping across it.
+
+        The peek is pure with respect to the simulated trajectory: the
+        rate recomputation it performs writes the exact values the next
+        :meth:`run` step would (max-min rates are a deterministic
+        function of the active set), and it is left out of the
+        ``rate_recomputations`` counter so stepped runs stay
+        telemetry-identical to uninterrupted ones.
+        """
+        if not (self._active or self._arrivals or self._timers):
+            return None
+        due = self.now + _EPS
+        heads: List[float] = []
+        if self._arrivals:
+            heads.append(self._arrivals[0][0])
+        if self._timers:
+            heads.append(self._timers[0][0])
+        if heads and min(heads) <= due:
+            return self.now
+        if not self._active:
+            return min(heads)
+        self._recompute_rates(count=False)
+        t_next = self._next_event_time()
+        if t_next is None or not math.isfinite(t_next):
+            return math.inf
+        return t_next
 
     def _complete(self, flow: _Flow) -> None:
         record = FlowRecord(

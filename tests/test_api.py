@@ -1,13 +1,16 @@
 """Tests for the stable facade (repro.api) and the FlowSpec redesign.
 
 The facade is the supported entry point for external users; these tests
-pin its surface: ``build_network`` / ``run_trial`` / ``attach_telemetry``
-re-exported from ``repro``, the keyword-only :class:`FlowSpec` accepted
-by both simulators, and the deprecation shim kept for the legacy
-positional ``add_flow`` signature -- including the guarantee that no
-repo-internal caller still uses it.
+pin its surface: the engine registry behind ``build_network`` /
+``run_trial`` (packet, fluid, hybrid, and user-registered engines), the
+documented :class:`~repro.api.TrialResult` with its stable ``to_json``
+form (golden-pinned), the keyword-only :class:`FlowSpec` accepted by
+every simulator, and the deprecation shims kept for the legacy entry
+points -- including the guarantee that no repo-internal caller still
+uses them.
 """
 
+import json
 import runpy
 import sys
 import warnings
@@ -236,6 +239,157 @@ class TestRunTrial:
         assert repro.run_trial is api.run_trial
         assert repro.attach_telemetry is api.attach_telemetry
         assert repro.TrialResult is api.TrialResult
+
+
+class TestEngineRegistry:
+    def test_engine_names(self):
+        names = api.engine_names()
+        assert {"packet", "fluid", "hybrid"} <= set(names)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            api.register_engine("packet", cls=PacketNetwork)
+
+    def test_replace_allows_reregistration(self):
+        original = api._ENGINES["packet"]
+        try:
+            api.register_engine(
+                "packet", cls=PacketNetwork, run=original.run, replace=True
+            )
+            pnet = make_pnet()
+            net = build_network(pnet, kind="packet")
+            assert isinstance(net, PacketNetwork)
+        finally:
+            api._ENGINES["packet"] = original
+
+    def test_custom_engine_end_to_end(self):
+        """A duck-typed engine registers, builds, and runs a trial."""
+
+        class EchoEngine:
+            def __init__(self, planes, obs=None):
+                self.planes = list(planes)
+                self.records = []
+                self._pending = []
+
+            def add_flow(self, spec=None, **kwargs):
+                self._pending.append(spec)
+
+            def run(self, until=None):
+                import types
+
+                for i, spec in enumerate(self._pending):
+                    self.records.append(types.SimpleNamespace(
+                        flow_id=i, src=spec.src, dst=spec.dst,
+                        size=spec.size, arrival=0.0, completion=1.0,
+                        fct=1.0, planes=spec.planes, tag=spec.tag,
+                        n_subflows=len(spec.paths),
+                    ))
+                self._pending = []
+                return self.records
+
+        api.register_engine("echo", cls=EchoEngine)
+        try:
+            pnet = make_pnet()
+            net = build_network(pnet, kind="echo")
+            result = run_trial(net, flows_for(pnet, n=2))
+            assert result.engine == "echo"
+            assert len(result.records) == 2
+            assert set(result.fidelity.values()) == {"fluid"}
+            json.loads(result.to_json())  # renders
+        finally:
+            del api._ENGINES["echo"]
+
+    def test_unknown_kind_lists_engines(self):
+        pnet = make_pnet()
+        with pytest.raises(ValueError, match="packet"):
+            build_network(pnet, kind="quantum")
+
+    def test_promotion_rejected_on_pure_engines(self):
+        pnet = make_pnet()
+        for kind in ("packet", "fluid"):
+            net = build_network(pnet, kind=kind)
+            with pytest.raises(ValueError):
+                run_trial(net, flows_for(pnet, n=1), promotion=0.5)
+
+    def test_run_trial_rejects_unregistered_network(self):
+        with pytest.raises(TypeError):
+            run_trial(object(), [])
+
+
+class TestPackageShims:
+    def test_package_level_constructors_warn(self):
+        import repro.fluid
+        import repro.sim
+
+        for module, name in ((repro.sim, "PacketNetwork"),
+                             (repro.fluid, "FluidSimulator")):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                getattr(module, name)
+            assert any(
+                issubclass(w.category, DeprecationWarning) for w in caught
+            ), f"{module.__name__}.{name} did not warn"
+
+    def test_module_path_imports_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.fluid.flowsim import FluidSimulator  # noqa: F401
+            from repro.sim.network import PacketNetwork  # noqa: F401
+            from repro.fluid import FlowRecord  # noqa: F401
+            from repro.fluid import max_min_rates  # noqa: F401
+            from repro.sim import EventLoop  # noqa: F401
+
+    def test_unknown_attribute_raises(self):
+        import repro.fluid
+        import repro.sim
+
+        with pytest.raises(AttributeError):
+            repro.sim.NoSuchThing
+        with pytest.raises(AttributeError):
+            repro.fluid.NoSuchThing
+
+
+class TestTrialResult:
+    GOLDEN = Path(__file__).parent / "golden" / "trial_result.json"
+
+    def _result(self):
+        pnet = make_pnet()
+        net = build_network(pnet, kind="fluid")
+        return run_trial(net, flows_for(pnet))
+
+    def test_fields(self):
+        result = self._result()
+        assert result.engine == "fluid"
+        assert result.meta["n_planes"] == 2
+        assert result.meta["n_records"] == len(result.records)
+        assert set(result.fidelity) == {r.flow_id for r in result.records}
+
+    def test_to_json_schema_and_shape(self):
+        payload = json.loads(self._result().to_json())
+        assert payload["schema"] == api.TRIAL_RESULT_SCHEMA
+        assert payload["engine"] == "fluid"
+        row = payload["records"][0]
+        for field in ("flow_id", "src", "dst", "size", "start", "finish",
+                      "fct", "n_subflows", "planes", "fidelity"):
+            assert field in row
+        assert payload["monitor"]
+
+    def test_golden_fixture(self, update_golden):
+        """The serialized form is a stable, documented format."""
+        text = self._result().to_json()
+        if update_golden:
+            self.GOLDEN.parent.mkdir(exist_ok=True)
+            self.GOLDEN.write_text(text + "\n")
+            return
+        assert self.GOLDEN.exists(), (
+            f"missing golden fixture {self.GOLDEN}; generate it with "
+            f"pytest tests/test_api.py --update-golden"
+        )
+        assert text + "\n" == self.GOLDEN.read_text(), (
+            "TrialResult.to_json() output diverged from the golden "
+            "fixture; if intentional, rerun with --update-golden and "
+            "bump TRIAL_RESULT_SCHEMA if the shape changed"
+        )
 
 
 class TestAttachTelemetry:

@@ -38,6 +38,7 @@ MODULES = (
     "fig14",
     "appendix",
     "degradation",
+    "hybrid",
 )
 
 

@@ -1,0 +1,145 @@
+"""Hybrid checkpoint/restore: pause, resume, byte-identical output.
+
+The hybrid engine rides the existing fluid-style path of
+:func:`repro.ckpt.run_checkpointed` -- ``stop_after`` pauses the
+co-simulation loop at a step boundary and one pickle captures both
+engines, the bridge, and the promotion policy.  Everything here is
+compared against an uninterrupted golden run, byte for byte.
+"""
+
+import pickle
+
+from repro import ckpt
+from repro.api import build_network, resume_trial, run_trial
+from repro.core.flowspec import FlowSpec
+from repro.core.path_selection import KspMultipathPolicy
+from repro.core.pnet import PNet
+from repro.hybrid import Sampled
+from repro.topology import ParallelTopology, build_jellyfish
+
+PROMOTION = Sampled(0.5, seed=3)
+
+
+def make_pnet(n_planes=2, seed=0):
+    return PNet(
+        ParallelTopology.heterogeneous(
+            lambda s: build_jellyfish(8, 4, 1, seed=s + seed), n_planes
+        )
+    )
+
+
+def flows_for(pnet, n=6, size=100_000):
+    policy = KspMultipathPolicy(pnet, k=2, seed=0)
+    hosts = pnet.hosts
+    return [
+        FlowSpec(
+            src=hosts[i], dst=hosts[i + 1], size=size,
+            paths=policy.select(hosts[i], hosts[i + 1], i),
+        )
+        for i in range(min(n, len(hosts) - 1))
+    ]
+
+
+def fresh_hybrid():
+    pnet = make_pnet()
+    net = build_network(pnet, kind="hybrid", promotion=PROMOTION)
+    for spec in flows_for(pnet):
+        net.add_flow(spec=spec)
+    return net
+
+
+def golden():
+    net = fresh_hybrid()
+    net.run()
+    return net
+
+
+def record_bytes(records):
+    return [pickle.dumps(r) for r in records]
+
+
+class TestSnapshotRoundtrip:
+    def test_pause_save_restore_finish(self, tmp_path):
+        reference = golden()
+        assert reference.records, "golden run produced no records"
+        pause_at = reference.records[0].fct / 2
+
+        net = fresh_hybrid()
+        net.run(stop_after=pause_at)
+        assert len(net.records) < len(reference.records)
+        ckpt.save(tmp_path, net, meta={"t": net.now})
+
+        restored = ckpt.restore(tmp_path).network
+        assert restored.fidelity == net.fidelity
+        restored.run()
+        assert record_bytes(restored.records) == record_bytes(
+            reference.records
+        )
+        assert restored.fidelity == reference.fidelity
+
+    def test_run_checkpointed_byte_identical(self, tmp_path):
+        reference = golden()
+        horizon = max(r.fct for r in reference.records)
+
+        net = fresh_hybrid()
+        ckpt.run_checkpointed(
+            net, tmp_path, every=horizon / 4, until=horizon
+        )
+        assert record_bytes(net.records) == record_bytes(reference.records)
+        assert len(ckpt.list_checkpoints(tmp_path)) >= 2
+
+    def test_restart_from_mid_checkpoint(self, tmp_path):
+        """Kill-and-restore from an intermediate snapshot converges."""
+        reference = golden()
+        horizon = max(r.fct for r in reference.records)
+        net = fresh_hybrid()
+        ckpt.run_checkpointed(
+            net, tmp_path, every=horizon / 4, until=horizon
+        )
+        first = ckpt.list_checkpoints(tmp_path)[0]
+        restored = ckpt.restore(first).network
+        restored.run(until=horizon)
+        assert record_bytes(restored.records) == record_bytes(
+            reference.records
+        )
+
+
+class TestApiCheckpointing:
+    def test_run_trial_checkpointed_matches_plain(self, tmp_path):
+        pnet = make_pnet()
+        specs = flows_for(pnet)
+
+        plain = run_trial(
+            build_network(pnet, kind="hybrid", promotion=PROMOTION), specs
+        )
+        horizon = max(r.fct for r in plain.records)
+        checked = run_trial(
+            build_network(pnet, kind="hybrid", promotion=PROMOTION),
+            specs,
+            until=horizon,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=horizon / 4,
+        )
+        assert record_bytes(checked.records) == record_bytes(plain.records)
+        assert checked.fidelity == plain.fidelity
+
+    def test_resume_trial_finishes_interrupted_run(self, tmp_path):
+        pnet = make_pnet()
+        specs = flows_for(pnet)
+        plain = run_trial(
+            build_network(pnet, kind="hybrid", promotion=PROMOTION), specs
+        )
+        horizon = max(r.fct for r in plain.records)
+
+        # interrupted run: checkpoint as we go, stop mid-flight
+        net = build_network(pnet, kind="hybrid", promotion=PROMOTION)
+        for spec in specs:
+            net.add_flow(spec=spec)
+        ckpt.run_checkpointed(
+            net, tmp_path, every=horizon / 5, until=horizon / 2
+        )
+
+        resumed = resume_trial(tmp_path, until=horizon)
+        assert record_bytes(resumed.records) == record_bytes(plain.records)
+        assert resumed.fidelity == plain.fidelity
+        assert resumed.engine == "hybrid"
