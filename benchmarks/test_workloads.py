@@ -1,0 +1,105 @@
+"""Benchmark: production workload scenarios across engines.
+
+Runs every scenario family on the parallel-homogeneous tiny network at
+each engine fidelity and emits ``BENCH_workloads.json``: per
+scenario/engine rows with wall-clock, delivered throughput, and the
+FCT tail.  The diurnal mix additionally goes through the steady-state
+driver, so its row carries the offered-load estimate with its
+confidence interval -- the statistical sanity line CI watches.
+"""
+
+import time
+
+from _util import emit_json
+
+from repro.exp.common import JellyfishFamily
+from repro.units import Gbps
+from repro.workloads import (
+    DiurnalScenario,
+    get_scenario,
+    run_scenario,
+    steady_state,
+)
+
+SCENARIOS = {
+    "incast": dict(fan_in=8, block=1_000_000),
+    "coflow": dict(
+        n_coflows=2, n_mappers=3, n_reducers=3, total_bytes=4_000_000,
+        mean_interarrival=1e-4,
+    ),
+    "allreduce": dict(n_workers=4, payload=4_000_000, algorithm="ring"),
+}
+ENGINES = ("packet", "fluid", "hybrid")
+PROMOTION = "sampled:0.25:0"
+
+
+def _closed_row(pnet, name, engine):
+    kwargs = {}
+    if engine != "packet":
+        kwargs["slow_start"] = True
+    if engine == "hybrid":
+        kwargs["promotion"] = PROMOTION
+    t0 = time.perf_counter()
+    result = run_scenario(
+        get_scenario(name, **SCENARIOS[name]), pnet,
+        engine=engine, seed=0, **kwargs,
+    )
+    wall = time.perf_counter() - t0
+    fct = result.fct_summary()
+    return {
+        "n_flows": result.program.n_flows,
+        "bytes": result.program.total_bytes,
+        "makespan_s": result.makespan,
+        "throughput_bps": 8 * result.program.total_bytes / result.makespan,
+        "fct_median_s": fct.median,
+        "fct_p99_s": fct.p99,
+        "wall_s": wall,
+    }
+
+
+def _diurnal_row(pnet, engine):
+    scenario = DiurnalScenario(
+        n_tenants=2, duration=0.1, load=0.3, period=0.05,
+        amplitude=0.0, traces=["webserver"], host_rate=10 * Gbps,
+    )
+    kwargs = {"slow_start": True} if engine != "packet" else {}
+    if engine == "hybrid":
+        kwargs["promotion"] = PROMOTION
+    t0 = time.perf_counter()
+    report = steady_state(scenario, pnet, engine=engine, seed=2, **kwargs)
+    wall = time.perf_counter() - t0
+    row = report.to_row()
+    row["wall_s"] = wall
+    return row
+
+
+def test_workloads(benchmark):
+    pnet = JellyfishFamily(10, 4, 2).parallel_homogeneous(4)
+
+    def run_all():
+        rows = {}
+        for name in sorted(SCENARIOS):
+            for engine in ENGINES:
+                rows[f"{name}/{engine}"] = _closed_row(pnet, name, engine)
+        for engine in ("fluid", "hybrid"):
+            rows[f"diurnal/{engine}"] = _diurnal_row(pnet, engine)
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Every engine completed every scenario's full program.
+    for name in sorted(SCENARIOS):
+        counts = {e: rows[f"{name}/{e}"]["n_flows"] for e in ENGINES}
+        assert len(set(counts.values())) == 1, counts
+    # The steady-state sanity line: measured offered load brackets the
+    # configured target.
+    for engine in ("fluid", "hybrid"):
+        row = rows[f"diurnal/{engine}"]
+        lo, hi = row["offered_load_ci"]
+        assert lo <= row["target_load"] <= hi, row
+
+    emit_json("BENCH_workloads", {
+        "network": "parallel-homogeneous jellyfish-10x4x2, 4 planes",
+        "promotion": PROMOTION,
+        "rows": rows,
+    })

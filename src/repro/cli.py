@@ -68,6 +68,7 @@ EXPERIMENTS = {
     "adaptive": "repro.exp.adaptive_routing",
     "expanders": "repro.exp.expander_families",
     "queues": "repro.exp.queue_sensitivity",
+    "workloads": "repro.exp.workloads",
 }
 
 
@@ -585,9 +586,71 @@ def faults_command(argv: List[str]) -> int:
     return 0
 
 
+def workloads_command(argv: List[str]) -> int:
+    """``python -m repro workloads [--scenario NAME] [--tenants N] ...``
+
+    The production-workload experiment with its scenario knobs exposed
+    directly (they travel to :mod:`repro.exp.workloads` as environment
+    variables, so ``python -m repro all`` still runs the same module
+    with defaults).
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro workloads",
+        description="production workload scenarios on the comparison "
+        "networks (incast, coflow, allreduce, diurnal)",
+    )
+    parser.add_argument(
+        "--scenario", metavar="NAME", default=None,
+        help="run one scenario family only (sets PNET_SCENARIO; one of "
+        "incast, coflow, allreduce, diurnal)",
+    )
+    parser.add_argument(
+        "--tenants", type=int, metavar="N", default=None,
+        help="diurnal mix tenant count (sets PNET_TENANTS)",
+    )
+    parser.add_argument(
+        "--load", type=float, metavar="FRACTION", default=None,
+        help="diurnal mix offered load in (0, 1] (sets PNET_LOAD)",
+    )
+    parser.add_argument(
+        "--engine", choices=["packet", "fluid", "hybrid"], default=None,
+        help="engine to run scenarios on (sets PNET_WORKLOADS_ENGINE; "
+        "default packet)",
+    )
+    parser.add_argument("--scale", choices=SCALES, default=None)
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also write flattened results as CSV into DIR",
+    )
+    parser.add_argument(
+        "--jobs", type=int, metavar="N", default=None,
+        help="override PNET_JOBS (worker processes for the trial grid)",
+    )
+    args = parser.parse_args(argv)
+    import os
+
+    if args.scenario is not None:
+        os.environ["PNET_SCENARIO"] = args.scenario
+    if args.tenants is not None:
+        os.environ["PNET_TENANTS"] = str(args.tenants)
+    if args.load is not None:
+        os.environ["PNET_LOAD"] = repr(args.load)
+    if args.engine is not None:
+        os.environ["PNET_WORKLOADS_ENGINE"] = args.engine
+    if args.jobs is not None:
+        os.environ["PNET_JOBS"] = str(args.jobs)
+    run_one("workloads", args.scale, args.csv)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "workloads" and len(argv) > 1:
+        # Bare `workloads` keeps the uniform experiment route (so it
+        # composes with --metrics-out etc.); any argument engages the
+        # scenario-knob parser.
+        return workloads_command(argv[1:])
     if argv and argv[0] == "obs":
         return obs_command(argv[1:])
     if argv and argv[0] == "faults":

@@ -21,11 +21,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.stats import summarize
-from repro.core.flowspec import FlowSpec
 from repro.exp.common import JellyfishFamily, format_table, get_scale
 from repro.exp.fig10 import single_path_policy
 from repro.api import build_network
 from repro.units import KB
+from repro.workloads import IncastScenario, bind
 
 PRESETS = {
     "tiny": dict(
@@ -70,22 +70,18 @@ def run(scale: Optional[str] = None) -> IncastResult:
          networks.serial_low, "dctcp", 20)
     )
     for label, pnet, transport, ecn in configs:
-        hosts = pnet.hosts
-        receiver = hosts[0]
         policy = single_path_policy(label.split("+")[0], pnet)
         for fan_in in params["fan_in"]:
-            senders = hosts[1:fan_in + 1]
-            if len(senders) < fan_in:
-                raise ValueError(
-                    f"need {fan_in} senders, have {len(senders)}"
-                )
+            # The flow set comes from the shared scenario generator
+            # (same senders/receiver placement the inline loop always
+            # used); the experiment only layers transport/ECN on top.
+            scenario = IncastScenario(
+                fan_in=fan_in, block=params["block"]
+            )
             net = build_network(pnet.planes, kind="packet", ecn_threshold=ecn)
-            for i, sender in enumerate(senders):
-                paths = policy.select(sender, receiver, i)
-                net.add_flow(spec=FlowSpec(
-                    src=sender, dst=receiver, size=params["block"],
-                    paths=paths, at=0.0, transport=transport,
-                ))
+            program = scenario.program(pnet, policy, seed=0)
+            for spec in bind(program, net):
+                net.add_flow(spec=spec.replace(transport=transport))
             net.run()
             fcts = [rec.fct for rec in net.records]
             result.stats[(label, fan_in)] = summarize(fcts)

@@ -165,6 +165,13 @@ class HybridSimulator:
         else:
             self._fluid_used = True
             self.fluid.add_flow(spec=wrapped)
+            # Submitted from inside a packet-side callback (closed-loop
+            # chaining), this flow invalidates the fluid frontier the
+            # packet loop is currently running toward: stop that run at
+            # the submission instant so the co-sim loop re-couples the
+            # clocks before the packet side overruns the new fluid
+            # events.  No-op outside a packet run.
+            self.packet.loop.interrupt()
         return flow_id
 
     def _sub_complete(self, flow_id, user_cb, record) -> None:
@@ -183,6 +190,7 @@ class HybridSimulator:
         """
         self._fluid_used = True
         self.fluid.schedule(at, fn)
+        self.packet.loop.interrupt()  # same staleness hazard as add_flow
 
     # --- state views ---------------------------------------------------
 
@@ -246,6 +254,12 @@ class HybridSimulator:
                 # Fluid rates are constant up to ``target``; the bridge
                 # already applied them, so this interval is exact.
                 self.packet.loop.run(until=target)
+                if math.isfinite(target) and self.packet.loop.now < target:
+                    # A chained fluid submission interrupted the packet
+                    # run: ``tf`` is stale, so re-peek before stepping
+                    # the fluid engine across the wrong boundary.
+                    self.now = max(self.now, self.packet.loop.now)
+                    continue
                 if not math.isfinite(target):
                     self.now = max(self.now, self.packet.loop.now)
             if math.isfinite(target):
@@ -274,6 +288,16 @@ class HybridSimulator:
             if self._fluid_used and math.isfinite(horizon):
                 self.fluid.run(until=horizon)
                 self.now = max(self.now, horizon)
+            elif (
+                self._fluid_used
+                and self.fluid.peek_next_event_time() is not None
+            ):
+                # Packet-side completion callbacks submitted new fluid
+                # work after the fluid frontier was peeked (closed-loop
+                # chaining): go around rather than dropping it.  The
+                # re-peek is pure, so runs that never chain are
+                # untouched.
+                continue
             break
         if self._packet_used and self.packet.obs.enabled:
             self.packet.publish_queue_stats()

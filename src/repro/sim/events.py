@@ -37,9 +37,11 @@ class EventLoop:
             not per event.
     """
 
-    #: Class-level fallback so loops pickled before the compaction
-    #: counter existed unpickle cleanly.
+    #: Class-level fallbacks so loops pickled before these fields
+    #: existed unpickle cleanly.
     _cancelled = 0
+    _interrupt_at = math.inf
+    _running = False
 
     #: Compaction trigger: rebuild the heap once at least this many
     #: cancelled events linger *and* they are the majority.  Rebuilding
@@ -58,6 +60,8 @@ class EventLoop:
         #: Deepest the heap has ever been (cancelled events included).
         self.max_heap_depth = 0
         self._cancelled = 0
+        self._interrupt_at = math.inf
+        self._running = False
         self._obs = obs
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
@@ -102,6 +106,25 @@ class EventLoop:
             heapq.heapify(self._heap)
             self._cancelled = 0
 
+    def interrupt(self, at: Optional[float] = None) -> None:
+        """Ask the in-progress :meth:`run` to stop early.
+
+        The loop finishes the current callback, processes any further
+        events up to and including time ``at`` (default: the current
+        time), and returns without advancing past it.  A co-simulator
+        calls this from inside an event callback when that callback
+        created work for *another* engine behind the horizon this run
+        was launched toward -- the frontier the caller computed is now
+        stale, and continuing would process packet events that causally
+        depend on unsimulated foreign state.  No-op unless a run is in
+        progress; consumed (reset) when that run returns.
+        """
+        if not self._running:
+            return
+        at = self.now if at is None else max(at, self.now)
+        if at < self._interrupt_at:
+            self._interrupt_at = at
+
     def run(
         self,
         until: float = math.inf,
@@ -114,22 +137,28 @@ class EventLoop:
             t0 = time.perf_counter()
         heap = self._heap
         processed = 0
-        while heap:
-            event_time, __, event = heap[0]
-            if event_time > until:
-                break
-            heapq.heappop(heap)
-            if event.cancelled:
-                if self._cancelled > 0:
-                    self._cancelled -= 1
-                continue
-            self.now = event_time
-            event.fn()
-            processed += 1
-            if processed > max_events:
-                raise RuntimeError(f"exceeded {max_events} events")
-        if math.isfinite(until) and until > self.now:
-            self.now = until
+        self._running = True
+        try:
+            while heap:
+                event_time, __, event = heap[0]
+                if event_time > until or event_time > self._interrupt_at:
+                    break
+                heapq.heappop(heap)
+                if event.cancelled:
+                    if self._cancelled > 0:
+                        self._cancelled -= 1
+                    continue
+                self.now = event_time
+                event.fn()
+                processed += 1
+                if processed > max_events:
+                    raise RuntimeError(f"exceeded {max_events} events")
+        finally:
+            self._running = False
+        end = min(until, self._interrupt_at)
+        self._interrupt_at = math.inf
+        if math.isfinite(end) and end > self.now:
+            self.now = end
         self.events_processed += processed
         if timing:
             obs.counter("sim.events.processed").inc(processed)

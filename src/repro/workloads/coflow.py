@@ -1,0 +1,177 @@
+"""Coflow mixes: staggered shuffle jobs with per-coflow completion time.
+
+A *coflow* is the shuffle literature's unit of work: the set of flows a
+distributed computation must complete before it can proceed.  Each
+coflow here is a three-stage sort in miniature (the structure of
+``repro.traffic.shuffle`` and the paper's section 5.2.2 workload):
+
+1. **read** -- every mapper pulls its input share from a random remote
+   host;
+2. **shuffle** -- each mapper's share is partitioned across all
+   reducers (the all-to-all bucket exchange);
+3. **write** -- every reducer pushes the bytes it received to a random
+   remote replica.
+
+Stages are dependency-ordered waves of one :class:`Chain` per coflow,
+so the chain's completion time **is** the coflow completion time (CCT).
+Every stage moves **exactly** ``total_bytes``: shares are split with
+:func:`split_exact`, so byte conservation across stages holds to the
+byte (a property test pins this, not just approximately).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.core.flowspec import FlowSpec
+from repro.units import MB
+from repro.workloads.base import (
+    Chain,
+    Scenario,
+    ScenarioProgram,
+    WorkloadError,
+    wave_tag,
+)
+
+#: Stage names, in dependency order (wave index == position here).
+STAGES = ("read", "shuffle", "write")
+
+
+def split_exact(total: int, n: int) -> List[int]:
+    """``n`` near-equal non-negative parts summing to exactly ``total``."""
+    if n < 1:
+        raise WorkloadError(f"cannot split into {n} parts")
+    base, rem = divmod(int(total), n)
+    return [base + 1] * rem + [base] * (n - rem)
+
+
+class CoflowScenario(Scenario):
+    """A mix of staggered three-stage shuffle coflows.
+
+    Args:
+        n_coflows: how many independent coflows run.
+        n_mappers / n_reducers: workers per coflow (placed disjointly
+            within a coflow, sampled independently across coflows).
+        total_bytes: bytes one coflow moves per stage.
+        size_range: optional ``(lo, hi)``; each coflow's ``total_bytes``
+            is instead drawn log-uniformly from this interval.
+        mean_interarrival: mean of the exponential coflow arrival
+            process (seconds); 0 starts every coflow at t=0.
+    """
+
+    name = "coflow"
+
+    def __init__(
+        self,
+        n_coflows: int = 4,
+        n_mappers: int = 4,
+        n_reducers: int = 4,
+        total_bytes: int = int(4 * MB),
+        size_range: Optional[Tuple[int, int]] = None,
+        mean_interarrival: float = 0.0,
+    ):
+        if n_coflows < 1:
+            raise WorkloadError(f"n_coflows must be >= 1, got {n_coflows}")
+        if n_mappers < 1 or n_reducers < 1:
+            raise WorkloadError("need at least one mapper and one reducer")
+        if total_bytes < 1:
+            raise WorkloadError("total_bytes must be positive")
+        if size_range is not None and not 0 < size_range[0] <= size_range[1]:
+            raise WorkloadError(f"bad size_range {size_range}")
+        if mean_interarrival < 0:
+            raise WorkloadError("mean_interarrival must be >= 0")
+        self.n_coflows = n_coflows
+        self.n_mappers = n_mappers
+        self.n_reducers = n_reducers
+        self.total_bytes = total_bytes
+        self.size_range = size_range
+        self.mean_interarrival = mean_interarrival
+
+    def _coflow_bytes(self, rng) -> int:
+        if self.size_range is None:
+            return self.total_bytes
+        lo, hi = self.size_range
+        if lo == hi:
+            return int(lo)
+        return int(round(math.exp(rng.uniform(math.log(lo), math.log(hi)))))
+
+    def program(self, pnet, policy, seed: int = 0) -> ScenarioProgram:
+        hosts = pnet.hosts
+        n_workers = self.n_mappers + self.n_reducers
+        if len(hosts) < n_workers + 1:
+            raise WorkloadError(
+                f"need {n_workers + 1} hosts to place {self.n_mappers} "
+                f"mappers + {self.n_reducers} reducers with a remote "
+                f"host left over, have {len(hosts)}"
+            )
+        place = self.stream(seed, "placement")
+        sizes = self.stream(seed, "sizes")
+        arrivals = self.stream(seed, "arrivals")
+        chains: List[Chain] = []
+        flow_idx = 0
+
+        def spec(src, dst, size, tag):
+            nonlocal flow_idx
+            paths = policy.select(src, dst, flow_idx)
+            if not paths:
+                raise WorkloadError(f"{src}->{dst} unroutable")
+            flow_idx += 1
+            return FlowSpec(src=src, dst=dst, size=size, paths=paths, tag=tag)
+
+        def remote(worker):
+            other = place.choice(hosts)
+            while other == worker:
+                other = place.choice(hosts)
+            return other
+
+        start = 0.0
+        for c in range(self.n_coflows):
+            if self.mean_interarrival > 0 and c > 0:
+                start += arrivals.expovariate(1 / self.mean_interarrival)
+            label = f"cf{c}"
+            workers = place.sample(hosts, n_workers)
+            mappers = workers[: self.n_mappers]
+            reducers = workers[self.n_mappers:]
+            total = self._coflow_bytes(sizes)
+            shares = split_exact(total, self.n_mappers)
+
+            # Size-0 flows are skipped (tiny totals leave some workers
+            # with an empty share); the stage sums are unchanged, so
+            # byte conservation still holds exactly.
+            read = [
+                spec(remote(m), m, shares[i],
+                     wave_tag(label, 0, f"m{i}"))
+                for i, m in enumerate(mappers)
+                if shares[i] > 0
+            ]
+            shuffle = []
+            received = [0] * self.n_reducers
+            for i, m in enumerate(mappers):
+                buckets = split_exact(shares[i], self.n_reducers)
+                for j, r in enumerate(reducers):
+                    received[j] += buckets[j]
+                    if buckets[j] > 0:
+                        shuffle.append(spec(
+                            m, r, buckets[j],
+                            wave_tag(label, 1, f"m{i}-r{j}"),
+                        ))
+            write = [
+                spec(r, remote(r), received[j],
+                     wave_tag(label, 2, f"r{j}"))
+                for j, r in enumerate(reducers)
+                if received[j] > 0
+            ]
+            chains.append(Chain(
+                label=label, waves=[read, shuffle, write], start_at=start
+            ))
+        return ScenarioProgram(
+            scenario=self.name,
+            chains=chains,
+            meta={
+                "n_coflows": self.n_coflows,
+                "n_mappers": self.n_mappers,
+                "n_reducers": self.n_reducers,
+                "stages": list(STAGES),
+            },
+        )

@@ -1,0 +1,172 @@
+"""ML-training collectives: ring and tree all-reduce flow programs.
+
+Data-parallel training synchronises gradients with an all-reduce every
+step; its network signature is a *dependency-ordered* sequence of flow
+waves, not independent arrivals -- exactly the structure FatPaths
+(PAPERS.md) uses to stress routing schemes.  Two classic algorithms:
+
+* **ring**: the payload is split into one chunk per worker; each of the
+  ``2(N-1)`` steps has every worker forward one chunk to its ring
+  successor (reduce-scatter then all-gather).  Every wave moves the
+  whole payload, spread over N parallel flows.
+* **tree**: a binomial reduce up to worker 0 followed by the mirror
+  broadcast down; ``2*ceil(log2 N)`` waves whose flows each carry the
+  full payload but whose parallelism halves/doubles per level.
+
+Each collective job is one :class:`Chain` -- wave ``k+1`` cannot start
+before wave ``k`` finishes, which is the algorithm's semantics (a
+property test asserts no flow departs before its dependency completes).
+The chain completion time is the collective time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.flowspec import FlowSpec
+from repro.units import MB
+from repro.workloads.base import (
+    Chain,
+    Scenario,
+    ScenarioProgram,
+    WorkloadError,
+    wave_tag,
+)
+from repro.workloads.coflow import split_exact
+
+ALGORITHMS = ("ring", "tree")
+
+
+def ring_waves(workers: List[str], payload: int) -> List[List[dict]]:
+    """Sender/receiver/size rows per wave of a ring all-reduce.
+
+    In step ``s``, worker ``i`` sends chunk ``(i - s) mod N`` to worker
+    ``(i + 1) mod N``; every chunk index appears exactly once per wave,
+    so each wave moves exactly ``payload`` bytes.
+    """
+    n = len(workers)
+    chunks = split_exact(payload, n)
+    waves = []
+    for step in range(2 * (n - 1)):
+        wave = []
+        for i in range(n):
+            size = chunks[(i - step) % n]
+            if size > 0:
+                wave.append({
+                    "src": workers[i],
+                    "dst": workers[(i + 1) % n],
+                    "size": size,
+                    "peer": i,
+                })
+        waves.append(wave)
+    return waves
+
+
+def tree_waves(workers: List[str], payload: int) -> List[List[dict]]:
+    """Sender/receiver/size rows per wave of a binomial-tree all-reduce.
+
+    Reduce: at stride ``s`` (1, 2, 4, ...), worker ``i+s`` sends its
+    partial to worker ``i`` for every ``i`` divisible by ``2s``.
+    Broadcast mirrors the reduce with the strides descending.
+    """
+    n = len(workers)
+    strides = []
+    s = 1
+    while s < n:
+        strides.append(s)
+        s *= 2
+    waves = []
+    for s in strides:  # reduce up
+        waves.append([
+            {"src": workers[i + s], "dst": workers[i],
+             "size": payload, "peer": i}
+            for i in range(0, n, 2 * s)
+            if i + s < n
+        ])
+    for s in reversed(strides):  # broadcast down
+        waves.append([
+            {"src": workers[i], "dst": workers[i + s],
+             "size": payload, "peer": i}
+            for i in range(0, n, 2 * s)
+            if i + s < n
+        ])
+    return waves
+
+
+class AllReduceScenario(Scenario):
+    """One or more concurrent all-reduce jobs.
+
+    Args:
+        n_workers: ring/tree size per job (>= 2).
+        payload: gradient bytes all-reduced per job.
+        algorithm: ``"ring"`` or ``"tree"``.
+        n_jobs: concurrent independent jobs (each its own chain, with
+            independently sampled worker placement) -- models several
+            training runs sharing the fabric.
+    """
+
+    name = "allreduce"
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        payload: int = int(8 * MB),
+        algorithm: str = "ring",
+        n_jobs: int = 1,
+    ):
+        if n_workers < 2:
+            raise WorkloadError(f"n_workers must be >= 2, got {n_workers}")
+        if payload < 1:
+            raise WorkloadError("payload must be positive")
+        if algorithm not in ALGORITHMS:
+            raise WorkloadError(
+                f"algorithm must be one of {ALGORITHMS}, got {algorithm!r}"
+            )
+        if n_jobs < 1:
+            raise WorkloadError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.n_workers = n_workers
+        self.payload = payload
+        self.algorithm = algorithm
+        self.n_jobs = n_jobs
+
+    def program(self, pnet, policy, seed: int = 0) -> ScenarioProgram:
+        hosts = pnet.hosts
+        if len(hosts) < self.n_workers:
+            raise WorkloadError(
+                f"need {self.n_workers} hosts, have {len(hosts)}"
+            )
+        place = self.stream(seed, "placement")
+        shape = ring_waves if self.algorithm == "ring" else tree_waves
+        chains = []
+        flow_idx = 0
+        for job in range(self.n_jobs):
+            label = f"{self.algorithm}{job}" if self.n_jobs > 1 else self.algorithm
+            workers = place.sample(hosts, self.n_workers)
+            waves = []
+            for w, rows in enumerate(shape(workers, self.payload)):
+                wave = []
+                for row in rows:
+                    paths = policy.select(row["src"], row["dst"], flow_idx)
+                    if not paths:
+                        raise WorkloadError(
+                            f"{row['src']}->{row['dst']} unroutable"
+                        )
+                    flow_idx += 1
+                    wave.append(FlowSpec(
+                        src=row["src"], dst=row["dst"], size=row["size"],
+                        paths=paths,
+                        tag=wave_tag(label, w, f"p{row['peer']}"),
+                    ))
+                waves.append(wave)
+            chains.append(Chain(label=label, waves=waves))
+        return ScenarioProgram(
+            scenario=self.name,
+            chains=chains,
+            meta={
+                "algorithm": self.algorithm,
+                "n_workers": self.n_workers,
+                "payload": self.payload,
+                "n_jobs": self.n_jobs,
+                "n_steps": len(chains[0].waves),
+            },
+        )

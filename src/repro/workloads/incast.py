@@ -1,0 +1,89 @@
+"""Incast fan-in: many synchronised senders, one receiver.
+
+Promoted from ``benchmarks/test_incast.py``'s private setup into a
+first-class scenario (ROADMAP item 4): ``fan_in`` senders each push one
+``block``-byte transfer to a single receiver at the same instant.  The
+paper (section 6.5) hypothesises that a P-Net spreads the synchronised
+burst over N disjoint queues in the core while the receiver's edge
+remains the coordination problem; this scenario is what the incast
+experiment and benchmark now share.
+"""
+
+from __future__ import annotations
+
+from repro.core.flowspec import FlowSpec
+from repro.units import KB
+from repro.workloads.base import (
+    Chain,
+    Scenario,
+    ScenarioProgram,
+    WorkloadError,
+    wave_tag,
+)
+
+
+class IncastScenario(Scenario):
+    """Synchronised fan-in to one receiver.
+
+    Args:
+        fan_in: number of simultaneous senders.
+        block: bytes each sender pushes.
+        receiver_idx: which host receives (default ``hosts[0]``, the
+            placement the incast experiment and benchmark always used).
+        at: the synchronised launch instant.
+        shuffle_senders: draw the senders uniformly from the remaining
+            hosts (seeded) instead of taking ``hosts[1:fan_in+1]``.
+    """
+
+    name = "incast"
+
+    def __init__(
+        self,
+        fan_in: int = 8,
+        block: int = int(64 * KB),
+        receiver_idx: int = 0,
+        at: float = 0.0,
+        shuffle_senders: bool = False,
+    ):
+        if fan_in < 1:
+            raise WorkloadError(f"fan_in must be >= 1, got {fan_in}")
+        if block <= 0:
+            raise WorkloadError(f"block must be positive, got {block}")
+        self.fan_in = fan_in
+        self.block = block
+        self.receiver_idx = receiver_idx
+        self.at = at
+        self.shuffle_senders = shuffle_senders
+
+    def program(self, pnet, policy, seed: int = 0) -> ScenarioProgram:
+        hosts = pnet.hosts
+        if len(hosts) <= self.fan_in:
+            raise WorkloadError(
+                f"need {self.fan_in + 1} hosts for fan_in="
+                f"{self.fan_in}, have {len(hosts)}"
+            )
+        receiver = hosts[self.receiver_idx]
+        others = [h for h in hosts if h != receiver]
+        if self.shuffle_senders:
+            rng = self.stream(seed, "placement")
+            senders = rng.sample(others, self.fan_in)
+        else:
+            senders = others[: self.fan_in]
+        specs = []
+        for i, sender in enumerate(senders):
+            paths = policy.select(sender, receiver, i)
+            if not paths:
+                raise WorkloadError(f"{sender}->{receiver} unroutable")
+            specs.append(FlowSpec(
+                src=sender, dst=receiver, size=self.block, paths=paths,
+                at=self.at, tag=wave_tag("incast", 0, f"s{i}"),
+            ))
+        return ScenarioProgram(
+            scenario=self.name,
+            chains=[Chain(label="incast", waves=[specs], start_at=self.at)],
+            meta={
+                "fan_in": self.fan_in,
+                "block": self.block,
+                "receiver": receiver,
+            },
+        )

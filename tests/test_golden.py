@@ -39,6 +39,7 @@ MODULES = (
     "appendix",
     "degradation",
     "hybrid",
+    "workloads",
 )
 
 
@@ -71,5 +72,57 @@ def test_golden(name: str, update_golden: bool):
     expected = path.read_text()
     assert text == expected, (
         f"{name} tiny-scale result diverged from {path}; if the change "
+        f"is intentional, rerun with --update-golden and commit the diff"
+    )
+
+
+#: Scenario knobs pinned by the workload-program fixtures (the tiny
+#: experiment preset, so the frozen flow sets are the ones the
+#: workloads experiment actually launches).
+def _workload_program(name: str):
+    from repro.exp.workloads import PRESETS
+    from repro.workloads import get_scenario
+    from repro.workloads.driver import default_policy
+
+    from repro.exp.common import JellyfishFamily
+
+    params = PRESETS["tiny"]
+    family = JellyfishFamily(
+        params["switches"], params["degree"], params["hosts_per"]
+    )
+    pnet = family.parallel_homogeneous(params["n_planes"])
+    scenario = get_scenario(name, **params["scenarios"][name])
+    return scenario.program(pnet, default_policy(pnet, seed=0), seed=0)
+
+
+@pytest.mark.parametrize(
+    "name", ("incast", "coflow", "allreduce", "diurnal")
+)
+def test_workload_program_golden(name: str, update_golden: bool):
+    """The generated flow set of each scenario is frozen byte-for-byte.
+
+    ``ScenarioProgram.to_rows`` pins endpoints, sizes, arrival times,
+    tags, and plane assignments in generation order; any change to the
+    generators, the RNG stream discipline, the path policy, or the
+    topology builders shows up as a fixture diff.
+    """
+    import json
+
+    program = _workload_program(name)
+    text = json.dumps(
+        {"meta": program.meta, "rows": program.to_rows()},
+        indent=2, sort_keys=True,
+    ) + "\n"
+    path = GOLDEN_DIR / f"workloads_{name}.json"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+        return
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        f"pytest tests/test_golden.py --update-golden"
+    )
+    assert text == path.read_text(), (
+        f"{name} scenario program diverged from {path}; if the change "
         f"is intentional, rerun with --update-golden and commit the diff"
     )

@@ -1,0 +1,139 @@
+"""Differential tests: every scenario on packet vs fluid vs hybrid.
+
+Same discipline as ``test_fault_differential.py``: the two independent
+engines run the byte-identical flow program and must agree within 10%
+on the coarse statistics -- median FCT and per-chain completion time.
+
+The comparison is made in the regime where both engines model the same
+physics: flows large enough to be bandwidth-dominated (ramp and
+per-packet overheads amortise) and queues deep enough that nothing
+drops (retransmission timeouts are packet-level realism the fluid
+model does not represent -- the incast experiment measures that gap
+*on purpose*; here it would only test the disagreement we already
+know about).  The diurnal mix additionally excludes per-flow FCTs from
+the bound: its trace-sampled flows are mostly tiny and RTT-dominated,
+so only the tenant-level completion statistics are comparable.
+
+The hybrid engine gets its own agreement tests: the promoted set must
+be exactly the one the pure ``Sampled`` policy picks by submission
+index, and the promoted flows' FCTs must track a pure-packet run of
+the same program within the same 10%.
+"""
+
+import pytest
+
+from repro.analysis.stats import percentile
+from repro.exp.common import JellyfishFamily
+from repro.hybrid.promotion import Sampled
+from repro.workloads import get_scenario, run_scenario
+
+REL = 0.10
+#: Deep enough that the synchronized bursts below never drop.
+QUEUE = 100_000
+
+CLOSED_SCENARIOS = {
+    "incast": dict(fan_in=8, block=1_000_000),
+    "coflow": dict(
+        n_coflows=2, n_mappers=2, n_reducers=2, total_bytes=12_000_000,
+    ),
+    "allreduce-ring": dict(
+        n_workers=4, payload=8_000_000, algorithm="ring"
+    ),
+    "allreduce-tree": dict(
+        n_workers=4, payload=8_000_000, algorithm="tree"
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def pnet():
+    return JellyfishFamily(10, 4, 2).parallel_homogeneous(4)
+
+
+def _scenario(key):
+    name = key.split("-")[0]
+    return get_scenario(name, **CLOSED_SCENARIOS[key])
+
+
+@pytest.mark.parametrize("key", sorted(CLOSED_SCENARIOS))
+def test_packet_and_fluid_agree(pnet, key):
+    packet = run_scenario(
+        _scenario(key), pnet, engine="packet", seed=1, queue_packets=QUEUE
+    )
+    fluid = run_scenario(
+        _scenario(key), pnet, engine="fluid", seed=1, slow_start=True
+    )
+    # The engines executed the same program.
+    assert sorted(r.tag for r in packet.records) == sorted(
+        r.tag for r in fluid.records
+    )
+    assert percentile(packet.fcts, 50) == pytest.approx(
+        percentile(fluid.fcts, 50), rel=REL
+    )
+    for label, ct in packet.completion_times.items():
+        assert fluid.completion_times[label] == pytest.approx(ct, rel=REL)
+
+
+def test_packet_and_fluid_agree_on_diurnal_tenants(pnet):
+    scenario = dict(
+        n_tenants=2, duration=0.002, load=0.3, period=0.001
+    )
+    packet = run_scenario(
+        get_scenario("diurnal", **scenario), pnet,
+        engine="packet", seed=1, queue_packets=QUEUE,
+    )
+    fluid = run_scenario(
+        get_scenario("diurnal", **scenario), pnet,
+        engine="fluid", seed=1, slow_start=True,
+    )
+    assert len(packet.records) == len(fluid.records)
+    for label, ct in packet.completion_times.items():
+        assert fluid.completion_times[label] == pytest.approx(ct, rel=REL)
+    assert packet.makespan == pytest.approx(fluid.makespan, rel=REL)
+
+
+class TestHybridPromotion:
+    P, SEED = 0.5, 7
+
+    def _runs(self, pnet):
+        scenario = lambda: _scenario("incast")  # noqa: E731 - fresh each run
+        hybrid = run_scenario(
+            scenario(), pnet, engine="hybrid", seed=1,
+            promotion=f"sampled:{self.P}:{self.SEED}",
+            queue_packets=QUEUE,
+        )
+        packet = run_scenario(
+            scenario(), pnet, engine="packet", seed=1, queue_packets=QUEUE
+        )
+        return hybrid, packet
+
+    def test_promoted_set_matches_the_pure_policy(self, pnet):
+        """Which flows run at packet fidelity is exactly Sampled's say.
+
+        Incast is single-wave, so submission index == generation order
+        and the hybrid's per-flow fidelity map can be compared against
+        pure ``Sampled.decide`` calls index by index.
+        """
+        hybrid, __ = self._runs(pnet)
+        policy = Sampled(self.P, seed=self.SEED)
+        specs = hybrid.program.all_specs()
+        expected = {
+            i: "packet" if policy.decide(spec, i) else "fluid"
+            for i, spec in enumerate(specs)
+        }
+        assert hybrid.trial.fidelity == expected
+        counts = hybrid.trial.meta["fidelity_counts"]
+        assert counts["packet"] + counts["fluid"] == len(specs)
+        assert 0 < counts["packet"] < len(specs)  # genuinely mixed
+
+    def test_promoted_fcts_track_pure_packet(self, pnet):
+        hybrid, packet = self._runs(pnet)
+        by_tag = {r.tag: r.fct for r in packet.records}
+        promoted = [
+            r for r in hybrid.records
+            if hybrid.trial.fidelity[r.flow_id] == "packet"
+        ]
+        assert promoted
+        hybrid_med = percentile([r.fct for r in promoted], 50)
+        packet_med = percentile([by_tag[r.tag] for r in promoted], 50)
+        assert hybrid_med == pytest.approx(packet_med, rel=REL)
