@@ -343,6 +343,7 @@ def run_trial(
     checkpoint_dir=None,
     checkpoint_every: Optional[float] = None,
     checkpoint_keep_last: Optional[int] = None,
+    on_checkpoint: Optional[Callable[[Any], None]] = None,
 ) -> TrialResult:
     """Launch ``flows`` on ``network``, run it, and merge the results.
 
@@ -386,6 +387,7 @@ def run_trial(
             checkpoint_every,
             until=until,
             keep_last=checkpoint_keep_last,
+            on_checkpoint=on_checkpoint,
         )
         return _finish_trial(network, engine)
     engine.run(network, until)
@@ -397,6 +399,7 @@ def resume_trial(
     until: float = math.inf,
     checkpoint_every: Optional[float] = None,
     checkpoint_keep_last: Optional[int] = None,
+    on_checkpoint: Optional[Callable[[Any], None]] = None,
 ) -> TrialResult:
     """Continue a checkpointed :func:`run_trial` to completion.
 
@@ -421,6 +424,7 @@ def resume_trial(
             injector=checkpoint.injector,
             rng=checkpoint.rng,
             keep_last=checkpoint_keep_last,
+            on_checkpoint=on_checkpoint,
         )
     else:
         engine.run(network, until)
@@ -486,3 +490,32 @@ register_engine(
     run=_run_fluid_style,
     description="fluid bulk with a promoted packet-fidelity sample",
 )
+
+
+# --- experiment-scale surface ------------------------------------------
+#
+# Sweeps are part of the stable facade too: TrialSpec grids run through
+# run_trials locally (PNET_JOBS), with sweep checkpoints (PNET_CKPT_*),
+# or across a run farm (farm= / PNET_FARM_INVENTORY; see repro.farm).
+from repro.exp.runner import (  # noqa: E402  (facade re-export)
+    RunStats,
+    TrialSpec,
+    run_trials,
+)
+
+__all__ = [
+    "Engine",
+    "FlowSpec",
+    "Network",
+    "PlanesLike",
+    "RunStats",
+    "TrialResult",
+    "TrialSpec",
+    "attach_telemetry",
+    "build_network",
+    "engine_names",
+    "register_engine",
+    "resume_trial",
+    "run_trial",
+    "run_trials",
+]

@@ -32,6 +32,7 @@ from repro.ckpt.store import (
     CheckpointError,
     atomic_write_bytes,
     checkpoints_size_bytes,
+    claim_step,
     inspect,
     is_valid,
     latest,
@@ -40,6 +41,7 @@ from repro.ckpt.store import (
     prune,
     read_manifest,
     read_payload,
+    remove_checkpoint_dir,
     step_dir,
     step_of,
     verify,
@@ -53,6 +55,7 @@ __all__ = [
     "SimCheckpoint",
     "atomic_write_bytes",
     "checkpoints_size_bytes",
+    "claim_step",
     "get_bundle",
     "inspect",
     "is_valid",
@@ -62,6 +65,7 @@ __all__ = [
     "prune",
     "read_manifest",
     "read_payload",
+    "remove_checkpoint_dir",
     "restore",
     "run_checkpointed",
     "save",

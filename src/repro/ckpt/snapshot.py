@@ -32,12 +32,11 @@ from repro.ckpt.rng import RngBundle
 from repro.ckpt.store import (
     CheckpointError,
     PathLike,
+    claim_step,
     latest,
-    next_step,
     prune,
     read_manifest,
     read_payload,
-    step_dir,
     write_checkpoint,
 )
 from repro.fluid.flowsim import FluidSimulator
@@ -129,7 +128,10 @@ def save(
         },
         protocol=pickle.HIGHEST_PROTOCOL,
     )
-    step = next_step(root)
+    # claim_step (atomic mkdir) rather than a bare next_step: two
+    # writers sharing a root -- e.g. a farm worker plus the stalled
+    # worker it replaced -- land in distinct step directories.
+    step, directory = claim_step(root)
     full_meta = {
         "kind": KIND_SIM,
         "engine": engine,
@@ -139,11 +141,11 @@ def save(
     }
     if meta:
         full_meta.update(meta)
-    directory = write_checkpoint(
-        step_dir(root, step), {STATE_PAYLOAD: blob}, full_meta
-    )
+    write_checkpoint(directory, {STATE_PAYLOAD: blob}, full_meta)
     if keep_last is not None:
-        prune(root, keep_last)
+        # Writer-side retention must never touch a manifest-less dir: it
+        # may be a live sibling's in-flight write, not a dead one's junk.
+        prune(root, keep_last, remove_invalid=False)
     return directory
 
 
@@ -219,6 +221,7 @@ def run_checkpointed(
     extra: Any = None,
     keep_last: Optional[int] = None,
     meta: Optional[Dict[str, Any]] = None,
+    on_checkpoint=None,
 ) -> List[pathlib.Path]:
     """Run to ``until``, checkpointing every ``every`` simulated seconds.
 
@@ -228,6 +231,10 @@ def run_checkpointed(
     only the final segment runs with the horizon-crediting ``until``.
     Resuming the returned checkpoints therefore replays the
     uninterrupted run exactly.
+
+    ``on_checkpoint``, if given, is called with each written checkpoint
+    directory -- a progress hook (farm workers report liveness per
+    step; tests pace the run) that must not mutate simulator state.
 
     Returns the checkpoint directories written, oldest first.
     """
@@ -280,4 +287,6 @@ def run_checkpointed(
             root, network, injector=injector, rng=rng, extra=extra,
             meta=meta, keep_last=keep_last,
         ))
+        if on_checkpoint is not None:
+            on_checkpoint(saved[-1])
     return saved

@@ -157,6 +157,20 @@ def read_manifest(directory: PathLike) -> Dict[str, Any]:
         )
     if not isinstance(manifest.get("files"), dict):
         raise CheckpointError(f"manifest in {directory} lists no files")
+    # Structural validation of every file entry up front: a blob written
+    # by a different (or corrupted) writer must fail with a named error
+    # here, never a bare KeyError deep inside verify/inspect.
+    for name, entry in manifest["files"].items():
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("bytes"), int)
+            or not isinstance(entry.get("sha256"), str)
+        ):
+            raise CheckpointError(
+                f"manifest in {directory} has a malformed entry for "
+                f"payload {name!r} (expected bytes/sha256; foreign or "
+                "corrupt manifest?)"
+            )
     return manifest
 
 
@@ -286,11 +300,68 @@ def latest(root: PathLike) -> Optional[pathlib.Path]:
     return valid[-1] if valid else None
 
 
-def prune(root: PathLike, keep_last: int) -> List[pathlib.Path]:
+def claim_step(root: PathLike) -> Tuple[int, pathlib.Path]:
+    """Atomically claim the next free ``ckpt-<N>`` directory.
+
+    Concurrent writers sharing one root (several farm workers, a sweep
+    and its resumed twin) must never write into the same step
+    directory; a bare :func:`next_step` race would let two processes
+    pick the same number.  ``os.mkdir`` is atomic on every platform we
+    care about, so the first claimant wins and the loser retries the
+    next number.  Returns ``(step, directory)`` with the directory
+    already created.
+    """
+    root = pathlib.Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    step = next_step(root)
+    while True:
+        directory = step_dir(root, step)
+        try:
+            os.mkdir(directory)
+            return step, directory
+        except FileExistsError:
+            step += 1
+
+
+def remove_checkpoint_dir(path: PathLike) -> bool:
+    """Race-safely delete one checkpoint directory.
+
+    The directory is first renamed aside (atomic), then deleted, so a
+    concurrent reader either sees the complete directory or none of it
+    -- never a half-deleted one -- and two pruners racing over the same
+    step cannot both descend into it.  A sibling winning the race
+    (``ENOENT`` on the rename) is not an error.  Returns whether this
+    caller performed the removal.
+    """
+    path = pathlib.Path(path)
+    trash = path.parent / f".trash-{os.getpid()}-{path.name}"
+    try:
+        os.rename(path, trash)
+    except FileNotFoundError:
+        return False
+    except OSError:
+        # Cross-device or locked rename: fall back to direct removal.
+        shutil.rmtree(path, ignore_errors=True)
+        return True
+    shutil.rmtree(trash, ignore_errors=True)
+    return True
+
+
+def prune(
+    root: PathLike, keep_last: int, remove_invalid: bool = True
+) -> List[pathlib.Path]:
     """Delete all but the newest ``keep_last`` *valid* checkpoints.
 
-    Invalid (partial/corrupt) directories are always deleted -- they
-    can never be resumed from.  Returns the removed paths.
+    With ``remove_invalid`` (the default, for offline maintenance such
+    as ``repro ckpt prune``), manifest-less and corrupt directories are
+    deleted too -- they can never be resumed from.  Writer-side callers
+    sharing a root with live siblings (farm workers, concurrent sweeps)
+    must pass ``remove_invalid=False``: a directory without a manifest
+    is indistinguishable from a sibling's in-flight checkpoint whose
+    manifest rename has not landed yet, so only checkpoints this
+    process could prove complete are touched.  Deletions are race-safe
+    (atomic rename aside, then delete; a sibling winning the race is
+    ignored).  Returns the removed paths.
     """
     if keep_last < 1:
         raise ValueError(f"keep_last must be >= 1, got {keep_last}")
@@ -298,9 +369,9 @@ def prune(root: PathLike, keep_last: int) -> List[pathlib.Path]:
     all_ckpts = list_checkpoints(root)
     valid = [path for path in all_ckpts if is_valid(path)]
     keep = set(map(str, valid[-keep_last:]))
-    for path in all_ckpts:
-        if str(path) not in keep:
-            shutil.rmtree(path, ignore_errors=True)
+    doomed = valid if not remove_invalid else all_ckpts
+    for path in doomed:
+        if str(path) not in keep and remove_checkpoint_dir(path):
             removed.append(path)
     return removed
 

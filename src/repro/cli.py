@@ -455,10 +455,17 @@ def ckpt_command(argv: List[str]) -> int:
             try:
                 manifest = ckpt.verify(path)
                 meta = manifest.get("meta", {})
-                print(
-                    f"{path.name}  kind={meta.get('kind', '?'):<6} "
-                    f"t={meta.get('t', meta.get('completed', '?'))}  valid"
-                )
+                kind = meta.get("kind", "?")
+                if kind in ("sweep", "farm"):
+                    # Progress containers have no simulated clock; show
+                    # how far the (possibly distributed) sweep got.
+                    detail = (
+                        f"done={meta.get('completed', '?')}"
+                        f"/{meta.get('total', '?')}"
+                    )
+                else:
+                    detail = f"t={meta.get('t', '?')}"
+                print(f"{path.name}  kind={kind:<6} {detail}  valid")
             except ckpt.CheckpointError as exc:
                 print(f"{path.name}  INVALID -- {exc}")
         return 0
@@ -657,6 +664,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return faults_command(argv[1:])
     if argv and argv[0] == "ckpt":
         return ckpt_command(argv[1:])
+    if argv and argv[0] == "farm":
+        from repro.farm.cli import main as farm_main
+
+        return farm_main(argv[1:])
     if (
         argv
         and argv[0] == "cache"

@@ -32,12 +32,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ckpt.store import (
     CheckpointError,
+    claim_step,
     latest,
-    next_step,
     prune,
     read_manifest,
     read_payload,
-    step_dir,
     write_checkpoint,
 )
 from repro.exp import cache as _cache
@@ -49,6 +48,10 @@ _MISS = object()
 #: ``meta["kind"]`` of sweep-progress checkpoints: one pickle mapping
 #: each completed trial's content hash to its result.
 KIND_SWEEP = "sweep"
+
+#: ``meta["kind"]`` of farm-run progress containers -- same payload as
+#: sweep checkpoints, written by the dispatcher of a ``farm=`` run.
+KIND_FARM = "farm"
 
 SWEEP_PAYLOAD = "sweep.pkl"
 
@@ -95,6 +98,13 @@ class RunStats:
     resumed_trials: int = 0
     #: Sweep-progress checkpoints written this run.
     checkpoints_written: int = 0
+    #: Farm workers the run dispatched over (0 = no farm).
+    farm_workers: int = 0
+    #: Trials re-queued after their farm worker was lost mid-flight.
+    reassigned_trials: int = 0
+    #: Reassigned trials that resumed on another worker from their last
+    #: per-trial checkpoint step instead of recomputing.
+    resumed_elsewhere: int = 0
 
     def summary(self) -> str:
         text = (
@@ -109,6 +119,12 @@ class RunStats:
             text += (
                 f", {self.resumed_trials} resumed / "
                 f"{self.checkpoints_written} checkpoints"
+            )
+        if self.farm_workers:
+            text += (
+                f", farm={self.farm_workers} workers "
+                f"({self.reassigned_trials} reassigned / "
+                f"{self.resumed_elsewhere} resumed elsewhere)"
             )
         return text
 
@@ -278,12 +294,16 @@ def get_checkpoint_keep(override: Optional[int] = None) -> Optional[int]:
 
 
 def _load_sweep_checkpoint(root) -> Dict[str, Any]:
-    """The completed-trial map from the newest valid checkpoint (or {})."""
+    """The completed-trial map from the newest valid checkpoint (or {}).
+
+    Sweep (single-host) and farm (dispatcher-written) progress
+    containers carry the same payload and resume interchangeably.
+    """
     chosen = latest(root)
     if chosen is None:
         return {}
     meta = read_manifest(chosen).get("meta", {})
-    if meta.get("kind") != KIND_SWEEP:
+    if meta.get("kind") not in (KIND_SWEEP, KIND_FARM):
         raise CheckpointError(
             f"{chosen} is a {meta.get('kind')!r} checkpoint, not sweep "
             "progress; point PNET_CKPT_DIR at a sweep checkpoint root"
@@ -292,17 +312,27 @@ def _load_sweep_checkpoint(root) -> Dict[str, Any]:
 
 
 def _write_sweep_checkpoint(
-    root, done: Dict[str, Any], total: int, keep_last: Optional[int]
+    root,
+    done: Dict[str, Any],
+    total: int,
+    keep_last: Optional[int],
+    kind: str = KIND_SWEEP,
 ) -> None:
+    # claim_step (atomic mkdir) + manifest-respecting prune: several
+    # sweeps may share a checkpoint root (farm hosts, or plain
+    # concurrent runs on one machine), and a writer must neither reuse
+    # a sibling's step number nor prune away its in-flight (still
+    # manifest-less) directory.
+    __, directory = claim_step(root)
     write_checkpoint(
-        step_dir(root, next_step(root)),
+        directory,
         {SWEEP_PAYLOAD: pickle.dumps(
             done, protocol=pickle.HIGHEST_PROTOCOL
         )},
-        {"kind": KIND_SWEEP, "completed": len(done), "total": total},
+        {"kind": kind, "completed": len(done), "total": total},
     )
     if keep_last is not None:
-        prune(root, keep_last)
+        prune(root, keep_last, remove_invalid=False)
 
 
 def run_trials(
@@ -312,6 +342,8 @@ def run_trials(
     checkpoint_every: Optional[int] = None,
     resume: Optional[bool] = None,
     checkpoint_keep_last: Optional[int] = None,
+    farm=None,
+    farm_timeout: Optional[float] = None,
 ) -> Dict[Tuple, Any]:
     """Run every trial and return ``{spec.key: result}`` in spec order.
 
@@ -330,6 +362,16 @@ def run_trials(
     already checkpointed are skipped.  Results are keyed by the same
     content hash as the artifact cache, so resumed values are exactly
     the values an uninterrupted run would have produced.
+
+    ``farm`` (default ``$PNET_FARM_INVENTORY``; unset = no farm)
+    dispatches pending trials across a run farm instead of the local
+    pool: an :class:`~repro.farm.inventory.Inventory`, a sequence of
+    :class:`~repro.farm.inventory.HostSpec`, or an inventory file path.
+    Workers lost mid-trial (crash, SIGKILL, ssh drop, heartbeat timeout
+    ``farm_timeout`` / ``$PNET_FARM_TIMEOUT``) have their trial
+    reassigned -- resuming from its last per-trial checkpoint when the
+    trial function checkpoints -- and the merged result is
+    byte-identical to a single-host run of the same specs.
     """
     global _last_stats
     _check_specs(specs)
@@ -388,6 +430,10 @@ def run_trials(
             stats.trial_cache_hits += 1
             done[content_hash[spec.key]] = value
 
+    from repro.farm.inventory import resolve_inventory
+
+    inventory = resolve_inventory(farm)
+    progress_kind = KIND_SWEEP if inventory is None else KIND_FARM
     fresh = 0
 
     def _completed(key: Tuple, value: Any) -> None:
@@ -400,11 +446,38 @@ def run_trials(
             and fresh % checkpoint_every == 0
         ):
             _write_sweep_checkpoint(
-                checkpoint_dir, done, len(specs), checkpoint_keep_last
+                checkpoint_dir, done, len(specs), checkpoint_keep_last,
+                kind=progress_kind,
             )
             stats.checkpoints_written += 1
 
-    if trial_workers == 1 or len(pending) <= 1:
+    if inventory is not None and pending:
+        from repro.farm.dispatch import run_on_farm
+
+        require_backend = None
+        if shards > 1:
+            from repro.shard.channel import get_backend
+
+            require_backend = get_backend()
+        farm_results, farm_stats = run_on_farm(
+            pending,
+            inventory,
+            timeout=farm_timeout,
+            trial_checkpoint_root=(
+                checkpoint_dir / "trials"
+                if checkpoint_dir is not None else None
+            ),
+            content_hash={
+                spec.key: content_hash[spec.key] for spec in pending
+            },
+            on_complete=lambda key, value, __: _completed(key, value),
+            require_backend=require_backend,
+        )
+        assert len(farm_results) == len(pending)
+        stats.farm_workers = farm_stats.n_workers
+        stats.reassigned_trials = farm_stats.reassigned
+        stats.resumed_elsewhere = farm_stats.resumed_elsewhere
+    elif trial_workers == 1 or len(pending) <= 1:
         for spec in pending:
             key, value, __, __ = _execute(spec)
             # Round-trip so the serial path yields the same object graph
@@ -426,7 +499,8 @@ def run_trials(
         # Final partial interval: a completed sweep's checkpoint lets a
         # superset sweep resume from everything computed here.
         _write_sweep_checkpoint(
-            checkpoint_dir, done, len(specs), checkpoint_keep_last
+            checkpoint_dir, done, len(specs), checkpoint_keep_last,
+            kind=progress_kind,
         )
         stats.checkpoints_written += 1
 

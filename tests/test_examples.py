@@ -17,6 +17,7 @@ EXPECTED = {
     "rolling_upgrade.py": "bulk transfer to the new rack",
     "operator_console.py": "suspect planes vs baseline: [3]",
     "resumable_sweep.py": "resumed byte-identically: True",
+    "farm_sweep.py": "byte-identical at every host/worker count: True",
 }
 
 
