@@ -340,6 +340,7 @@ def run_trial(
     flows: Iterable[FlowSpec],
     until: float = math.inf,
     promotion: Optional[Any] = None,
+    control: Optional[Any] = None,
     checkpoint_dir=None,
     checkpoint_every: Optional[float] = None,
     checkpoint_keep_last: Optional[int] = None,
@@ -359,6 +360,16 @@ def run_trial(
     flow by flow.  Pure engines reject ``promotion=`` (the flows already
     run at a fixed fidelity).
 
+    ``control`` (a :class:`repro.control.Controller`, a
+    :class:`~repro.control.ResteerPolicy`, or a registered policy name
+    like ``"load-aware"``) attaches the adaptive control loop to any of
+    the three engines before the flows launch; its summary lands in
+    ``meta["control"]``.  ``control=None`` (the default) consults
+    ``PNET_CONTROL_POLICY`` (the ``--control`` CLI flag); ``"off"``
+    forces control off regardless of the environment.  With control
+    off nothing is attached and results are byte-identical to builds
+    without the control plane.
+
     With ``checkpoint_dir`` and ``checkpoint_every`` the run writes
     :mod:`repro.ckpt` snapshots every that many simulated seconds;
     :func:`resume_trial` continues from the newest one with results
@@ -374,6 +385,22 @@ def run_trial(
                 f"got kind={engine.name!r}"
             )
         network.promotion = resolve_policy(promotion)
+    if control is None or isinstance(control, str):
+        # CLI / environment opt-in (--control -> PNET_CONTROL_POLICY):
+        # None consults the environment, "off"/"" force control off
+        # regardless of it.  Unset means off, so default runs stay
+        # byte-identical to builds without the control plane.
+        from repro.control import get_control_policy
+
+        control = get_control_policy(control)
+    if control is not None:
+        from repro.control import as_controller
+
+        controller = as_controller(control)
+        controller.attach(network)
+        # The attached loop rides the object graph, so checkpoints and
+        # resume_trial need no extra plumbing.
+        network._controller = controller
     for spec in flows:
         network.add_flow(spec=spec)
     if checkpoint_every is not None:
@@ -453,6 +480,14 @@ def _finish_trial(network: Network, engine: Engine) -> TrialResult:
             monitor.record_flow(record.planes, record.size, record.fct)
         fidelity = {r.flow_id: "fluid" for r in network.records}
     meta["n_records"] = len(network.records)
+    controller = getattr(network, "_controller", None)
+    if controller is not None:
+        # Key only present when control was attached, so control-off
+        # results stay byte-identical to pre-control goldens.
+        meta["control"] = {
+            "fingerprint": controller.fingerprint(),
+            "stats": controller.stats.as_dict(),
+        }
     # Duck-typed third-party engines may not carry a registry at all.
     obs = getattr(network, "obs", None)
     metrics = (

@@ -66,6 +66,7 @@ EXPERIMENTS = {
     "incast": "repro.exp.incast",
     "ablation": "repro.exp.ablation",
     "adaptive": "repro.exp.adaptive_routing",
+    "control": "repro.exp.control",
     "expanders": "repro.exp.expander_families",
     "queues": "repro.exp.queue_sensitivity",
     "workloads": "repro.exp.workloads",
@@ -197,6 +198,26 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "promotion policy for hybrid runs (sets PNET_PROMOTE; e.g. "
             "'sampled:0.1:0', 'tagged:probe+0.05', or a bare probability)"
+        ),
+    )
+    parser.add_argument(
+        "--control",
+        metavar="POLICY",
+        default=None,
+        help=(
+            "adaptive control policy for control-aware runs (sets "
+            "PNET_CONTROL_POLICY; 'ecmp-reshuffle', 'flowlet', "
+            "'load-aware', or 'off')"
+        ),
+    )
+    parser.add_argument(
+        "--control-interval",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "control-loop period on the simulated clock "
+            "(sets PNET_CONTROL_INTERVAL)"
         ),
     )
     parser.add_argument(
@@ -695,6 +716,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         or args.keep_last is not None
         or args.fidelity is not None
         or args.promote is not None
+        or args.control is not None
+        or args.control_interval is not None
         or args.resume
     ):
         import os
@@ -734,6 +757,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             os.environ["PNET_FIDELITY"] = args.fidelity
         if args.promote is not None:
             os.environ["PNET_PROMOTE"] = args.promote
+        if args.control is not None:
+            os.environ["PNET_CONTROL_POLICY"] = args.control
+        if args.control_interval is not None:
+            if args.control_interval <= 0:
+                print(
+                    "--control-interval must be positive", file=sys.stderr
+                )
+                return 2
+            os.environ["PNET_CONTROL_INTERVAL"] = repr(
+                args.control_interval
+            )
         if args.resume:
             os.environ["PNET_RESUME"] = "1"
     registry = None

@@ -1,0 +1,103 @@
+"""Engine-agnostic flow resteer actions.
+
+The mechanics of moving a live flow onto new paths, factored out of
+:mod:`repro.faults` so "path is slow" (the adaptive control plane) and
+"path died" (fault reaction) share one machinery:
+
+* **packet**: abort the flow and relaunch its un-ACKed remainder as a
+  fresh :class:`~repro.core.flowspec.FlowSpec` on the new paths -- TCP
+  state cannot survive a path change, so the remainder re-probes from
+  slow start exactly as a real connection migration would.
+* **fluid**: migrate the flow's subflows in place
+  (:meth:`~repro.fluid.flowsim.FluidSimulator.migrate_flow`); delivered
+  bytes are preserved and the new subflows restart their ramp.
+
+These helpers import only the core spec types (never
+``repro.faults`` or ``repro.control.controller``), so both layers --
+and the shard workers -- can call them without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.flowspec import FlowSpec
+from repro.core.pnet import PlanePath
+
+
+def remaining_bytes(source, spec: FlowSpec) -> int:
+    """Un-ACKed bytes of a live packet-engine flow (never negative)."""
+    acked = getattr(source, "acked_bytes", None)
+    if acked is None:
+        acked = source.snd_una
+    return max(int(spec.size) - int(acked), 0)
+
+
+def clamp_transport(
+    transport: str, paths: Sequence[PlanePath]
+) -> List[PlanePath]:
+    """Truncate a path set to what the transport can actually drive.
+
+    DCTCP here is single-path: a relaunch onto several paths would
+    silently upgrade it to MPTCP, so it keeps only the first.
+    """
+    paths = list(paths)
+    if transport == "dctcp" and len(paths) > 1:
+        return paths[:1]
+    return paths
+
+
+def relaunch_spec(
+    spec: FlowSpec,
+    remaining: int,
+    paths: Sequence[PlanePath],
+    now: float,
+) -> FlowSpec:
+    """The spec that re-launches a flow's remainder on new paths."""
+    return FlowSpec(
+        src=spec.src,
+        dst=spec.dst,
+        size=remaining,
+        paths=clamp_transport(spec.transport, paths),
+        at=now,
+        tag=spec.tag,
+        transport=spec.transport,
+        on_complete=spec.on_complete,
+    )
+
+
+def abort_and_relaunch(
+    net, flow_id: int, source, spec: FlowSpec,
+    new_paths: Sequence[PlanePath], now: float,
+):
+    """Packet resteer: abort ``flow_id`` and relaunch its remainder.
+
+    Returns the new source object, or ``None`` when ``new_paths`` is
+    empty -- the flow is aborted and stranded (the caller counts it).
+    The relaunched flow gets a fresh flow id from the network; callers
+    that track flows by id must re-key (serial ids are not stable
+    across a resteer; the shard engine keeps global ids stable by
+    re-mapping inside the worker).
+    """
+    remaining = remaining_bytes(source, spec)
+    net.abort_flow(flow_id)
+    if not new_paths:
+        return None
+    return net.add_flow(spec=relaunch_spec(spec, remaining, new_paths, now))
+
+
+def migrate(sim, flow_id: int, new_paths: Sequence[PlanePath]) -> bool:
+    """Fluid resteer: move the flow's subflows in place.
+
+    Returns False when the flow is no longer active (it completed
+    between the decision and the apply).
+    """
+    return sim.migrate_flow(flow_id, new_paths)
+
+
+def same_paths(a: Sequence[PlanePath], b: Sequence[PlanePath]) -> bool:
+    """Whether two selections name the same (plane, path) sets."""
+    canon = lambda paths: sorted(  # noqa: E731
+        (plane, tuple(p)) for plane, p in paths
+    )
+    return canon(a) == canon(b)

@@ -298,10 +298,30 @@ class Dispatcher:
                 worker.worker_id, pending.spec, worker.handle.pid
             )
 
+    def _host_inflight(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for w in self._live_workers():
+            if w.inflight is not None:
+                counts[w.host.name] = counts.get(w.host.name, 0) + 1
+        return counts
+
     def _dispatch_ready(self) -> None:
-        for worker in self._connected_idle():
-            if not self._queue:
+        # Pick the idle worker on the host with the fewest in-flight
+        # trials (worker id breaks ties deterministically) instead of
+        # filling hosts in inventory order: assignments spread across
+        # the farm, so one lost host strands the fewest trials and no
+        # host runs at full slot count while others idle.
+        while self._queue:
+            idle = self._connected_idle()
+            if not idle:
                 return
+            inflight = self._host_inflight()
+            worker = min(
+                idle,
+                key=lambda w: (
+                    inflight.get(w.host.name, 0), w.worker_id
+                ),
+            )
             self._assign(worker, self._queue.popleft())
 
     # --- inbound messages -------------------------------------------------

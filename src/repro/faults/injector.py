@@ -34,8 +34,9 @@ import functools
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.control import actions as resteer_actions
+from repro.control.actions import same_paths as _same_paths
 from repro.core.failures import path_is_live
-from repro.core.flowspec import FlowSpec
 from repro.core.pnet import PlanePath, PNet
 from repro.faults.schedule import FaultEvent, FaultSchedule
 from repro.fluid.flowsim import FluidSimulator
@@ -352,21 +353,12 @@ class FaultInjector:
                     continue
             else:
                 new_paths = self._pick_paths(spec.src, spec.dst, flow_id, live)
-            acked = getattr(source, "acked_bytes", None)
-            if acked is None:
-                acked = source.snd_una
-            remaining = max(int(spec.size) - int(acked), 0)
-            net.abort_flow(flow_id)
-            if not new_paths:
+            relaunched = resteer_actions.abort_and_relaunch(
+                net, flow_id, source, spec, new_paths, now
+            )
+            if relaunched is None:
                 self._strand()
                 continue
-            if spec.transport == "dctcp" and len(new_paths) > 1:
-                new_paths = new_paths[:1]
-            net.add_flow(spec=FlowSpec(
-                src=spec.src, dst=spec.dst, size=remaining,
-                paths=new_paths, at=now, tag=spec.tag,
-                transport=spec.transport, on_complete=spec.on_complete,
-            ))
             self._observe_reroute(now - t_event)
 
     def _react_fluid(
@@ -387,11 +379,5 @@ class FaultInjector:
                 sim.abort_flow(flow_id)
                 self._strand()
                 continue
-            if sim.migrate_flow(flow_id, new_paths):
+            if resteer_actions.migrate(sim, flow_id, new_paths):
                 self._observe_reroute(now - t_event)
-
-
-def _same_paths(a: Sequence[PlanePath], b: Sequence[PlanePath]) -> bool:
-    """Whether two selections name the same (plane, path) sets."""
-    canon = lambda paths: sorted((plane, tuple(p)) for plane, p in paths)
-    return canon(a) == canon(b)

@@ -312,6 +312,17 @@ class FluidSimulator:
             (f.flow_id, f.src, f.dst, list(f.paths)) for f in self._active
         ]
 
+    def active_subflow_views(self):
+        """(flow_id, src, dst, size, paths, per-subflow rates) of
+        in-flight flows -- the control plane's sampling hook."""
+        return [
+            (
+                f.flow_id, f.src, f.dst, f.size, list(f.paths),
+                [sf.rate for sf in f.subflows],
+            )
+            for f in self._active
+        ]
+
     def aggregate_rate(self) -> float:
         """Total delivery rate of all active flows, bits/s."""
         return sum(f.rate for f in self._active)

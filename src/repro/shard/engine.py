@@ -68,6 +68,7 @@ from repro.shard.partition import (
     get_lookahead,
     get_shards,
 )
+from repro.shard.partition import serial_fallback as _serial_fallback
 from repro.shard.worker import (
     WorkerConfig,
     _next_event_time,
@@ -96,7 +97,7 @@ KIND_SHARD = "shard"
 
 def _write_shard_checkpoint(
     root, channels, t, rounds, digests, spanning, shares, plan, epoch,
-    backend, keep_last=None,
+    backend, keep_last=None, control_state=None,
 ) -> pathlib.Path:
     """Snapshot every worker at the barrier and write one checkpoint.
 
@@ -118,6 +119,7 @@ def _write_shard_checkpoint(
             "digests": digests,
             "spanning": spanning,
             "shares": shares,
+            "control": control_state,
         },
         protocol=pickle.HIGHEST_PROTOCOL,
     )
@@ -192,6 +194,9 @@ class ShardResult:
     #: requested (None otherwise): ``jumped`` marks idle jumps past the
     #: regular stride, which are exact (all coupled workers idle).
     barriers: Optional[List[Tuple[float, bool]]] = None
+    #: Adaptive-control summary (``{"fingerprint": ..., "stats": ...}``)
+    #: when the run had ``control=``; None otherwise.
+    control: Optional[Dict[str, Any]] = None
 
     @property
     def total_drops(self) -> int:
@@ -304,6 +309,8 @@ def run_packet_trial(
     resume: bool = False,
     checkpoint_keep_last: Optional[int] = None,
     trace_barriers: bool = False,
+    control: Optional[Any] = None,
+    serial_fallback: bool = False,
     **sim_kwargs: Any,
 ) -> ShardResult:
     """Run a packet-level trial, sharded by plane.
@@ -348,13 +355,24 @@ def run_packet_trial(
         trace_barriers: record every barrier as ``(t, jumped)`` on the
             result (test/diagnostic aid; off by default to keep long
             runs lean).
+        control: a :class:`repro.control.Controller`, policy object, or
+            policy name enabling the adaptive control plane.  Serial
+            runs attach the controller's own loop; multi-shard runs
+            drive the same policy/monitor objects at lookahead barriers
+            (sample + apply travel as extra digest-style messages), so
+            adaptive workloads no longer force ``serial_fallback``.
+        serial_fallback: instead of raising :class:`ShardSafetyError`
+            for workloads that cannot shard safely (completion
+            callbacks, non-integer spanning sizes), fall back to the
+            serial path and record it on the ``shard.serial_fallback``
+            counter.
         sim_kwargs: forwarded to ``PacketNetwork`` (queue_packets, mss,
             min_rto, ecn_threshold).
 
     Raises:
         ShardSafetyError: multi-shard run with completion callbacks
             (closed-loop workloads cannot shard) or non-integer
-            spanning flow sizes.
+            spanning flow sizes -- unless ``serial_fallback=True``.
     """
     planes = _as_planes(planes)
     specs = list(specs)
@@ -383,6 +401,7 @@ def run_packet_trial(
             checkpoint_every=checkpoint_every,
             resume=resume,
             checkpoint_keep_last=checkpoint_keep_last,
+            control=control,
         )
 
     with_callbacks = [
@@ -390,13 +409,25 @@ def run_packet_trial(
         if spec.on_complete is not None
     ]
     if with_callbacks:
+        if serial_fallback:
+            _serial_fallback("packet.on_complete", obs)
+            return _run_serial_packet(
+                planes, specs, events, until, obs, epoch, sim_kwargs,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                resume=resume,
+                checkpoint_keep_last=checkpoint_keep_last,
+                control=control,
+            )
         raise ShardSafetyError(
             f"flow {with_callbacks[0]} "
             f"({specs[with_callbacks[0]].src}->"
             f"{specs[with_callbacks[0]].dst}) carries a completion "
             "callback, which cannot run under PNET_SHARDS > 1: the "
             "engine only sees flow completion at epoch barriers, so "
-            "closed-loop workloads must run serial (shards=1)"
+            "closed-loop workloads must run serial -- pass "
+            "serial_fallback=True (or shards=1) to run this workload "
+            "on the serial path"
         )
 
     local, spanning_gids = classify(specs, plan)
@@ -406,10 +437,21 @@ def run_packet_trial(
         spec = specs[gid]
         size = int(spec.size)
         if size != spec.size:
+            if serial_fallback:
+                _serial_fallback("packet.fractional_spanning", obs)
+                return _run_serial_packet(
+                    planes, specs, events, until, obs, epoch, sim_kwargs,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_every=checkpoint_every,
+                    resume=resume,
+                    checkpoint_keep_last=checkpoint_keep_last,
+                    control=control,
+                )
             raise ShardSafetyError(
                 f"spanning {_describe_spanning(gid, spec, plan)}, but "
                 f"has non-integer size {spec.size!r}: the shared pool "
-                "splits whole bytes across shards"
+                "splits whole bytes across shards -- round the size, "
+                "pass serial_fallback=True, or run with shards=1"
             )
         shard_ids = plan.shards_of(spec)
         counts = [
@@ -418,6 +460,27 @@ def run_packet_trial(
         split = split_bytes(size, counts)
         spanning[gid] = _SpanningState(gid, spec, shard_ids)
         shares[gid] = dict(zip(shard_ids, split))
+
+    driver = None
+    if control is not None:
+        from repro.control import as_controller
+        from repro.control.sharded import ShardControlDriver
+
+        driver = ShardControlDriver(
+            as_controller(control),
+            planes,
+            plane_shard={
+                plane: shard
+                for shard in range(plan.n_shards)
+                for plane in plan.planes_of_shard[shard]
+            },
+            flow_shard={
+                gid: shard
+                for shard in range(plan.n_shards)
+                for gid in local[shard]
+            },
+            spanning_gids=set(spanning_gids),
+        )
 
     collect_obs = obs.enabled
     stripped = _strip_callbacks(specs)
@@ -489,6 +552,8 @@ def run_packet_trial(
             t = engine_state["t"]
             spanning = engine_state["spanning"]
             shares = engine_state["shares"]
+            if driver is not None and engine_state.get("control") is not None:
+                driver.restore(engine_state["control"])
         ckpt_next = (
             (math.floor(t / checkpoint_every) + 1) * checkpoint_every
             if checkpoint_every is not None else math.inf
@@ -500,6 +565,29 @@ def run_packet_trial(
                     f"(simulated t={t}); is a spanning flow stuck on a "
                     "dead path?"
                 )
+            if driver is not None and driver.due(t):
+                # One control cycle at this barrier: workers are
+                # quiescent, so the sampled ACK counters are exact when
+                # the apply batches land in the same exchange.
+                for ch in channels:
+                    ch.post(("control-sample",))
+                samples = {
+                    shard: ch.collect()[1]
+                    for shard, ch in enumerate(channels)
+                }
+                batches = driver.tick(t, samples)
+                for shard in sorted(batches):
+                    batch = batches[shard]
+                    channels[shard].post((
+                        "control-apply",
+                        batch["aborts"],
+                        batch["launches"],
+                    ))
+                for shard in sorted(batches):
+                    reply = channels[shard].collect()[1]
+                    # Relaunches schedule new events at t; refresh the
+                    # idle-jump view so the next stride sees them.
+                    digests[shard]["next"] = reply["next"]
             updates: List[Dict[str, Any]] = [
                 {"views": {}, "grants": {}, "finalize": []}
                 for __ in range(plan.n_shards)
@@ -538,10 +626,11 @@ def run_packet_trial(
                     updates[shard]["views"][gid] = lia_terms(remote)
 
             finalizing = any(u["finalize"] for u in updates)
-            if checkpointing:
+            if checkpointing or driver is not None:
                 # Consistent cuts need *every* worker quiescent at the
                 # barrier, so nobody free-runs while checkpoints may be
-                # written.
+                # written; control likewise samples and steers every
+                # shard, so nobody may run ahead of the control clock.
                 need = set(all_shards)
             else:
                 # A worker holding no incomplete spanning slice and no
@@ -599,6 +688,9 @@ def run_packet_trial(
                 t_next = min(nexts)
                 jumped = True
             t_next = min(t_next, until)
+            if driver is not None:
+                # Strides (and idle jumps) never skip a control instant.
+                t_next = driver.clamp(t_next)
             for shard in sorted(need):
                 channels[shard].post(("run", t_next, updates[shard]))
             for shard in sorted(need):
@@ -612,6 +704,9 @@ def run_packet_trial(
                     checkpoint_dir, channels, t, rounds, digests,
                     spanning, shares, plan, epoch, backend,
                     keep_last=checkpoint_keep_last,
+                    control_state=(
+                        driver.state() if driver is not None else None
+                    ),
                 )
                 ckpt_next = (
                     math.floor(t / checkpoint_every) + 1
@@ -654,6 +749,13 @@ def run_packet_trial(
         lookahead=la,
         stride=stride,
         barriers=barriers,
+        control=(
+            {
+                "fingerprint": driver.fingerprint(),
+                "stats": driver.stats.as_dict(),
+            }
+            if driver is not None else None
+        ),
     )
 
 
@@ -778,10 +880,20 @@ def _publish_flow_obs(obs, record: SimFlowRecord) -> None:
         obs.histogram("net.fct_seconds", plane=plane).observe(record.fct)
 
 
+def _serial_control_rekey(worker, old_fid: int, new_fid: int) -> None:
+    """Extend a serial worker's gid table across a control resteer.
+
+    Fresh flow ids are assigned densely, so the relaunch's id is always
+    the next index; it inherits the original flow's global id, matching
+    the multi-shard engine's stable-gid records.
+    """
+    worker._local_gids.append(worker._local_gids[old_fid])
+
+
 def _run_serial_packet(
     planes, specs, events, until, obs, epoch, sim_kwargs,
     checkpoint_dir=None, checkpoint_every=None, resume=False,
-    checkpoint_keep_last=None,
+    checkpoint_keep_last=None, control=None,
 ) -> ShardResult:
     """One-shard path: the literal serial simulator, no barriers.
 
@@ -808,6 +920,19 @@ def _run_serial_packet(
         restore_blob=restored["workers"][0] if restored else None,
     )
     worker = build_worker(config)
+    if control is not None and restored is None:
+        from repro.control import as_controller
+
+        controller = as_controller(control)
+        controller.attach(worker.net)
+        # Serial resteers assign fresh flow ids; keep the worker's
+        # gid table covering them so result() re-keys records.  A
+        # partial over a module function, so the hook rides the
+        # worker's checkpoint pickle.
+        controller.on_rekey = functools.partial(_serial_control_rekey, worker)
+        # The attached loop rides the worker's pickle graph, so shard
+        # checkpoints resume it without extra plumbing.
+        worker.net._controller = controller
     t = restored["engine"]["t"] if restored else 0.0
     if checkpoint_every is None:
         worker.advance(until)
@@ -861,6 +986,7 @@ def _run_serial_packet(
         # run's telemetry into the caller's registry.
         obs.absorb(worker.obs.export_state())
     records = sorted(result["records"], key=lambda r: r.flow_id)
+    attached = getattr(worker.net, "_controller", None)
     return ShardResult(
         records=records,
         n_shards=1,
@@ -869,6 +995,13 @@ def _run_serial_packet(
         rounds=0,
         events_processed=result["events_processed"],
         plane_totals=result["plane_totals"],
+        control=(
+            {
+                "fingerprint": attached.fingerprint(),
+                "stats": attached.stats.as_dict(),
+            }
+            if attached is not None else None
+        ),
     )
 
 
@@ -880,6 +1013,8 @@ def run_fluid_trial(
     backend: Optional[str] = None,
     until: Optional[float] = None,
     obs=None,
+    control: Optional[Any] = None,
+    serial_fallback: bool = False,
     **sim_kwargs: Any,
 ) -> ShardResult:
     """Run a fluid-model trial, sharded by plane (exact decomposition).
@@ -889,7 +1024,11 @@ def run_fluid_trial(
     workers run straight to the horizon.  Spanning flows (an MPTCP
     connection allocated across shards) couple through the global
     allocation and raise :class:`ShardSafetyError`; run those with
-    ``shards=1`` or the packet engine.
+    ``shards=1`` or the packet engine.  ``control=`` (adaptive
+    resteering) migrates flows across planes continuously, so it runs
+    serial here -- only the packet engine has the barrier protocol for
+    shard-safe control; ``serial_fallback=True`` downgrades any of
+    these refusals to a counted serial run.
     """
     planes = _as_planes(planes)
     specs = list(specs)
@@ -899,22 +1038,50 @@ def run_fluid_trial(
     backend = get_backend(backend) if plan.n_shards > 1 else "local"
 
     if plan.n_shards == 1:
-        return _run_serial_fluid(planes, specs, until, obs, sim_kwargs)
+        return _run_serial_fluid(
+            planes, specs, until, obs, sim_kwargs, control=control
+        )
+
+    if control is not None:
+        if serial_fallback:
+            _serial_fallback("fluid.control", obs)
+            return _run_serial_fluid(
+                planes, specs, until, obs, sim_kwargs, control=control
+            )
+        raise ShardSafetyError(
+            "adaptive control migrates fluid flows across planes "
+            "continuously, which cannot run under PNET_SHARDS > 1: "
+            "pass serial_fallback=True (or shards=1) to run control on "
+            "the serial path, or use the packet engine's shard-safe "
+            "control path (run_packet_trial(control=...))"
+        )
 
     __, spanning_gids = classify(specs, plan)
     if spanning_gids:
+        if serial_fallback:
+            _serial_fallback("fluid.spanning", obs)
+            return _run_serial_fluid(
+                planes, specs, until, obs, sim_kwargs, control=control
+            )
         first = spanning_gids[0]
         raise ShardSafetyError(
             f"{len(spanning_gids)} flow(s) span multiple shards under "
             f"{plan.n_shards} shards -- e.g. spanning "
             f"{_describe_spanning(first, specs[first], plan)}; the "
             "fluid model couples them through the global max-min solve. "
-            "Run with shards=1 or use the packet engine."
+            "Pass serial_fallback=True, run with shards=1, or use the "
+            "packet engine."
         )
     if any(spec.on_complete is not None for spec in specs):
+        if serial_fallback:
+            _serial_fallback("fluid.on_complete", obs)
+            return _run_serial_fluid(
+                planes, specs, until, obs, sim_kwargs, control=control
+            )
         raise ShardSafetyError(
             "completion callbacks cannot run under PNET_SHARDS > 1 "
-            "(closed-loop workloads must run serial)"
+            "(closed-loop workloads must run serial) -- pass "
+            "serial_fallback=True or shards=1"
         )
 
     local, __ = classify(specs, plan)
@@ -968,10 +1135,18 @@ def run_fluid_trial(
     )
 
 
-def _run_serial_fluid(planes, specs, until, obs, sim_kwargs) -> ShardResult:
+def _run_serial_fluid(
+    planes, specs, until, obs, sim_kwargs, control=None
+) -> ShardResult:
     from repro.fluid.flowsim import FluidSimulator
 
     sim = FluidSimulator(planes, obs=obs, **sim_kwargs)
+    controller = None
+    if control is not None:
+        from repro.control import as_controller
+
+        controller = as_controller(control)
+        controller.attach(sim)
     gid_of = {}
     for gid, spec in enumerate(specs):
         gid_of[sim.add_flow(spec=spec)] = gid
@@ -987,4 +1162,11 @@ def _run_serial_fluid(planes, specs, until, obs, sim_kwargs) -> ShardResult:
         rounds=0,
         events_processed=sim.events_processed,
         delivered_bytes=sim.delivered_bytes,
+        control=(
+            {
+                "fingerprint": controller.fingerprint(),
+                "stats": controller.stats.as_dict(),
+            }
+            if controller is not None else None
+        ),
     )

@@ -31,6 +31,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.control.monitor import sample_packet_rows
 from repro.core.flowspec import FlowSpec
 from repro.faults.schedule import FaultEvent
 from repro.fluid.flowsim import FluidSimulator
@@ -193,6 +194,55 @@ class PacketShardWorker:
             },
         }
 
+    # --- control protocol ----------------------------------------------------
+
+    def control_sample(self) -> Dict[str, Any]:
+        """This shard's slice of one control tick's snapshot.
+
+        Plane counters are filtered to owned planes so the engine's
+        merge across shards is a disjoint union; flow rows carry global
+        ids.  Spanning slices live on ``net.wire``, not ``net._active``,
+        so they are naturally absent -- the driver never steers them.
+        """
+        local_planes = set(
+            self.config.plan.planes_of_shard[self.config.shard]
+        )
+        plane_cum, rows = sample_packet_rows(
+            self.net, gid_of=lambda fid: self._local_gids[fid]
+        )
+        return {
+            "plane_cum": {
+                plane: cum for plane, cum in plane_cum.items()
+                if plane in local_planes
+            },
+            "rows": rows,
+        }
+
+    def control_apply(self, aborts, launches) -> Dict[str, Any]:
+        """Execute one control batch: aborts first, then relaunches.
+
+        The relaunched flow keeps its *global* id (the fresh local id
+        maps back to the same gid), so records, policy state and the
+        engine's ownership table stay stable across a resteer --
+        unlike the serial path, where ids change and callers re-key.
+        """
+        by_gid = {
+            self._local_gids[fid]: fid
+            for fid, __, __s in self.net.active_flows()
+        }
+        aborted = set()
+        for gid in aborts:
+            fid = by_gid.get(gid)
+            if fid is not None:
+                self.net.abort_flow(fid)
+                aborted.add(gid)
+        for gid, spec in launches:
+            if gid not in aborted:
+                continue  # vanished since the sample: nothing to move
+            self.net.add_flow(spec=spec)
+            self._local_gids.append(gid)
+        return {"next": _next_event_time(self.net.loop)}
+
     def result(self) -> Dict[str, Any]:
         local_planes = set(
             self.config.plan.planes_of_shard[self.config.shard]
@@ -302,6 +352,14 @@ def handle_message(worker, message: Tuple) -> Tuple:
             return ("digest", worker.digest())
         if tag == "digest":
             return ("digest", worker.digest())
+        if tag == "control-sample":
+            # New tags, not extra keys on "run": the shm codec's fixed
+            # numpy layouts only know run/digest, while pickled frames
+            # carry these transparently on every backend.
+            return ("control", worker.control_sample())
+        if tag == "control-apply":
+            __, aborts, launches = message
+            return ("control", worker.control_apply(aborts, launches))
         if tag == "snapshot":
             # The worker pickles *itself* -- event heap, transport
             # state, fault refcounts and telemetry in one graph -- so a

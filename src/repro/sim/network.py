@@ -292,6 +292,18 @@ class PacketNetwork:
             for flow_id, (source, spec) in sorted(self._active.items())
         ]
 
+    def flow_id_of(self, source) -> Optional[int]:
+        """The live flow id owning ``source``, or None once completed.
+
+        ``add_flow`` returns the source object, not its id; callers that
+        track flows by id across an abort+relaunch (the control plane)
+        use this to re-key.
+        """
+        for flow_id, (candidate, __) in self._active.items():
+            if candidate is source:
+                return flow_id
+        return None
+
     def abort_flow(self, flow_id: int) -> bool:
         """Abort an in-flight flow (no record, no completion callback).
 

@@ -1,0 +1,187 @@
+"""The control loop on the three serial engines.
+
+``run_trial(control=...)`` must run the same deterministic loop on the
+packet, fluid, and hybrid engines; with control off, results must stay
+byte-identical to builds without the control plane (meta carries no
+``control`` key at all); and an attached controller must ride
+checkpoints so a resumed run replays the remaining decisions
+byte-identically.
+"""
+
+import shutil
+
+import pytest
+
+from repro.api import build_network, resume_trial, run_trial
+from repro.ckpt.store import list_checkpoints
+from repro.control import (
+    Controller,
+    FlowletPolicy,
+    LoadAwarePolicy,
+    as_controller,
+)
+from repro.core.flowspec import FlowSpec
+from repro.core.path_selection import KspMultipathPolicy
+from repro.core.pnet import PNet
+from repro.topology import ParallelTopology, build_jellyfish
+
+INTERVAL = 5e-5
+
+
+def make_pnet(n_planes=2, seed=0):
+    return PNet(
+        ParallelTopology.heterogeneous(
+            lambda s: build_jellyfish(8, 4, 1, seed=s + seed), n_planes
+        )
+    )
+
+
+def flows_for(pnet, n=4, size=2_000_000, k=2):
+    policy = KspMultipathPolicy(pnet, k=k, seed=0)
+    hosts = pnet.hosts
+    return [
+        FlowSpec(
+            src=hosts[i], dst=hosts[i + 1], size=size,
+            paths=policy.select(hosts[i], hosts[i + 1], i),
+        )
+        for i in range(min(n, len(hosts) - 1))
+    ]
+
+
+def controller(policy=None):
+    if policy is None:
+        policy = LoadAwarePolicy(seed=0, hysteresis=1.2)
+    return Controller(policy, interval=INTERVAL)
+
+
+class TestEveryEngine:
+    @pytest.mark.parametrize("kind", ["packet", "fluid", "hybrid"])
+    def test_trial_completes_with_control(self, kind):
+        pnet = make_pnet()
+        kwargs = {"promotion": 1.0} if kind == "hybrid" else {}
+        net = build_network(pnet.planes, kind=kind)
+        result = run_trial(
+            net, flows_for(pnet), control=controller(), **kwargs
+        )
+        assert len(result.records) == 4
+        meta = result.meta["control"]
+        assert meta["fingerprint"]["policy"] == "load-aware"
+        assert meta["fingerprint"]["interval"] == INTERVAL
+        assert meta["stats"]["ticks"] > 0
+
+    @pytest.mark.parametrize("kind", ["packet", "fluid"])
+    def test_control_off_is_byte_identical(self, kind):
+        pnet = make_pnet()
+
+        def once(control):
+            net = build_network(pnet.planes, kind=kind)
+            return run_trial(net, flows_for(pnet), control=control)
+
+        plain = once(None)
+        assert "control" not in plain.meta
+        assert once(None).to_json() == plain.to_json()
+        # "off" forces control off even when the env knob is set.
+        assert once("off").to_json() == plain.to_json()
+
+    def test_control_changes_are_observable_not_destructive(self):
+        # The controlled run still completes every flow with correct
+        # sizes -- resteering must never lose or duplicate bytes.
+        pnet = make_pnet()
+        net = build_network(pnet.planes, kind="packet")
+        specs = flows_for(pnet)
+        result = run_trial(
+            net, specs, control=controller(FlowletPolicy(seed=0))
+        )
+        assert len(result.records) == len(specs)
+
+
+class TestDeterminismAndResume:
+    @pytest.mark.parametrize("kind", ["packet", "fluid"])
+    def test_controlled_run_is_deterministic(self, kind):
+        pnet = make_pnet()
+
+        def once():
+            net = build_network(pnet.planes, kind=kind)
+            return run_trial(
+                net, flows_for(pnet), control=controller()
+            ).to_json()
+
+        assert once() == once()
+
+    @pytest.mark.parametrize("kind", ["packet", "fluid"])
+    def test_checkpoint_resume_replays_control(self, tmp_path, kind):
+        pnet = make_pnet()
+        specs = flows_for(pnet)
+
+        def plain():
+            net = build_network(pnet.planes, kind=kind)
+            return run_trial(net, specs, control=controller())
+
+        # The fluid engine drains the same bytes ~15x sooner than the
+        # packet one; snapshot often enough that both cross >= 2 cuts.
+        every = 2e-4 if kind == "packet" else 2e-5
+        want = plain()
+        net = build_network(pnet.planes, kind=kind)
+        mid = run_trial(
+            net, specs, control=controller(),
+            checkpoint_dir=tmp_path, checkpoint_every=every,
+        )
+        assert mid.to_json() == want.to_json()
+
+        ckpts = list_checkpoints(tmp_path, valid_only=True)
+        assert len(ckpts) >= 2, "workload too small to exercise resume"
+        for path in ckpts[1:]:
+            shutil.rmtree(path)
+        resumed = resume_trial(tmp_path)
+        assert resumed.to_json() == want.to_json()
+        assert (
+            resumed.meta["control"]["stats"]
+            == want.meta["control"]["stats"]
+        )
+
+
+class TestSpellings:
+    def test_policy_name_and_object_spellings(self):
+        pnet = make_pnet()
+        net = build_network(pnet.planes, kind="fluid")
+        by_name = run_trial(net, flows_for(pnet), control="load-aware")
+        assert by_name.meta["control"]["fingerprint"]["policy"] == (
+            "load-aware"
+        )
+        net = build_network(pnet.planes, kind="fluid")
+        by_obj = run_trial(
+            net, flows_for(pnet), control=LoadAwarePolicy(seed=0)
+        )
+        assert "control" in by_obj.meta
+
+    def test_env_knob_attaches_control(self, monkeypatch):
+        monkeypatch.setenv("PNET_CONTROL_POLICY", "flowlet")
+        monkeypatch.setenv("PNET_CONTROL_INTERVAL", "1e-4")
+        pnet = make_pnet()
+        net = build_network(pnet.planes, kind="fluid")
+        result = run_trial(net, flows_for(pnet))
+        meta = result.meta["control"]
+        assert meta["fingerprint"]["policy"] == "flowlet"
+        assert meta["fingerprint"]["interval"] == 1e-4
+
+    def test_bad_control_rejected(self):
+        pnet = make_pnet()
+        net = build_network(pnet.planes, kind="fluid")
+        with pytest.raises(TypeError, match="control="):
+            run_trial(net, flows_for(pnet), control=3.14)
+        with pytest.raises(ValueError, match="unknown control policy"):
+            run_trial(net, flows_for(pnet), control="bogus")
+
+    def test_as_controller_passthrough(self):
+        ctl = controller()
+        assert as_controller(ctl) is ctl
+        assert as_controller("flowlet").policy.name == "flowlet"
+
+    def test_double_attach_rejected(self):
+        pnet = make_pnet()
+        ctl = controller()
+        net = build_network(pnet.planes, kind="fluid")
+        run_trial(net, flows_for(pnet), control=ctl)
+        net = build_network(pnet.planes, kind="fluid")
+        with pytest.raises(RuntimeError, match="already attached"):
+            run_trial(net, flows_for(pnet), control=ctl)

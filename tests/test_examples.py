@@ -9,6 +9,9 @@ import pytest
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 
 EXPECTED = {
+    "adaptive_control.py": (
+        "load-aware resteering beat the static placement: True"
+    ),
     "quickstart.py": "parallel planes keep up",
     "rpc_latency.py": "median improvement",
     "shuffle_sort.py": "network time",

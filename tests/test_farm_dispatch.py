@@ -110,6 +110,81 @@ class TestDispatch:
         assert rows[("farm.dispatch_seconds", "histogram")]["count"] == 3
 
 
+class TestLeastInflightPick:
+    """The dispatcher spreads assignments across hosts.
+
+    Pure scheduling logic, no sockets: fake connected workers on two
+    hosts, a stubbed ``_assign``, and a queue of pending trials.
+    """
+
+    @staticmethod
+    def _worker(host_name, slot, inflight=None):
+        from types import SimpleNamespace
+
+        from repro.farm.dispatch import _Worker
+
+        handle = SimpleNamespace(
+            worker_id=f"{host_name}/{slot}",
+            host=SimpleNamespace(name=host_name),
+        )
+        worker = _Worker(handle)
+        worker.conn = object()  # "connected"
+        worker.inflight = inflight
+        return worker
+
+    def _dispatcher(self, workers, n_pending):
+        import time
+        from collections import deque
+
+        from repro.farm.dispatch import Dispatcher, _Pending
+
+        dispatcher = Dispatcher(_specs(max(n_pending, 1)), local_inventory(1))
+        dispatcher._workers = {w.worker_id: w for w in workers}
+        dispatcher._queue = deque(
+            _Pending(spec=spec, ready_at=time.monotonic())
+            for spec in dispatcher.specs[:n_pending]
+        )
+        assigned = []
+
+        def fake_assign(worker, pending):
+            assigned.append(worker.worker_id)
+            worker.inflight = pending.spec.key
+
+        dispatcher._assign = fake_assign
+        return dispatcher, assigned
+
+    def test_round_robins_across_hosts(self, farm_env):
+        workers = [
+            self._worker("a", 0), self._worker("a", 1),
+            self._worker("b", 0), self._worker("b", 1),
+        ]
+        dispatcher, assigned = self._dispatcher(workers, n_pending=4)
+        dispatcher._dispatch_ready()
+        # Inventory order would fill host a first; the least-inflight
+        # pick alternates hosts (worker id breaks the ties).
+        assert assigned == ["a/0", "b/0", "a/1", "b/1"]
+
+    def test_prefers_least_loaded_host(self, farm_env):
+        workers = [
+            self._worker("a", 0, inflight=("busy", 0)),
+            self._worker("a", 1),
+            self._worker("b", 0),
+        ]
+        dispatcher, assigned = self._dispatcher(workers, n_pending=1)
+        dispatcher._dispatch_ready()
+        assert assigned == ["b/0"]
+
+    def test_lost_workers_never_picked(self, farm_env):
+        lightly_loaded = self._worker("a", 0)
+        lightly_loaded.lost = True
+        workers = [lightly_loaded, self._worker("b", 0, inflight=("x",))]
+        # Host b is the only live host even though it is busier.
+        workers.append(self._worker("b", 1))
+        dispatcher, assigned = self._dispatcher(workers, n_pending=1)
+        dispatcher._dispatch_ready()
+        assert assigned == ["b/1"]
+
+
 class TestRunnerIntegration:
     def test_farm_matches_single_host_bytes(self, farm_env):
         specs = _specs(4)

@@ -1,0 +1,158 @@
+"""The ssh transport, end-to-end against a stub ``ssh``.
+
+The dispatcher never needs to know whether ``ssh`` reached another
+machine: it hands the transport a :class:`HostSpec` and gets back a
+worker that dials the rendezvous.  These tests put a stub ``ssh`` on
+``PATH`` that does exactly what a passwordless OpenSSH would do with
+our argv -- skip the ``-o`` option pairs and the host token, then exec
+the remote command locally (the command starts with ``env(1)``, which
+applies the exported variables).  Everything downstream is the real
+stack: a real agent subprocess, the real TCP rendezvous, real trial
+execution, and the real result path.
+"""
+
+import os
+import pathlib
+import pickle
+import stat
+import subprocess
+import sys
+
+import pytest
+
+from repro.exp.runner import TrialSpec, run_trials
+from repro.farm import FarmError, run_on_farm
+from repro.farm.inventory import HostSpec, Inventory, local_inventory
+from repro.farm.transport import AUTHKEY_ENV, SshTransport, get_transport
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+WORKER_PYTHONPATH = f"{REPO / 'src'}{os.pathsep}{REPO}"
+
+STUB_SSH = """\
+#!/bin/sh
+# Stub sshd for tests: behave like passwordless OpenSSH running our
+# remote argv on localhost.  Drop `-o OPTION` pairs and the host
+# token, then exec the remote command (it starts with `env`, which
+# carries the exported rendezvous variables).
+while [ "$1" = "-o" ]; do shift 2; done
+shift
+exec "$@"
+"""
+
+
+def add_trial(a, b):
+    return {"sum": a + b}
+
+
+def whoami_trial():
+    return {
+        "authkey_present": AUTHKEY_ENV in os.environ,
+        "flag": os.environ.get("FARM_SSH_FLAG"),
+    }
+
+
+@pytest.fixture
+def stub_ssh(tmp_path, monkeypatch):
+    """Put a fake ``ssh`` at the front of PATH; return its directory."""
+    script = tmp_path / "bin" / "ssh"
+    script.parent.mkdir()
+    script.write_text(STUB_SSH)
+    script.chmod(script.stat().st_mode | stat.S_IXUSR)
+    monkeypatch.setenv(
+        "PATH", f"{script.parent}{os.pathsep}{os.environ['PATH']}"
+    )
+    monkeypatch.setenv("PNET_CACHE", "0")
+    monkeypatch.delenv("PNET_FARM_INVENTORY", raising=False)
+    return script.parent
+
+
+def ssh_inventory(slots=2, env=None):
+    return Inventory((HostSpec(
+        name="stub", transport="ssh", slots=slots,
+        address="worker@stub-host", python=sys.executable,
+        env={"PYTHONPATH": WORKER_PYTHONPATH, **(env or {})},
+    ),))
+
+
+class TestArgv:
+    def test_build_argv_shape(self):
+        host = HostSpec(
+            name="h", transport="ssh", address="me@there",
+            python="python3", env={"PYTHONPATH": "/code"},
+        )
+        argv = SshTransport().build_argv(
+            host, "h/0", "10.0.0.1:9999", "ab12", 0.5
+        )
+        assert argv[0] == "ssh"
+        assert argv[argv.index("-o") + 1] == "BatchMode=yes"
+        host_at = argv.index("me@there")
+        assert argv[host_at + 1] == "env"
+        assert f"{AUTHKEY_ENV}=ab12" in argv
+        assert "PYTHONPATH=/code" in argv
+        tail = argv[argv.index("python3"):]
+        assert tail[1:4] == ["-m", "repro", "farm"]
+        assert "--worker-id" in tail and "h/0" in tail
+
+    def test_address_required(self):
+        # HostSpec validates ssh hosts up front, so the transport-level
+        # guard is reachable only with a spec that never named one.
+        host = HostSpec(name="h", transport="local")
+        with pytest.raises(FarmError, match="no ssh address"):
+            SshTransport().build_argv(host, "h/0", "c:1", "00", 0.5)
+
+    def test_registry(self):
+        assert get_transport("ssh").name == "ssh"
+        with pytest.raises(FarmError, match="unknown transport"):
+            get_transport("telnet")
+
+
+class TestStubSsh:
+    def test_stub_execs_remote_argv(self, stub_ssh):
+        # The stub itself behaves like exec-on-localhost ssh.
+        out = subprocess.run(
+            [
+                "ssh", "-o", "BatchMode=yes", "-o", "ConnectTimeout=10",
+                "nobody@nowhere", "env", "GREETING=hi",
+                sys.executable, "-c",
+                "import os; print(os.environ['GREETING'])",
+            ],
+            capture_output=True, text=True, timeout=30,
+        )
+        assert out.stdout.strip() == "hi"
+
+    def test_farm_runs_over_stub_ssh(self, stub_ssh):
+        specs = [
+            TrialSpec(
+                fn="tests.test_farm_transport:add_trial",
+                key=("t", i), kwargs={"a": i, "b": 100},
+            )
+            for i in range(4)
+        ]
+        results, stats = run_on_farm(specs, ssh_inventory(2))
+        assert results == {("t", i): {"sum": i + 100} for i in range(4)}
+        assert stats.completed == 4
+        assert stats.n_hosts == 1 and stats.n_workers == 2
+
+    def test_host_env_and_authkey_reach_ssh_workers(self, stub_ssh):
+        results, __ = run_on_farm(
+            [TrialSpec(
+                fn="tests.test_farm_transport:whoami_trial", key=("w",),
+            )],
+            ssh_inventory(1, env={"FARM_SSH_FLAG": "over-ssh"}),
+        )
+        assert results[("w",)] == {
+            "authkey_present": True, "flag": "over-ssh",
+        }
+
+    def test_ssh_results_match_local_transport(self, stub_ssh, monkeypatch):
+        monkeypatch.setenv("PYTHONPATH", WORKER_PYTHONPATH)
+        specs = [
+            TrialSpec(
+                fn="tests.test_farm_transport:add_trial",
+                key=("t", i), kwargs={"a": i, "b": 7},
+            )
+            for i in range(3)
+        ]
+        over_ssh = run_trials(specs, farm=ssh_inventory(2))
+        local = run_trials(specs, farm=local_inventory(2))
+        assert pickle.dumps(over_ssh) == pickle.dumps(local)
